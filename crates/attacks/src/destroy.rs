@@ -1,0 +1,210 @@
+//! Destroy attacks (Sec. V-C).
+//!
+//! The attacker knows the scheme (Kerckhoffs) and tries to erase the
+//! watermark by perturbing token frequencies:
+//!
+//! * **without re-ordering** — preserving the ranking (otherwise the
+//!   attacked copy loses the utility the attacker wants to resell):
+//!   either uniformly random within each token's rank boundaries
+//!   (the stronger variant) or capped at ±p% of the boundaries;
+//! * **with re-ordering** — unconstrained ±p% noise on every
+//!   frequency; destroys more watermark but also more data utility.
+
+use freqywm_data::histogram::Histogram;
+use rand::{Rng, RngCore};
+
+/// Destroy attack *without re-ordering*, strong variant: every token's
+/// frequency moves by a uniformly random amount within its current
+/// upper/lower boundary (boundaries are updated as the sweep proceeds,
+/// exactly as the paper describes, so the ranking is never violated).
+pub fn destroy_within_boundaries<R: RngCore>(hist: &Histogram, rng: &mut R) -> Histogram {
+    let mut counts = hist.counts();
+    let n = counts.len();
+    let tokens: Vec<_> = hist.tokens().cloned().collect();
+    for i in 0..n {
+        let upper = if i == 0 { counts[i] / 2 } else { counts[i - 1] - counts[i] };
+        let lower = if i + 1 == n { counts[i] } else { counts[i] - counts[i + 1] };
+        let r = sample_signed(rng, lower, upper);
+        counts[i] = (counts[i] as i64 + r) as u64;
+        // The next token's upper boundary now refers to the updated
+        // counts[i]; the loop naturally uses it.
+    }
+    Histogram::from_counts(tokens.into_iter().zip(counts))
+}
+
+/// Destroy attack *without re-ordering*, capped variant: each token
+/// moves by at most ±`pct`% of its boundaries (`floor(boundary·pct)`),
+/// the paper's weaker red-line attack.
+pub fn destroy_percentage<R: RngCore>(hist: &Histogram, pct: f64, rng: &mut R) -> Histogram {
+    assert!((0.0..=100.0).contains(&pct), "percentage in [0, 100]");
+    let frac = pct / 100.0;
+    let mut counts = hist.counts();
+    let n = counts.len();
+    let tokens: Vec<_> = hist.tokens().cloned().collect();
+    for i in 0..n {
+        let upper = if i == 0 { counts[i] / 2 } else { counts[i - 1] - counts[i] };
+        let lower = if i + 1 == n { counts[i] } else { counts[i] - counts[i + 1] };
+        let u = (upper as f64 * frac).floor() as u64;
+        let l = (lower as f64 * frac).floor() as u64;
+        let r = sample_signed(rng, l, u);
+        counts[i] = (counts[i] as i64 + r) as u64;
+    }
+    Histogram::from_counts(tokens.into_iter().zip(counts))
+}
+
+/// Destroy attack *with re-ordering*: every frequency moves by a
+/// uniform random amount in ±`pct`% of its own value, ranking be
+/// damned (Sec. V-C2).
+pub fn destroy_with_reordering<R: RngCore>(hist: &Histogram, pct: f64, rng: &mut R) -> Histogram {
+    assert!((0.0..=100.0).contains(&pct), "percentage in [0, 100]");
+    let frac = pct / 100.0;
+    Histogram::from_counts(hist.entries().iter().map(|(t, c)| {
+        let span = (*c as f64 * frac).floor() as i64;
+        let r = if span == 0 { 0 } else { rng.gen_range(-span..=span) };
+        (t.clone(), (*c as i64 + r).max(0) as u64)
+    }))
+}
+
+/// Uniform draw from `[-lower, +upper]` (inclusive), signed.
+fn sample_signed<R: RngCore>(rng: &mut R, lower: u64, upper: u64) -> i64 {
+    let lo = -(lower.min(i64::MAX as u64) as i64);
+    let hi = upper.min(i64::MAX as u64) as i64;
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqywm_core::detect::detect_histogram;
+    use freqywm_core::generate::Watermarker;
+    use freqywm_core::params::{DetectionParams, GenerationParams};
+    use freqywm_crypto::prf::Secret;
+    use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
+    use freqywm_stats::rank::ranking_preserved;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn watermarked() -> (Histogram, freqywm_core::generate::GenerationOutput) {
+        let h = Histogram::from_counts(power_law_counts(&PowerLawConfig {
+            distinct_tokens: 200,
+            sample_size: 400_000,
+            alpha: 0.5,
+        }));
+        let wm = Watermarker::new(GenerationParams::default().with_z(131));
+        let out = wm
+            .generate_histogram(&h, Secret::from_label("destroy-tests"))
+            .unwrap();
+        (h, out)
+    }
+
+    fn paired(a: &Histogram, b: &Histogram) -> (Vec<u64>, Vec<u64>) {
+        a.paired_counts(b)
+    }
+
+    #[test]
+    fn boundary_attack_preserves_ranking() {
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(1);
+        let attacked = destroy_within_boundaries(&out.watermarked, &mut rng);
+        let (before, after) = paired(&out.watermarked, &attacked);
+        assert!(ranking_preserved(&before, &after));
+        assert_eq!(attacked.len(), out.watermarked.len());
+    }
+
+    #[test]
+    fn percentage_attack_preserves_ranking_and_moves_less() {
+        let (_, out) = watermarked();
+        let mut rng1 = StdRng::seed_from_u64(2);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let strong = destroy_within_boundaries(&out.watermarked, &mut rng1);
+        let weak = destroy_percentage(&out.watermarked, 1.0, &mut rng2);
+        let (b1, a1) = paired(&out.watermarked, &strong);
+        let (b2, a2) = paired(&out.watermarked, &weak);
+        assert!(ranking_preserved(&b2, &a2));
+        let move_strong: u64 = b1.iter().zip(&a1).map(|(x, y)| x.abs_diff(*y)).sum();
+        let move_weak: u64 = b2.iter().zip(&a2).map(|(x, y)| x.abs_diff(*y)).sum();
+        assert!(
+            move_weak < move_strong,
+            "1% attack ({move_weak}) must move less than the boundary attack ({move_strong})"
+        );
+    }
+
+    #[test]
+    fn weak_attack_leaves_watermark_mostly_detectable() {
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(3);
+        let attacked = destroy_percentage(&out.watermarked, 1.0, &mut rng);
+        let params = DetectionParams::default().with_t(4).with_k(1);
+        let d = detect_histogram(&attacked, &out.secrets, &params);
+        // Paper Fig. 5 red line: ~90% verified under the ±1% attack.
+        assert!(
+            d.accept_rate() > 0.6,
+            "±1% attack should leave most pairs verifiable: {}",
+            d.accept_rate()
+        );
+    }
+
+    #[test]
+    fn strong_attack_hurts_more_than_weak() {
+        let (_, out) = watermarked();
+        let params = DetectionParams::default().with_t(0).with_k(1);
+        let mut r1 = StdRng::seed_from_u64(4);
+        let mut r2 = StdRng::seed_from_u64(4);
+        let strong = destroy_within_boundaries(&out.watermarked, &mut r1);
+        let weak = destroy_percentage(&out.watermarked, 1.0, &mut r2);
+        let ds = detect_histogram(&strong, &out.secrets, &params);
+        let dw = detect_histogram(&weak, &out.secrets, &params);
+        assert!(
+            ds.accept_rate() <= dw.accept_rate() + 0.1,
+            "strong {} vs weak {}",
+            ds.accept_rate(),
+            dw.accept_rate()
+        );
+    }
+
+    #[test]
+    fn reordering_attack_churns_ranks() {
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(5);
+        let attacked = destroy_with_reordering(&out.watermarked, 50.0, &mut rng);
+        let (before, after) = paired(&out.watermarked, &attacked);
+        let churn = freqywm_stats::rank::rank_churn(&before, &after);
+        assert!(churn > 0, "50% unconstrained noise must change some ranks");
+    }
+
+    #[test]
+    fn reordering_zero_pct_is_identity() {
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(6);
+        let attacked = destroy_with_reordering(&out.watermarked, 0.0, &mut rng);
+        assert_eq!(attacked, out.watermarked);
+    }
+
+    #[test]
+    fn watermark_survives_heavy_reordering_with_tolerance() {
+        // Paper: detectable with ~76% pair rate up to 90% modification
+        // at t = 4 — we assert a conservative floor.
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(7);
+        let attacked = destroy_with_reordering(&out.watermarked, 90.0, &mut rng);
+        let params = DetectionParams::default().with_t(4).with_k(1);
+        let d = detect_histogram(&attacked, &out.secrets, &params);
+        assert!(
+            d.accept_rate() > 0.3,
+            "90% reordering attack, t=4: rate {}",
+            d.accept_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn invalid_percentage_panics() {
+        let (_, out) = watermarked();
+        let mut rng = StdRng::seed_from_u64(8);
+        destroy_percentage(&out.watermarked, 150.0, &mut rng);
+    }
+}

@@ -1,0 +1,186 @@
+//! The guess (brute-force) attack (Sec. V-A).
+//!
+//! The attacker sees the watermarked data `D_w` and tries to forge a
+//! secret list `L'_sc = {pairs, R*, z*}` that makes `WM_Detect` accept.
+//! Security rests on the λ-bit entropy of `R`: the success probability
+//! of any probabilistic polynomial-time attacker is `negl(λ)`.
+//!
+//! [`guess_attack`] actually mounts the attack with a budget of random
+//! `R*` candidates and reports the empirical success rate, and
+//! [`empirical_pair_fp_probability`] estimates the per-pair acceptance
+//! probability feeding the Sec. III-B4 tail analysis: both are (and
+//! must stay) essentially zero for strict thresholds.
+
+use freqywm_core::detect::detect_histogram;
+use freqywm_core::params::DetectionParams;
+use freqywm_core::secret::SecretList;
+use freqywm_crypto::prf::{pair_modulus, Secret};
+use freqywm_data::histogram::Histogram;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// Result of a budgeted guess attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuessAttackReport {
+    /// Number of forged secrets tried.
+    pub attempts: usize,
+    /// Forged secrets that made detection accept.
+    pub successes: usize,
+    /// Best accepted-pair count over all attempts.
+    pub best_accepted_pairs: usize,
+}
+
+impl GuessAttackReport {
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Mounts the guess attack: `attempts` forged secrets, each paired with
+/// `pairs_per_guess` random token pairs from the watermarked histogram,
+/// checked with the owner's detection parameters.
+pub fn guess_attack<R: RngCore>(
+    watermarked: &Histogram,
+    z: u64,
+    params: &DetectionParams,
+    attempts: usize,
+    pairs_per_guess: usize,
+    rng: &mut R,
+) -> GuessAttackReport {
+    let tokens: Vec<_> = watermarked.tokens().cloned().collect();
+    let mut successes = 0usize;
+    let mut best = 0usize;
+    for _ in 0..attempts {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        let forged_secret = Secret::from_bytes(bytes);
+        let mut pairs = Vec::with_capacity(pairs_per_guess);
+        for _ in 0..pairs_per_guess {
+            let a = tokens.choose(rng).expect("non-empty histogram").clone();
+            let mut b = tokens.choose(rng).expect("non-empty").clone();
+            while b == a && tokens.len() > 1 {
+                b = tokens.choose(rng).expect("non-empty").clone();
+            }
+            pairs.push((a, b));
+        }
+        let forged = SecretList::new(pairs, forged_secret, z);
+        let outcome = detect_histogram(watermarked, &forged, params);
+        best = best.max(outcome.accepted_pairs);
+        if outcome.accepted {
+            successes += 1;
+        }
+    }
+    GuessAttackReport { attempts, successes, best_accepted_pairs: best }
+}
+
+/// Expected per-pair acceptance probability of a *random* pair/secret
+/// under tolerance `t`: `E[min(2t+1, s)/s]` over the modulus
+/// distribution the histogram induces. The dataset-level success is
+/// the Poisson–Binomial tail of that probability — the quantity the
+/// paper bounds with Markov's inequality.
+pub fn empirical_pair_fp_probability<R: RngCore>(
+    watermarked: &Histogram,
+    z: u64,
+    t: u64,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let tokens: Vec<_> = watermarked.tokens().cloned().collect();
+    if tokens.len() < 2 || samples == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        let secret = Secret::from_bytes(bytes);
+        let i = rng.gen_range(0..tokens.len());
+        let mut j = rng.gen_range(0..tokens.len());
+        while j == i {
+            j = rng.gen_range(0..tokens.len());
+        }
+        let s = pair_modulus(&secret, tokens[i].as_bytes(), tokens[j].as_bytes(), z);
+        if s < 2 {
+            continue;
+        }
+        let fa = watermarked.count(&tokens[i]).unwrap();
+        let fb = watermarked.count(&tokens[j]).unwrap();
+        let rm = (fa as i128 - fb as i128).rem_euclid(s as i128) as u64;
+        if rm.min(s - rm) <= t {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqywm_core::generate::Watermarker;
+    use freqywm_core::params::GenerationParams;
+    use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn watermarked() -> (Histogram, SecretList) {
+        let h = Histogram::from_counts(power_law_counts(&PowerLawConfig {
+            distinct_tokens: 120,
+            sample_size: 200_000,
+            alpha: 0.6,
+        }));
+        let wm = Watermarker::new(GenerationParams::default().with_z(331));
+        let out = wm
+            .generate_histogram(&h, Secret::from_label("guess-tests"))
+            .unwrap();
+        (out.watermarked, out.secrets)
+    }
+
+    #[test]
+    fn strict_guess_attack_fails() {
+        let (hist, secrets) = watermarked();
+        let mut rng = StdRng::seed_from_u64(1);
+        // The owner demands most pairs exact: hopeless for a guesser.
+        let k = (secrets.len() * 3 / 4).max(2);
+        let params = DetectionParams::default().with_t(0).with_k(k);
+        let report = guess_attack(&hist, secrets.z, &params, 200, secrets.len(), &mut rng);
+        assert_eq!(report.successes, 0, "a brute-force guesser must not win");
+        assert!(report.best_accepted_pairs < k);
+    }
+
+    #[test]
+    fn loose_thresholds_admit_false_positives() {
+        // Sanity check of the other direction: with t enormous and k=1
+        // every guess "succeeds" — thresholds matter.
+        let (hist, secrets) = watermarked();
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = DetectionParams::default().with_t(10_000).with_k(1);
+        let report = guess_attack(&hist, secrets.z, &params, 20, 4, &mut rng);
+        assert_eq!(report.successes, report.attempts);
+    }
+
+    #[test]
+    fn per_pair_fp_probability_tracks_tolerance() {
+        let (hist, secrets) = watermarked();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p0 = empirical_pair_fp_probability(&hist, secrets.z, 0, 3_000, &mut rng);
+        let p4 = empirical_pair_fp_probability(&hist, secrets.z, 4, 3_000, &mut rng);
+        assert!(p0 < p4, "t=0 ({p0}) must be rarer than t=4 ({p4})");
+        // With z = 331, a random s averages ~165, so t=0 hits ~E[1/s];
+        // allow a generous band.
+        assert!(p0 < 0.2, "p0 = {p0}");
+        assert!(p4 < 0.6, "p4 = {p4}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let h = Histogram::from_counts([(freqywm_data::token::Token::new("only"), 5u64)]);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(empirical_pair_fp_probability(&h, 131, 0, 100, &mut rng), 0.0);
+        let report = GuessAttackReport { attempts: 0, successes: 0, best_accepted_pairs: 0 };
+        assert_eq!(report.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The sampling attack (Sec. V-B).
+//!
+//! The attacker lifts a uniformly random `x%` subsample of the
+//! watermarked dataset, hoping the watermark is undetectable in it.
+//! The owner's counter-move: scale the subsample's histogram back up
+//! by `100/x` (the original size is public metadata) and detect with a
+//! tolerance `t` that absorbs the sampling noise.
+
+use freqywm_core::detect::{detect_histogram, DetectionOutcome};
+use freqywm_core::params::DetectionParams;
+use freqywm_core::secret::SecretList;
+use freqywm_data::dataset::Dataset;
+use freqywm_data::histogram::Histogram;
+use rand::RngCore;
+
+/// Result of one sampling-attack round.
+#[derive(Debug, Clone)]
+pub struct SampleDetection {
+    /// Sample fraction in (0, 1].
+    pub fraction: f64,
+    /// Distinct tokens surviving in the subsample.
+    pub distinct_tokens: usize,
+    /// Detection outcome on the scaled-up subsample.
+    pub outcome: DetectionOutcome,
+}
+
+/// Extracts an `x = fraction` subsample of `watermarked`, scales its
+/// histogram back to the original size and runs detection.
+///
+/// `params.scale` is overridden with `1/fraction` (the paper's
+/// "multiplying the frequency counts by 100/x").
+pub fn sampling_attack<R: RngCore>(
+    watermarked: &Dataset,
+    secrets: &SecretList,
+    params: &DetectionParams,
+    fraction: f64,
+    rng: &mut R,
+) -> SampleDetection {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "sample fraction must be in (0, 1], got {fraction}"
+    );
+    let sample = watermarked.sample(fraction, rng);
+    let hist = sample.histogram();
+    let distinct = hist.len();
+    let scaled_params = params.with_scale(1.0 / fraction);
+    let outcome = detect_histogram(&hist, secrets, &scaled_params);
+    SampleDetection { fraction, distinct_tokens: distinct, outcome }
+}
+
+/// Histogram-level variant used by the large-scale experiments: takes
+/// an already-sampled histogram (e.g. produced by binomial thinning)
+/// instead of materialising the token list.
+pub fn detect_scaled(
+    sample_hist: &Histogram,
+    secrets: &SecretList,
+    params: &DetectionParams,
+    fraction: f64,
+) -> DetectionOutcome {
+    assert!(fraction > 0.0 && fraction <= 1.0);
+    detect_histogram(sample_hist, secrets, &params.with_scale(1.0 / fraction))
+}
+
+/// Binomial thinning of a histogram: each of the `c` instances of a
+/// token survives independently with probability `fraction`. A faithful
+/// model of uniform subsampling that avoids materialising huge token
+/// lists.
+pub fn thin_histogram<R: RngCore>(hist: &Histogram, fraction: f64, rng: &mut R) -> Histogram {
+    use rand::Rng;
+    assert!((0.0..=1.0).contains(&fraction));
+    Histogram::from_counts(hist.entries().iter().filter_map(|(t, c)| {
+        // Binomial(c, fraction) via normal approximation for large c,
+        // exact Bernoulli summation for small c.
+        let kept = if *c > 10_000 {
+            let mean = *c as f64 * fraction;
+            let sd = (*c as f64 * fraction * (1.0 - fraction)).sqrt();
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen();
+            let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mean + sd * normal).round().clamp(0.0, *c as f64) as u64
+        } else {
+            (0..*c).filter(|_| rng.gen::<f64>() < fraction).count() as u64
+        };
+        (kept > 0).then(|| (t.clone(), kept))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqywm_core::generate::Watermarker;
+    use freqywm_core::params::GenerationParams;
+    use freqywm_crypto::prf::Secret;
+    use freqywm_data::synthetic::{power_law_dataset, PowerLawConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn watermarked_dataset() -> (Dataset, SecretList) {
+        let cfg = PowerLawConfig { distinct_tokens: 100, sample_size: 200_000, alpha: 0.5 };
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = power_law_dataset(&cfg, &mut rng);
+        let wm = Watermarker::new(GenerationParams::default().with_z(101));
+        let (wdata, secrets, _) = wm
+            .watermark_dataset(&data, Secret::from_label("sampling-tests"))
+            .unwrap();
+        (wdata, secrets)
+    }
+
+    #[test]
+    fn large_sample_detected_with_tolerance() {
+        let (wdata, secrets) = watermarked_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = DetectionParams::default().with_t(10).with_k(1);
+        let r = sampling_attack(&wdata, &secrets, &params, 0.5, &mut rng);
+        assert!(r.outcome.accepted);
+        assert!(
+            r.outcome.accept_rate() > 0.5,
+            "50% sample, t=10: rate {}",
+            r.outcome.accept_rate()
+        );
+    }
+
+    #[test]
+    fn detection_rate_improves_with_t() {
+        let (wdata, secrets) = watermarked_dataset();
+        let mut rates = Vec::new();
+        for t in [0u64, 2, 10] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let params = DetectionParams::default().with_t(t).with_k(1);
+            let r = sampling_attack(&wdata, &secrets, &params, 0.2, &mut rng);
+            rates.push(r.outcome.accept_rate());
+        }
+        assert!(rates[0] <= rates[1] + 1e-9);
+        assert!(rates[1] <= rates[2] + 1e-9);
+        assert!(rates[2] > 0.5, "20% sample, t=10: rate {}", rates[2]);
+    }
+
+    #[test]
+    fn tiny_sample_loses_tokens_and_detection_degrades() {
+        let (wdata, secrets) = watermarked_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = DetectionParams::default().with_t(2).with_k(1);
+        let big = sampling_attack(&wdata, &secrets, &params, 0.5, &mut rng);
+        let tiny = sampling_attack(&wdata, &secrets, &params, 0.001, &mut rng);
+        assert!(tiny.distinct_tokens <= big.distinct_tokens);
+        assert!(
+            tiny.outcome.accept_rate() <= big.outcome.accept_rate() + 0.15,
+            "tiny {} vs big {}",
+            tiny.outcome.accept_rate(),
+            big.outcome.accept_rate()
+        );
+    }
+
+    #[test]
+    fn full_sample_with_zero_t_is_exact() {
+        let (wdata, secrets) = watermarked_dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = DetectionParams::default().with_t(0).with_k(secrets.len());
+        let r = sampling_attack(&wdata, &secrets, &params, 1.0, &mut rng);
+        assert!(r.outcome.accepted, "100% sample must verify exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_panics() {
+        let (wdata, secrets) = watermarked_dataset();
+        let mut rng = StdRng::seed_from_u64(5);
+        sampling_attack(&wdata, &secrets, &DetectionParams::default(), 0.0, &mut rng);
+    }
+
+    #[test]
+    fn thinning_preserves_expectation() {
+        let (wdata, _) = watermarked_dataset();
+        let hist = wdata.histogram();
+        let mut rng = StdRng::seed_from_u64(6);
+        let thin = thin_histogram(&hist, 0.3, &mut rng);
+        let ratio = thin.total() as f64 / hist.total() as f64;
+        assert!((ratio - 0.3).abs() < 0.02, "thinning ratio {ratio}");
+        // No token gains count.
+        for (t, c) in thin.entries() {
+            assert!(*c <= hist.count(t).unwrap());
+        }
+    }
+
+    #[test]
+    fn thinned_histogram_detects_like_sampled_dataset() {
+        let (wdata, secrets) = watermarked_dataset();
+        let hist = wdata.histogram();
+        let mut rng = StdRng::seed_from_u64(8);
+        let thin = thin_histogram(&hist, 0.25, &mut rng);
+        let params = DetectionParams::default().with_t(10).with_k(1);
+        let outcome = detect_scaled(&thin, &secrets, &params, 0.25);
+        assert!(outcome.accepted);
+        assert!(outcome.accept_rate() > 0.4, "rate {}", outcome.accept_rate());
+    }
+}

@@ -1,0 +1,203 @@
+//! A compact real-coded genetic algorithm.
+//!
+//! WM-OBT solves its per-partition hiding problem with a GA
+//! (Goldberg-style: tournament selection, blend crossover, Gaussian
+//! mutation, elitism). This implementation is generic so the ablation
+//! benches can reuse it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaConfig {
+    pub population: usize,
+    pub generations: usize,
+    /// Probability of blend crossover per offspring.
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of the gene's bound width.
+    pub mutation_scale: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 60,
+            generations: 80,
+            crossover_rate: 0.9,
+            mutation_rate: 0.15,
+            mutation_scale: 0.2,
+            tournament: 3,
+            elitism: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Maximises `fitness` over the box `bounds` (per-gene `[lo, hi]`).
+/// Returns the best genome found.
+pub fn optimize<F>(bounds: &[(f64, f64)], mut fitness: F, cfg: &GaConfig) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!bounds.is_empty(), "need at least one gene");
+    assert!(cfg.population >= 2, "population must be >= 2");
+    assert!(
+        bounds.iter().all(|(lo, hi)| lo <= hi),
+        "each bound must satisfy lo <= hi"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = bounds.len();
+    let sample = |rng: &mut StdRng| -> Vec<f64> {
+        bounds
+            .iter()
+            .map(|&(lo, hi)| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+            .collect()
+    };
+    let mut pop: Vec<Vec<f64>> = (0..cfg.population).map(|_| sample(&mut rng)).collect();
+    let mut fit: Vec<f64> = pop.iter().map(|g| fitness(g)).collect();
+
+    let mut best_idx = argmax(&fit);
+    let mut best = (pop[best_idx].clone(), fit[best_idx]);
+
+    for _ in 0..cfg.generations {
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+        // Elitism.
+        let mut order: Vec<usize> = (0..pop.len()).collect();
+        order.sort_by(|&a, &b| fit[b].partial_cmp(&fit[a]).expect("finite fitness"));
+        for &i in order.iter().take(cfg.elitism.min(pop.len())) {
+            next.push(pop[i].clone());
+        }
+        while next.len() < cfg.population {
+            let p1 = tournament(&pop, &fit, cfg.tournament, &mut rng);
+            let p2 = tournament(&pop, &fit, cfg.tournament, &mut rng);
+            let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
+                // BLX-style blend crossover.
+                (0..dim)
+                    .map(|g| {
+                        let (a, b) = (pop[p1][g], pop[p2][g]);
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        let span = hi - lo;
+                        if span == 0.0 {
+                            a
+                        } else {
+                            rng.gen_range((lo - 0.3 * span)..=(hi + 0.3 * span))
+                        }
+                    })
+                    .collect::<Vec<f64>>()
+            } else {
+                pop[p1].clone()
+            };
+            for (g, gene) in child.iter_mut().enumerate() {
+                if rng.gen::<f64>() < cfg.mutation_rate {
+                    let width = bounds[g].1 - bounds[g].0;
+                    let u1: f64 = rng.gen_range(1e-12..1.0);
+                    let u2: f64 = rng.gen();
+                    let normal =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    *gene += normal * width * cfg.mutation_scale;
+                }
+                *gene = gene.clamp(bounds[g].0, bounds[g].1);
+            }
+            next.push(child);
+        }
+        pop = next;
+        fit = pop.iter().map(|g| fitness(g)).collect();
+        best_idx = argmax(&fit);
+        if fit[best_idx] > best.1 {
+            best = (pop[best_idx].clone(), fit[best_idx]);
+        }
+    }
+    best.0
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite fitness"))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+fn tournament(pop: &[Vec<f64>], fit: &[f64], size: usize, rng: &mut StdRng) -> usize {
+    let mut best = rng.gen_range(0..pop.len());
+    for _ in 1..size.max(1) {
+        let c = rng.gen_range(0..pop.len());
+        if fit[c] > fit[best] {
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximizes_negative_sphere() {
+        // max -(x-3)^2 - (y+1)^2, optimum at (3, -1).
+        let bounds = [(-10.0, 10.0), (-10.0, 10.0)];
+        let best = optimize(
+            &bounds,
+            |g| -((g[0] - 3.0).powi(2) + (g[1] + 1.0).powi(2)),
+            &GaConfig { generations: 150, ..Default::default() },
+        );
+        assert!((best[0] - 3.0).abs() < 0.3, "x = {}", best[0]);
+        assert!((best[1] + 1.0).abs() < 0.3, "y = {}", best[1]);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let bounds = [(-0.5, 10.0); 8];
+        // Fitness pushes genes to +infinity; they must be clamped.
+        let best = optimize(&bounds, |g| g.iter().sum(), &GaConfig::default());
+        for (g, &(lo, hi)) in best.iter().zip(&bounds) {
+            assert!(*g >= lo - 1e-9 && *g <= hi + 1e-9);
+        }
+        // And the GA should actually reach the upper corner.
+        assert!(best.iter().sum::<f64>() > 0.9 * 8.0 * 10.0);
+    }
+
+    #[test]
+    fn degenerate_bounds_fixed_genes() {
+        let bounds = [(5.0, 5.0), (0.0, 1.0)];
+        let best = optimize(&bounds, |g| -g[1], &GaConfig::default());
+        assert_eq!(best[0], 5.0);
+        assert!(best[1] < 0.2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bounds = [(-5.0, 5.0); 3];
+        let f = |g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>();
+        let a = optimize(&bounds, f, &GaConfig { seed: 42, ..Default::default() });
+        let b = optimize(&bounds, f, &GaConfig { seed: 42, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multimodal_rastrigin_like() {
+        // 1-D multimodal: f(x) = -(x^2 - 8 cos(2πx)); global max near 0.
+        let bounds = [(-5.0, 5.0)];
+        let best = optimize(
+            &bounds,
+            |g| -(g[0] * g[0] - 8.0 * (2.0 * std::f64::consts::PI * g[0]).cos()),
+            &GaConfig { generations: 200, population: 100, ..Default::default() },
+        );
+        assert!(best[0].abs() < 0.5, "x = {}", best[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gene")]
+    fn empty_bounds_panics() {
+        optimize(&[], |_| 0.0, &GaConfig::default());
+    }
+}

@@ -1,0 +1,23 @@
+//! Baseline watermarkers (Sec. IV-D).
+//!
+//! The paper compares FreqyWM against two numeric database
+//! watermarkers applied to the histogram-as-numeric-table:
+//!
+//! * [`wm_obt`] — Shehab et al., "Watermarking Relational Databases
+//!   Using Optimization-Based Techniques" (TKDE'08): secret
+//!   partitioning + per-partition maximisation/minimisation of a
+//!   sum-of-sigmoids hiding statistic, solved with a genetic
+//!   algorithm, integer-rounded for frequency counts;
+//! * [`wm_rvs`] — Li et al. reversible watermarking: keyed
+//!   low-significant-digit substitution with exact recovery data.
+//!
+//! Both destroy the token ranking and introduce orders of magnitude
+//! more histogram distortion than FreqyWM — the point of Fig. 3.
+//! The GA itself lives in [`ga`] and is reusable.
+
+pub mod ga;
+pub mod wm_obt;
+pub mod wm_rvs;
+
+pub use wm_obt::{WmObt, WmObtConfig};
+pub use wm_rvs::{WmRvs, WmRvsConfig};

@@ -1,0 +1,42 @@
+//! Criterion: SHA-256 / HMAC / pair-PRF throughput — the inner loop of
+//! eligible-pair generation (Table II's Gen column is dominated by it).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use freqywm_crypto::hmac::hmac_sha256;
+use freqywm_crypto::prf::{pair_modulus, Secret};
+use freqywm_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    c.bench_function("hmac_sha256/64B", |b| {
+        let key = [7u8; 32];
+        let msg = [1u8; 64];
+        b.iter(|| hmac_sha256(black_box(&key), black_box(&msg)))
+    });
+}
+
+fn bench_pair_modulus(c: &mut Criterion) {
+    let secret = Secret::from_label("bench");
+    c.bench_function("pair_modulus", |b| {
+        b.iter(|| {
+            pair_modulus(
+                black_box(&secret),
+                black_box(b"youtube.com"),
+                black_box(b"instagram.com"),
+                black_box(131),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_pair_modulus);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: blossom maximum-weight matching vs the greedy heuristic
+//! on eligible-pair graphs of increasing size — the optimal-vs-
+//! heuristic runtime trade-off behind Fig. 2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use freqywm_matching::blossom::max_weight_matching;
+use freqywm_matching::graph::Graph;
+use freqywm_matching::greedy::greedy_matching;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(vertices: usize, edges: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(vertices);
+    let mut added = 0usize;
+    while added < edges {
+        let u = rng.gen_range(0..vertices);
+        let v = rng.gen_range(0..vertices);
+        if u != v {
+            g.add_edge(u, v, rng.gen_range(1..1_000));
+            added += 1;
+        }
+    }
+    g
+}
+
+fn bench_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    for (v, e) in [(100usize, 400usize), (400, 1_600), (1_000, 4_000)] {
+        let g = random_graph(v, e, 42);
+        group.bench_with_input(BenchmarkId::new("blossom", format!("{v}v{e}e")), &g, |b, g| {
+            b.iter(|| max_weight_matching(black_box(g), false))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", format!("{v}v{e}e")), &g, |b, g| {
+            b.iter(|| greedy_matching(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: the statistics substrate — Poisson-Binomial evaluations
+//! (the Sec. III-B4 false-positive tail) and similarity metrics (the
+//! budget check in the selection inner loop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use freqywm_stats::poisson_binomial::PoissonBinomial;
+use freqywm_stats::similarity::{cosine_similarity, Similarity, SimilarityMetric};
+
+fn bench_poisson_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_binomial");
+    for n in [50usize, 200, 800] {
+        let probs: Vec<f64> = (0..n).map(|i| (i % 97) as f64 / 100.0).collect();
+        let pb = PoissonBinomial::new(probs);
+        group.bench_with_input(BenchmarkId::new("dp", n), &pb, |b, pb| {
+            b.iter(|| black_box(pb).pmf_dp())
+        });
+        group.bench_with_input(BenchmarkId::new("dft", n), &pb, |b, pb| {
+            b.iter(|| black_box(pb).pmf_dft())
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let a: Vec<u64> = (0..10_000u64).map(|i| 1_000_000 / (i + 1)).collect();
+    let mut b: Vec<u64> = a.clone();
+    b[17] += 3;
+    b[42] -= 2;
+    let mut group = c.benchmark_group("similarity-10k");
+    group.bench_function("cosine", |bch| {
+        bch.iter(|| cosine_similarity(black_box(&a), black_box(&b)))
+    });
+    group.bench_function("jensen_shannon", |bch| {
+        bch.iter(|| SimilarityMetric::JensenShannon.similarity(black_box(&a), black_box(&b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_poisson_binomial, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Destroy attacks (Sec. V-C, Fig. 5).
+//!
+//! * `fig5` — percentage of verified pairs vs tolerance t for (1) D_w,
+//!   the untouched watermarked dataset; (2) D_non, a non-watermarked
+//!   dataset over the same token space (α = 0.7) — the false-positive
+//!   curve; (3) D_r, D_w after the random-within-boundaries attack;
+//!   (4) D_1, D_w after the ±1%-of-boundaries attack. The usable (t, k)
+//!   corridor lies between curves (2) and (3)/(4).
+//! * `reorder` — Sec. V-C2: ±p% unconstrained noise for p in
+//!   {10,30,50,60,80,90} at t = 4 (paper: 94/88/82/79/78/76 % of pairs).
+//!
+//! ```sh
+//! cargo run --release -p freqywm-bench --bin exp_destroy            # both
+//! cargo run --release -p freqywm-bench --bin exp_destroy -- fig5
+//! cargo run --release -p freqywm-bench --bin exp_destroy -- reorder
+//! ```
+
+use freqywm_attacks::destroy::{
+    destroy_percentage, destroy_with_reordering, destroy_within_boundaries,
+};
+use freqywm_bench::{mean, paper_zipf, print_header, print_row, timed};
+use freqywm_core::detect::detect_histogram;
+use freqywm_core::generate::Watermarker;
+use freqywm_core::params::{DetectionParams, GenerationParams};
+use freqywm_core::secret::SecretList;
+use freqywm_data::histogram::Histogram;
+use freqywm_crypto::prf::Secret;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REPEATS: usize = 10;
+
+fn testbed() -> (Histogram, SecretList) {
+    let hist = paper_zipf(0.5);
+    let out = Watermarker::new(GenerationParams::default().with_z(131).with_budget(2.0))
+        .generate_histogram(&hist, Secret::from_label("destroy"))
+        .expect("skewed data");
+    (out.watermarked, out.secrets)
+}
+
+fn rate(hist: &Histogram, secrets: &SecretList, t: u64) -> f64 {
+    detect_histogram(hist, secrets, &DetectionParams::default().with_t(t).with_k(1)).accept_rate()
+}
+
+fn fig5(wm: &Histogram, secrets: &SecretList) {
+    println!(
+        "\nFig. 5 — verified pairs (%) vs tolerance t ({} pairs, mean of {REPEATS} attack draws)",
+        secrets.len()
+    );
+    let widths = [6, 9, 9, 11, 9];
+    print_header(&["t", "D_w", "D_non", "D_random", "D_1pct"], &widths);
+    let dnon = paper_zipf(0.7);
+    for t in [0u64, 1, 2, 4, 6, 10] {
+        let mut r_rand = Vec::new();
+        let mut r_1pct = Vec::new();
+        for rep in 0..REPEATS {
+            let mut rng = StdRng::seed_from_u64(100 + rep as u64);
+            r_rand.push(rate(&destroy_within_boundaries(wm, &mut rng), secrets, t));
+            r_1pct.push(rate(&destroy_percentage(wm, 1.0, &mut rng), secrets, t));
+        }
+        print_row(
+            &[
+                t.to_string(),
+                format!("{:.1}", rate(wm, secrets, t) * 100.0),
+                format!("{:.1}", rate(&dnon, secrets, t) * 100.0),
+                format!("{:.1}", mean(&r_rand) * 100.0),
+                format!("{:.1}", mean(&r_1pct) * 100.0),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "paper: D_1pct ~90% at t=0 converging at ~90%; D_random >35% at t=0 reaching ~90% at t=10;\n\
+         the (t, k) corridor between the D_non curve and the attack curves avoids both error kinds"
+    );
+}
+
+fn reorder(wm: &Histogram, secrets: &SecretList) {
+    println!("\nSec. V-C2 — destroy attack WITH re-ordering (t = 4, mean of {REPEATS} draws)");
+    let widths = [8, 12, 14, 14];
+    print_header(&["noise%", "verified%", "rank churn", "similarity%"], &widths);
+    for pct in [10.0, 30.0, 50.0, 60.0, 80.0, 90.0] {
+        let mut rates = Vec::new();
+        let mut churn = Vec::new();
+        let mut sim = Vec::new();
+        for rep in 0..REPEATS {
+            let mut rng = StdRng::seed_from_u64(300 + rep as u64);
+            let attacked = destroy_with_reordering(wm, pct, &mut rng);
+            rates.push(rate(&attacked, secrets, 4));
+            let (a, b) = wm.paired_counts(&attacked);
+            churn.push(freqywm_stats::rank::rank_churn(&a, &b) as f64);
+            sim.push(freqywm_stats::similarity::cosine_similarity(&a, &b) * 100.0);
+        }
+        print_row(
+            &[
+                format!("{pct:.0}"),
+                format!("{:.1}", mean(&rates) * 100.0),
+                format!("{:.0}/{}", mean(&churn), wm.len()),
+                format!("{:.2}", mean(&sim)),
+            ],
+            &widths,
+        );
+    }
+    println!("paper: success rates 94/88/82/79/78/76 % for 10..90% noise at t=4 —\n\
+              the watermark outlives the data (ranking and similarity are wrecked first)");
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let ((), secs) = timed(|| {
+        let (wm, secrets) = testbed();
+        match arg.as_str() {
+            "fig5" => fig5(&wm, &secrets),
+            "reorder" => reorder(&wm, &secrets),
+            _ => {
+                fig5(&wm, &secrets);
+                reorder(&wm, &secrets);
+            }
+        }
+    });
+    println!("\n[exp_destroy {arg}: {secs:.1}s]");
+}

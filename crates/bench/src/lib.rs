@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment runners (`src/bin/exp_*.rs`).
+//!
+//! Every runner regenerates one table or figure of the paper (see
+//! DESIGN.md §4 for the index and EXPERIMENTS.md for paper-vs-measured
+//! results) and prints the same rows/series the paper reports.
+
+use freqywm_data::histogram::Histogram;
+use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
+use std::time::Instant;
+
+/// The paper's synthetic testbed: `tokens` distinct tokens, `samples`
+/// draws, skew `alpha`, as a deterministic expected-count histogram.
+pub fn zipf_hist(alpha: f64, tokens: usize, samples: usize) -> Histogram {
+    Histogram::from_counts(power_law_counts(&PowerLawConfig {
+        distinct_tokens: tokens,
+        sample_size: samples,
+        alpha,
+    }))
+}
+
+/// The paper's default synthetic scale (1K tokens, 1M samples).
+pub fn paper_zipf(alpha: f64) -> Histogram {
+    zipf_hist(alpha, 1_000, 1_000_000)
+}
+
+/// Runs `f` and returns `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a header row plus a separator.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Mean of a sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}

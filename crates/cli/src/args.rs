@@ -1,0 +1,326 @@
+//! Hand-rolled argument parser (keeps the dependency set whitelisted).
+
+use freqywm_core::params::Selection;
+use std::collections::HashMap;
+
+/// Parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Generate {
+        input: String,
+        output: String,
+        secret_out: String,
+        budget: f64,
+        z: u64,
+        selection: Selection,
+        exclude_free_pairs: bool,
+        /// Optional deterministic secret label (testing only).
+        secret_label: Option<String>,
+    },
+    Detect {
+        input: String,
+        secret: String,
+        t: u64,
+        k: usize,
+        scale: Option<f64>,
+    },
+    Inspect {
+        input: String,
+        z: u64,
+    },
+    Attack {
+        input: String,
+        output: String,
+        kind: AttackKind,
+        /// Sample fraction (0–1] or noise percentage, per kind.
+        param: f64,
+        seed: u64,
+    },
+    /// Arbitrates an ownership dispute between two (data, secret) claims.
+    Judge {
+        a_input: String,
+        a_secret: String,
+        b_input: String,
+        b_secret: String,
+        t: u64,
+        /// Quorum as a fraction of each claimant's pair count.
+        quorum: f64,
+    },
+    Help,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    Sample,
+    Destroy,
+    Reorder,
+}
+
+/// Usage text shown by `freqywm help` and on errors.
+pub const USAGE: &str = "\
+freqywm — frequency watermarking for token datasets (FreqyWM, ICDE'24)
+
+USAGE:
+  freqywm generate --input <tokens.txt> --output <wm.txt> --secret-out <secret.fwm>
+                   [--budget 2.0] [--z 131] [--selection optimal|greedy|random]
+                   [--seed N] [--exclude-free-pairs] [--secret-label L]
+  freqywm detect   --input <suspect.txt> --secret <secret.fwm> [--t 0] [--k 1]
+                   [--scale F]
+  freqywm inspect  --input <tokens.txt> [--z 131]
+  freqywm attack   --input <wm.txt> --output <attacked.txt>
+                   --kind sample|destroy|reorder --param <x> [--seed N]
+  freqywm judge    --a-input <a.txt> --a-secret <a.fwm>
+                   --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
+  freqywm help
+
+Token files contain one token per line. `detect` exits 0 on accept,
+1 on reject, 2 on error.";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let key = a
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+        // Boolean flags take no value.
+        if key == "exclude-free-pairs" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn req(flags: &HashMap<String, String>, key: &str) -> Result<String, String> {
+    flags
+        .get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        None => Ok(default),
+    }
+}
+
+/// Parses the command line (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let f = parse_flags(rest)?;
+            let selection = match f.get("selection").map(|s| s.as_str()).unwrap_or("optimal") {
+                "optimal" => Selection::Optimal,
+                "greedy" => Selection::Greedy,
+                "random" => Selection::Random { seed: opt_parse(&f, "seed", 0u64)? },
+                other => return Err(format!("unknown selection {other:?}")),
+            };
+            Ok(Command::Generate {
+                input: req(&f, "input")?,
+                output: req(&f, "output")?,
+                secret_out: req(&f, "secret-out")?,
+                budget: opt_parse(&f, "budget", 2.0f64)?,
+                z: opt_parse(&f, "z", 131u64)?,
+                selection,
+                exclude_free_pairs: f.contains_key("exclude-free-pairs"),
+                secret_label: f.get("secret-label").cloned(),
+            })
+        }
+        "detect" => {
+            let f = parse_flags(rest)?;
+            let scale = match f.get("scale") {
+                Some(v) => {
+                    Some(v.parse().map_err(|_| format!("bad value for --scale: {v:?}"))?)
+                }
+                None => None,
+            };
+            Ok(Command::Detect {
+                input: req(&f, "input")?,
+                secret: req(&f, "secret")?,
+                t: opt_parse(&f, "t", 0u64)?,
+                k: opt_parse(&f, "k", 1usize)?,
+                scale,
+            })
+        }
+        "inspect" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Inspect { input: req(&f, "input")?, z: opt_parse(&f, "z", 131u64)? })
+        }
+        "attack" => {
+            let f = parse_flags(rest)?;
+            let kind = match req(&f, "kind")?.as_str() {
+                "sample" => AttackKind::Sample,
+                "destroy" => AttackKind::Destroy,
+                "reorder" => AttackKind::Reorder,
+                other => return Err(format!("unknown attack kind {other:?}")),
+            };
+            Ok(Command::Attack {
+                input: req(&f, "input")?,
+                output: req(&f, "output")?,
+                kind,
+                param: req(&f, "param")?
+                    .parse()
+                    .map_err(|_| "bad value for --param".to_string())?,
+                seed: opt_parse(&f, "seed", 0u64)?,
+            })
+        }
+        "judge" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Judge {
+                a_input: req(&f, "a-input")?,
+                a_secret: req(&f, "a-secret")?,
+                b_input: req(&f, "b-input")?,
+                b_secret: req(&f, "b-secret")?,
+                t: opt_parse(&f, "t", 0u64)?,
+                quorum: opt_parse(&f, "quorum", 0.25f64)?,
+            })
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let c = parse_args(&v(&[
+            "generate", "--input", "in.txt", "--output", "out.txt", "--secret-out", "s.fwm",
+        ]))
+        .unwrap();
+        match c {
+            Command::Generate { budget, z, selection, exclude_free_pairs, .. } => {
+                assert_eq!(budget, 2.0);
+                assert_eq!(z, 131);
+                assert_eq!(selection, Selection::Optimal);
+                assert!(!exclude_free_pairs);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn generate_full_flags() {
+        let c = parse_args(&v(&[
+            "generate", "--input", "a", "--output", "b", "--secret-out", "c", "--budget",
+            "0.5", "--z", "1031", "--selection", "random", "--seed", "7",
+            "--exclude-free-pairs", "--secret-label", "demo",
+        ]))
+        .unwrap();
+        match c {
+            Command::Generate { budget, z, selection, exclude_free_pairs, secret_label, .. } => {
+                assert_eq!(budget, 0.5);
+                assert_eq!(z, 1031);
+                assert_eq!(selection, Selection::Random { seed: 7 });
+                assert!(exclude_free_pairs);
+                assert_eq!(secret_label.as_deref(), Some("demo"));
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn detect_with_scale() {
+        let c = parse_args(&v(&[
+            "detect", "--input", "x", "--secret", "s", "--t", "4", "--k", "10", "--scale",
+            "5.0",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Detect {
+                input: "x".into(),
+                secret: "s".into(),
+                t: 4,
+                k: 10,
+                scale: Some(5.0)
+            }
+        );
+    }
+
+    #[test]
+    fn attack_kinds() {
+        for (s, k) in [
+            ("sample", AttackKind::Sample),
+            ("destroy", AttackKind::Destroy),
+            ("reorder", AttackKind::Reorder),
+        ] {
+            let c = parse_args(&v(&[
+                "attack", "--input", "a", "--output", "b", "--kind", s, "--param", "0.5",
+            ]))
+            .unwrap();
+            match c {
+                Command::Attack { kind, param, seed, .. } => {
+                    assert_eq!(kind, k);
+                    assert_eq!(param, 0.5);
+                    assert_eq!(seed, 0);
+                }
+                _ => panic!("wrong command"),
+            }
+        }
+    }
+
+    #[test]
+    fn judge_flags() {
+        let c = parse_args(&v(&[
+            "judge", "--a-input", "a.txt", "--a-secret", "a.fwm", "--b-input", "b.txt",
+            "--b-secret", "b.fwm", "--quorum", "0.5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Judge { t, quorum, a_input, .. } => {
+                assert_eq!(t, 0);
+                assert_eq!(quorum, 0.5);
+                assert_eq!(a_input, "a.txt");
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["judge", "--a-input", "a.txt"])).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_args(&v(&["generate", "--input", "a"])).is_err());
+        assert!(parse_args(&v(&["nonsense"])).is_err());
+        assert!(parse_args(&v(&["detect", "--input"])).is_err());
+        assert!(parse_args(&v(&["detect", "badpositional"])).is_err());
+        assert!(parse_args(&v(&[
+            "generate", "--input", "a", "--output", "b", "--secret-out", "c", "--z",
+            "notanumber"
+        ]))
+        .is_err());
+        assert!(parse_args(&v(&[
+            "attack", "--input", "a", "--output", "b", "--kind", "meteor", "--param", "1"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Command implementations.
+
+use crate::args::{AttackKind, Command, USAGE};
+use freqywm_attacks::destroy::{destroy_with_reordering, destroy_within_boundaries};
+use freqywm_core::detect::detect_dataset;
+use freqywm_core::eligible::{eligible_pairs, r_max};
+use freqywm_core::generate::Watermarker;
+use freqywm_core::judge::{judge_dispute, Claim, Verdict};
+use freqywm_core::params::{DetectionParams, GenerationParams};
+use freqywm_core::secret::SecretList;
+use freqywm_crypto::prf::Secret;
+use freqywm_data::dataset::Dataset;
+use freqywm_data::token::Token;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+
+/// Runs a parsed command. Returns the process exit code.
+pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
+    match run_inner(cmd, out) {
+        Ok(code) => code,
+        Err(e) => {
+            let _ = writeln!(out, "error: {e}");
+            2
+        }
+    }
+}
+
+fn read_tokens(path: &str) -> Result<Dataset, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let tokens: Vec<Token> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Token::new(l.trim().to_string()))
+        .collect();
+    if tokens.is_empty() {
+        return Err(format!("{path} contains no tokens"));
+    }
+    Ok(Dataset::new(tokens))
+}
+
+fn write_tokens(path: &str, data: &Dataset) -> Result<(), String> {
+    let mut text = String::with_capacity(data.len() * 12);
+    for t in data.iter() {
+        text.push_str(t.as_str());
+        text.push('\n');
+    }
+    fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> {
+    match cmd {
+        Command::Help => {
+            writeln!(out, "{USAGE}").ok();
+            Ok(0)
+        }
+        Command::Generate {
+            input,
+            output,
+            secret_out,
+            budget,
+            z,
+            selection,
+            exclude_free_pairs,
+            secret_label,
+        } => {
+            let data = read_tokens(&input)?;
+            let params = GenerationParams::default()
+                .with_budget(budget)
+                .with_z(z)
+                .with_selection(selection)
+                .with_exclude_free_pairs(exclude_free_pairs);
+            let secret = match secret_label {
+                Some(label) => Secret::from_label(&label),
+                None => Secret::generate(&mut rand::rngs::OsRng),
+            };
+            let (wdata, secrets, report) = Watermarker::new(params)
+                .watermark_dataset(&data, secret)
+                .map_err(|e| e.to_string())?;
+            write_tokens(&output, &wdata)?;
+            fs::write(&secret_out, secrets.to_text())
+                .map_err(|e| format!("cannot write {secret_out}: {e}"))?;
+            writeln!(
+                out,
+                "watermarked {} tokens -> {output}\n  distinct tokens: {}\n  eligible pairs: {}\n  \
+                 matched pairs: {}\n  chosen pairs: {}\n  similarity: {:.6}%\n  instances changed: {}\n  \
+                 secrets -> {secret_out}",
+                data.len(),
+                report.distinct_tokens,
+                report.eligible_pairs,
+                report.matched_pairs,
+                report.chosen_pairs,
+                report.similarity_pct,
+                report.total_change,
+            )
+            .ok();
+            Ok(0)
+        }
+        Command::Detect { input, secret, t, k, scale } => {
+            let data = read_tokens(&input)?;
+            let text = fs::read_to_string(&secret)
+                .map_err(|e| format!("cannot read {secret}: {e}"))?;
+            let secrets = SecretList::from_text(&text).map_err(|e| e.to_string())?;
+            let mut params = DetectionParams::default().with_t(t).with_k(k);
+            if let Some(s) = scale {
+                params = params.with_scale(s);
+            }
+            let outcome = detect_dataset(&data, &secrets, &params);
+            writeln!(
+                out,
+                "pairs: {} stored, {} present, {} verified (t={t}, k={k})\nresult: {}",
+                outcome.total_pairs,
+                outcome.present_pairs,
+                outcome.accepted_pairs,
+                if outcome.accepted { "ACCEPT" } else { "REJECT" },
+            )
+            .ok();
+            Ok(if outcome.accepted { 0 } else { 1 })
+        }
+        Command::Inspect { input, z } => {
+            let data = read_tokens(&input)?;
+            let hist = data.histogram();
+            // Capacity probe with a throwaway secret: |Le| depends on
+            // the secret only through the s_ij draws, so any secret
+            // gives a representative figure.
+            let probe = Secret::from_label("freqywm-inspect-probe");
+            let eligible = eligible_pairs(&hist, &probe, z);
+            let counts = hist.counts();
+            writeln!(
+                out,
+                "tokens: {}\ndistinct: {}\ntop frequency: {}\nbottom frequency: {}\n\
+                 r_max: {} (valid z range: 2..{})\neligible pairs at z={z}: {}\n\
+                 max watermark pairs (matching bound): {}",
+                data.len(),
+                hist.len(),
+                counts.first().copied().unwrap_or(0),
+                counts.last().copied().unwrap_or(0),
+                r_max(&hist),
+                r_max(&hist),
+                eligible.len(),
+                hist.len() / 2,
+            )
+            .ok();
+            Ok(0)
+        }
+        Command::Judge { a_input, a_secret, b_input, b_secret, t, quorum } => {
+            if !(0.0..=1.0).contains(&quorum) {
+                return Err(format!("quorum must be in [0,1], got {quorum}"));
+            }
+            let load = |data_path: &str, secret_path: &str| -> Result<Claim, String> {
+                let data = read_tokens(data_path)?;
+                let text = fs::read_to_string(secret_path)
+                    .map_err(|e| format!("cannot read {secret_path}: {e}"))?;
+                let secrets = SecretList::from_text(&text).map_err(|e| e.to_string())?;
+                Ok(Claim { histogram: data.histogram(), secrets })
+            };
+            let a = load(&a_input, &a_secret)?;
+            let b = load(&b_input, &b_secret)?;
+            let k = ((a.secrets.len().min(b.secrets.len()) as f64 * quorum).ceil() as usize)
+                .max(1);
+            let params = DetectionParams::default().with_t(t).with_k(k);
+            let ruling = judge_dispute(&a, &b, &params);
+            writeln!(
+                out,
+                "four-run protocol (t={t}, k={k}):\n  A's secret: on A {}/{}, on B {}/{}\n                   B's secret: on B {}/{}, on A {}/{}\nverdict: {}",
+                ruling.a_on_a.accepted_pairs,
+                ruling.a_on_a.total_pairs,
+                ruling.a_on_b.accepted_pairs,
+                ruling.a_on_b.total_pairs,
+                ruling.b_on_b.accepted_pairs,
+                ruling.b_on_b.total_pairs,
+                ruling.b_on_a.accepted_pairs,
+                ruling.b_on_a.total_pairs,
+                match ruling.verdict {
+                    Verdict::FirstParty => "FIRST PARTY (A) is the rightful owner",
+                    Verdict::SecondParty => "SECOND PARTY (B) is the rightful owner",
+                    Verdict::Inconclusive => "INCONCLUSIVE — consult ledger chronology",
+                },
+            )
+            .ok();
+            Ok(0)
+        }
+        Command::Attack { input, output, kind, param, seed, .. } => {
+            let data = read_tokens(&input)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let attacked: Dataset = match kind {
+                AttackKind::Sample => {
+                    if !(param > 0.0 && param <= 1.0) {
+                        return Err(format!("sample fraction must be in (0,1], got {param}"));
+                    }
+                    data.sample(param, &mut rng)
+                }
+                AttackKind::Destroy | AttackKind::Reorder => {
+                    let hist = data.histogram();
+                    let target = match kind {
+                        AttackKind::Destroy => destroy_within_boundaries(&hist, &mut rng),
+                        _ => destroy_with_reordering(&hist, param, &mut rng),
+                    };
+                    // Materialise the attacked histogram as a token list.
+                    let mut d = data.clone();
+                    for (token, want) in target.entries() {
+                        let have = hist.count(token).unwrap_or(0);
+                        match want.cmp(&have) {
+                            std::cmp::Ordering::Greater => {
+                                d.insert_instances(token, want - have, &mut rng)
+                            }
+                            std::cmp::Ordering::Less => {
+                                d.remove_instances(token, have - want, &mut rng)
+                            }
+                            std::cmp::Ordering::Equal => {}
+                        }
+                    }
+                    d
+                }
+            };
+            write_tokens(&output, &attacked)?;
+            writeln!(out, "attacked dataset: {} tokens -> {output}", attacked.len()).ok();
+            Ok(0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> String {
+        let mut p: PathBuf = std::env::temp_dir();
+        p.push(format!("freqywm-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn sample_file() -> String {
+        let path = tmp("input.txt");
+        // Heavy-tailed token file with plenty of variation.
+        let mut text = String::new();
+        for i in 0..60u64 {
+            let reps = 2_000u64 / (i + 1);
+            for _ in 0..reps {
+                text.push_str(&format!("token-{i:02}\n"));
+            }
+        }
+        fs::write(&path, text).unwrap();
+        path
+    }
+
+    fn run_line(line: &[&str]) -> (i32, String) {
+        let args: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        let cmd = parse_args(&args).expect("parse");
+        let mut buf = Vec::new();
+        let code = run(cmd, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn generate_detect_round_trip() {
+        let input = sample_file();
+        let output = tmp("wm.txt");
+        let secret = tmp("secret.fwm");
+        // Free-pair exclusion so the original file cannot coincidentally
+        // carry the full watermark.
+        let (code, log) = run_line(&[
+            "generate", "--input", &input, "--output", &output, "--secret-out", &secret,
+            "--z", "19", "--secret-label", "cli-test", "--exclude-free-pairs",
+        ]);
+        assert_eq!(code, 0, "{log}");
+        assert!(log.contains("chosen pairs"));
+
+        let (code, log) = run_line(&["detect", "--input", &output, "--secret", &secret]);
+        assert_eq!(code, 0, "{log}");
+        assert!(log.contains("ACCEPT"));
+
+        // The original file must NOT verify fully: demand every pair.
+        let stored = SecretList::from_text(&fs::read_to_string(&secret).unwrap()).unwrap();
+        let (code, _) = run_line(&[
+            "detect", "--input", &input, "--secret", &secret, "--k",
+            &stored.len().to_string(),
+        ]);
+        assert_eq!(code, 1, "original data should fail strict detection");
+    }
+
+    #[test]
+    fn inspect_reports_capacity() {
+        let input = sample_file();
+        let (code, log) = run_line(&["inspect", "--input", &input, "--z", "19"]);
+        assert_eq!(code, 0);
+        assert!(log.contains("distinct: 60"), "{log}");
+        assert!(log.contains("eligible pairs"), "{log}");
+    }
+
+    #[test]
+    fn attack_sample_and_detect_with_scale() {
+        let input = sample_file();
+        let output = tmp("wm2.txt");
+        let secret = tmp("secret2.fwm");
+        let attacked = tmp("attacked.txt");
+        run_line(&[
+            "generate", "--input", &input, "--output", &output, "--secret-out", &secret,
+            "--z", "19", "--secret-label", "cli-test-2",
+        ]);
+        let (code, _) = run_line(&[
+            "attack", "--input", &output, "--output", &attacked, "--kind", "sample",
+            "--param", "0.5", "--seed", "3",
+        ]);
+        assert_eq!(code, 0);
+        let (code, log) = run_line(&[
+            "detect", "--input", &attacked, "--secret", &secret, "--t", "6", "--scale",
+            "2.0",
+        ]);
+        assert_eq!(code, 0, "{log}");
+    }
+
+    #[test]
+    fn judge_resolves_rewatermark_dispute() {
+        let input = sample_file();
+        let owner_out = tmp("owner.txt");
+        let owner_secret = tmp("owner.fwm");
+        run_line(&[
+            "generate", "--input", &input, "--output", &owner_out, "--secret-out",
+            &owner_secret, "--z", "19", "--secret-label", "cli-owner",
+            "--exclude-free-pairs",
+        ]);
+        // Pirate re-watermarks the owner's output.
+        let pirate_out = tmp("pirate.txt");
+        let pirate_secret = tmp("pirate.fwm");
+        run_line(&[
+            "generate", "--input", &owner_out, "--output", &pirate_out, "--secret-out",
+            &pirate_secret, "--z", "19", "--secret-label", "cli-pirate",
+            "--exclude-free-pairs",
+        ]);
+        let (code, log) = run_line(&[
+            "judge", "--a-input", &owner_out, "--a-secret", &owner_secret, "--b-input",
+            &pirate_out, "--b-secret", &pirate_secret, "--quorum", "0.25",
+        ]);
+        assert_eq!(code, 0, "{log}");
+        assert!(log.contains("FIRST PARTY"), "{log}");
+    }
+
+    #[test]
+    fn missing_file_is_error() {
+        let (code, log) = run_line(&[
+            "detect", "--input", "/nonexistent/tokens.txt", "--secret", "/nonexistent/s",
+        ]);
+        assert_eq!(code, 2);
+        assert!(log.contains("error"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, log) = run_line(&["help"]);
+        assert_eq!(code, 0);
+        assert!(log.contains("USAGE"));
+    }
+}

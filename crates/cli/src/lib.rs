@@ -1,0 +1,16 @@
+//! Library backing the `freqywm` command-line tool.
+//!
+//! Split from `main.rs` so the argument parser and command logic are
+//! unit-testable. Subcommands:
+//!
+//! * `generate` — watermark a token file, writing the watermarked file
+//!   and the secret list;
+//! * `detect`   — verify a suspect file against a secret list;
+//! * `inspect`  — histogram statistics and watermark capacity;
+//! * `attack`   — replay the paper's attacks on a watermarked file.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command};
+pub use commands::run;

@@ -1,0 +1,16 @@
+//! `freqywm` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match freqywm_cli::parse_args(&args) {
+        Ok(cmd) => {
+            let mut stdout = std::io::stdout();
+            freqywm_cli::run(cmd, &mut stdout)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,145 @@
+//! Frequency modification (Sec. III-B1, "Frequency Modification").
+//!
+//! For a chosen pair with frequencies `f_i ≥ f_j` and modulus `s`, let
+//! `rm = (f_i − f_j) mod s`. The rule zeroes the remainder with the
+//! smallest total movement:
+//!
+//! * `rm ≤ s/2`: shrink the difference — `f_i −= ⌈rm/2⌉`,
+//!   `f_j += ⌊rm/2⌋` (the paper's running example: 1098/537, s = 129,
+//!   rm = 45 → −23/+22);
+//! * `rm > s/2`: grow the difference up to the next multiple —
+//!   `f_i += ⌈(s−rm)/2⌉`, `f_j −= ⌊(s−rm)/2⌋` ("we add the modulo …
+//!   this way we never have to eliminate remainders that exceed half
+//!   of the modulo").
+//!
+//! Either way each token moves by at most `⌈s/2⌉`, which is exactly the
+//! eligibility bound.
+
+/// Signed deltas `(d_i, d_j)` that watermark a pair with frequencies
+/// `f_i ≥ f_j` under modulus `s ≥ 2`.
+pub fn pair_deltas(f_i: u64, f_j: u64, s: u64) -> (i64, i64) {
+    assert!(s >= 2, "modulus must be >= 2");
+    assert!(f_i >= f_j, "pair must be ordered by frequency (f_i >= f_j)");
+    let rm = (f_i - f_j) % s;
+    if rm == 0 {
+        (0, 0)
+    } else if 2 * rm <= s {
+        // Shrink the difference by rm.
+        (-(rm.div_ceil(2) as i64), (rm / 2) as i64)
+    } else {
+        // Grow the difference by s - rm.
+        let add = s - rm;
+        ((add.div_ceil(2)) as i64, -((add / 2) as i64))
+    }
+}
+
+/// Applies [`pair_deltas`] and returns the new frequencies.
+pub fn watermark_pair(f_i: u64, f_j: u64, s: u64) -> (u64, u64) {
+    let (di, dj) = pair_deltas(f_i, f_j, s);
+    (apply(f_i, di), apply(f_j, dj))
+}
+
+fn apply(f: u64, d: i64) -> u64 {
+    if d >= 0 {
+        f + d as u64
+    } else {
+        f.checked_sub((-d) as u64)
+            .expect("eligibility bound guarantees non-negative frequency")
+    }
+}
+
+/// The remainder after watermarking is always zero — used as a debug
+/// invariant and in tests.
+pub fn is_watermarked(f_i: u64, f_j: u64, s: u64) -> bool {
+    (f_i.abs_diff(f_j)).is_multiple_of(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_running_example() {
+        // Youtube 1098, Instagram 537, s = 129: rm = 45 -> (-23, +22).
+        let (di, dj) = pair_deltas(1098, 537, 129);
+        assert_eq!((di, dj), (-23, 22));
+        let (ni, nj) = watermark_pair(1098, 537, 129);
+        assert_eq!((ni, nj), (1075, 559));
+        assert!(is_watermarked(ni, nj, 129));
+    }
+
+    #[test]
+    fn zero_remainder_is_noop() {
+        assert_eq!(pair_deltas(500, 400, 100), (0, 0));
+        assert_eq!(watermark_pair(500, 400, 100), (500, 400));
+    }
+
+    #[test]
+    fn large_remainder_rounds_up() {
+        // diff = 90, s = 100, rm = 90 > 50: add 10 -> (+5, -5).
+        let (di, dj) = pair_deltas(200, 110, 100);
+        assert_eq!((di, dj), (5, -5));
+        let (ni, nj) = watermark_pair(200, 110, 100);
+        assert_eq!(ni - nj, 100);
+    }
+
+    #[test]
+    fn exact_half_shrinks() {
+        // rm = 5, s = 10: 2*rm == s -> shrink branch: (-3, +2).
+        let (di, dj) = pair_deltas(25, 10, 10);
+        assert_eq!((di, dj), (-3, 2));
+        assert!(is_watermarked(22, 12, 10));
+    }
+
+    #[test]
+    fn odd_remainder_split() {
+        // rm = 7, s = 100: ceil/floor split (-4, +3).
+        assert_eq!(pair_deltas(107, 100, 100), (-4, 3));
+    }
+
+    #[test]
+    fn equal_frequencies_noop() {
+        assert_eq!(pair_deltas(50, 50, 7), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_pair_panics() {
+        pair_deltas(10, 20, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn tiny_modulus_panics() {
+        pair_deltas(10, 5, 1);
+    }
+
+    proptest! {
+        /// The defining invariants of the modification rule.
+        #[test]
+        fn always_zeroes_remainder_within_bound(
+            f_j_raw in 0u64..100_000,
+            diff in 0u64..100_000,
+            s in 2u64..5_000,
+        ) {
+            // Eligibility guarantees every boundary (incl. f_j's room to
+            // shrink) is at least ceil(s/2); model that precondition.
+            let f_j = f_j_raw + s.div_ceil(2);
+            let f_i = f_j + diff;
+            let (di, dj) = pair_deltas(f_i, f_j, s);
+            let half = s.div_ceil(2) as i64;
+            prop_assert!(di.abs() <= half, "d_i {di} exceeds ceil(s/2) {half}");
+            prop_assert!(dj.abs() <= half, "d_j {dj} exceeds ceil(s/2) {half}");
+            // Opposite signs (or zero): the pair moves toward each other
+            // or apart, never both in the same direction.
+            prop_assert!(di as i128 * dj as i128 <= 0);
+            let (ni, nj) = watermark_pair(f_i, f_j, s);
+            prop_assert!(is_watermarked(ni, nj, s));
+            // Total movement is minimal: min(rm, s - rm).
+            let rm = diff % s;
+            let moved = di.unsigned_abs() + dj.unsigned_abs();
+            prop_assert_eq!(moved, rm.min(s - rm) % s);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Bucketization of wide-range numeric data (Sec. VI, "challenging
+//! datasets").
+//!
+//! When token values barely repeat (e.g. sales amounts with decimals),
+//! frequencies are all ≈ 1 and FreqyWM has nothing to modulate. The
+//! paper's remedy is to bucketize first and watermark at bucket level.
+//! Two policies are provided: equal-width and equal-frequency
+//! (quantile) buckets.
+
+use crate::dataset::Dataset;
+use crate::token::Token;
+
+/// Bucketing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// `k` buckets of equal numeric width over `[min, max]`.
+    EqualWidth(usize),
+    /// `k` buckets of (approximately) equal population.
+    EqualFrequency(usize),
+}
+
+/// A fitted bucketizer: maps numeric values to bucket tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucketizer {
+    /// Upper edge of every bucket except the last (half-open intervals).
+    edges: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Bucketizer {
+    /// Fits bucket edges to `values` under `policy`.
+    ///
+    /// Panics on an empty input, non-finite values, or `k == 0`.
+    pub fn fit(values: &[f64], policy: Policy) -> Self {
+        assert!(!values.is_empty(), "cannot bucketize an empty sample");
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        match policy {
+            Policy::EqualWidth(k) => {
+                assert!(k > 0, "need at least one bucket");
+                let width = (hi - lo) / k as f64;
+                let edges = (1..k).map(|i| lo + width * i as f64).collect();
+                Bucketizer { edges, lo, hi }
+            }
+            Policy::EqualFrequency(k) => {
+                assert!(k > 0, "need at least one bucket");
+                let mut sorted = values.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let n = sorted.len();
+                let mut edges = Vec::with_capacity(k.saturating_sub(1));
+                for i in 1..k {
+                    let pos = (i * n) / k;
+                    edges.push(sorted[pos.min(n - 1)]);
+                }
+                edges.dedup_by(|a, b| a == b);
+                Bucketizer { edges, lo, hi }
+            }
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.edges.len() + 1
+    }
+
+    /// Bucket index of a value (values outside the fitted range clamp
+    /// to the first/last bucket).
+    pub fn bucket_of(&self, value: f64) -> usize {
+        self.edges.partition_point(|&e| e <= value)
+    }
+
+    /// Human-readable token for a bucket index.
+    pub fn token_of(&self, bucket: usize) -> Token {
+        let lo = if bucket == 0 { self.lo } else { self.edges[bucket - 1] };
+        let hi = if bucket == self.edges.len() { self.hi } else { self.edges[bucket] };
+        Token::new(format!("bucket[{lo:.4},{hi:.4})#{bucket}"))
+    }
+
+    /// Converts a numeric sample into a bucket-token dataset — the
+    /// input FreqyWM then watermarks.
+    pub fn tokenize(&self, values: &[f64]) -> Dataset {
+        values
+            .iter()
+            .map(|&v| self.token_of(self.bucket_of(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_edges() {
+        let values = [0.0, 10.0];
+        let b = Bucketizer::fit(&values, Policy::EqualWidth(4));
+        assert_eq!(b.num_buckets(), 4);
+        assert_eq!(b.bucket_of(0.0), 0);
+        assert_eq!(b.bucket_of(2.4), 0);
+        assert_eq!(b.bucket_of(2.5), 1);
+        assert_eq!(b.bucket_of(9.9), 3);
+        assert_eq!(b.bucket_of(100.0), 3, "clamps above range");
+        assert_eq!(b.bucket_of(-5.0), 0, "clamps below range");
+    }
+
+    #[test]
+    fn equal_frequency_balances_population() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64).powf(2.0)).collect();
+        let b = Bucketizer::fit(&values, Policy::EqualFrequency(4));
+        let mut counts = vec![0usize; b.num_buckets()];
+        for &v in &values {
+            counts[b.bucket_of(v)] += 1;
+        }
+        for c in &counts {
+            assert!(
+                (200..=300).contains(c),
+                "equal-frequency buckets should be balanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenize_creates_repeating_tokens() {
+        // The Sec. VI scenario: all values distinct, no repetition …
+        let values: Vec<f64> = (0..500).map(|i| 1000.0 + i as f64 * 0.37).collect();
+        let raw_hist = Dataset::new(
+            values.iter().map(|v| Token::new(format!("{v}"))).collect(),
+        )
+        .histogram();
+        assert_eq!(raw_hist.len(), 500, "raw values never repeat");
+        // … but bucketization yields a watermarkable histogram.
+        let b = Bucketizer::fit(&values, Policy::EqualWidth(10));
+        let d = b.tokenize(&values);
+        let h = d.histogram();
+        assert_eq!(h.len(), 10);
+        assert!(h.counts().iter().all(|&c| c >= 40));
+    }
+
+    #[test]
+    fn token_of_is_stable_per_bucket() {
+        let values = [0.0, 1.0, 2.0, 3.0];
+        let b = Bucketizer::fit(&values, Policy::EqualWidth(2));
+        assert_eq!(b.token_of(0), b.token_of(0));
+        assert_ne!(b.token_of(0), b.token_of(1));
+    }
+
+    #[test]
+    fn degenerate_constant_sample() {
+        let values = [5.0; 10];
+        let b = Bucketizer::fit(&values, Policy::EqualWidth(3));
+        let d = b.tokenize(&values);
+        assert_eq!(d.histogram().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        Bucketizer::fit(&[], Policy::EqualWidth(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_panics() {
+        Bucketizer::fit(&[1.0, f64::NAN], Policy::EqualWidth(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        Bucketizer::fit(&[1.0], Policy::EqualWidth(0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal CSV reader/writer (RFC 4180 subset: quoted fields, embedded
+//! commas/quotes/newlines). Implemented locally to keep the dependency
+//! set to the whitelisted crates; adequate for the CLI and examples.
+
+use crate::dataset::Table;
+
+/// Parses CSV text into a [`Table`]; the first record is the header.
+///
+/// Returns `Err` with a human-readable message on ragged rows or an
+/// unterminated quote.
+pub fn parse_table(text: &str) -> Result<Table, String> {
+    let records = parse_records(text)?;
+    let mut it = records.into_iter();
+    let header = it.next().ok_or_else(|| "empty CSV input".to_string())?;
+    let ncols = header.len();
+    let mut table = Table::new(header);
+    for (i, row) in it.enumerate() {
+        if row.len() != ncols {
+            return Err(format!(
+                "row {} has {} fields, expected {ncols}",
+                i + 2,
+                row.len()
+            ));
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Parses CSV text into raw records.
+pub fn parse_records(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {
+                    if chars.peek() == Some(&'\n') {
+                        chars.next();
+                    }
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialises a [`Table`] to CSV text (header first, `\n` line ends).
+pub fn write_table(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table.columns().iter().map(|c| escape(c)).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let fields: Vec<String> = row.iter().map(|f| escape(f)).collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_round_trip() {
+        let text = "a,b\n1,2\n3,4\n";
+        let t = parse_table(text).unwrap();
+        assert_eq!(t.columns(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(write_table(&t), text);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let text = "name,url\n\"Smith, J\",\"say \"\"hi\"\"\"\n";
+        let t = parse_table(text).unwrap();
+        assert_eq!(t.rows()[0][0], "Smith, J");
+        assert_eq!(t.rows()[0][1], "say \"hi\"");
+        // Round-trip through the writer.
+        let again = parse_table(&write_table(&t)).unwrap();
+        assert_eq!(again.rows(), t.rows());
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let text = "a\n\"line1\nline2\"\n";
+        let t = parse_table(text).unwrap();
+        assert_eq!(t.rows()[0][0], "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_table("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.rows()[0], vec!["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = parse_table("a\nx").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.rows()[0][0], "x");
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        assert!(parse_table("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(parse_table("a\n\"oops\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_table("").is_err());
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let t = parse_table("a,b,c\n,,\n").unwrap();
+        assert_eq!(t.rows()[0], vec!["".to_string(), "".to_string(), "".to_string()]);
+    }
+}

@@ -1,0 +1,382 @@
+//! Token datasets and multi-column tables.
+//!
+//! [`Dataset`] is the single-dimensional view FreqyWM operates on: an
+//! ordered list of tokens. The *Data Transformation* step adds or
+//! removes token instances; insertion positions are drawn from a keyed
+//! RNG because predictable placement would leak the watermarked pairs
+//! (Sec. III-B1).
+//!
+//! [`Table`] is a simple multi-column dataset; composite tokens over a
+//! subset of columns implement the multi-dimensional scheme of
+//! Sec. IV-C, where adding a token instance duplicates the remaining
+//! fields of a random existing row carrying that token (the paper's
+//! "naive solution", with the caveats it discusses).
+
+use crate::histogram::Histogram;
+use crate::token::Token;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+/// An ordered single-attribute token dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dataset {
+    tokens: Vec<Token>,
+}
+
+impl Dataset {
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Dataset { tokens }
+    }
+
+    pub fn from_strs<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Dataset { tokens: items.into_iter().map(|s| Token::new(s)).collect() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter()
+    }
+
+    /// `Preprocess(D)`: the frequency histogram.
+    pub fn histogram(&self) -> Histogram {
+        Histogram::from_tokens(self.tokens.iter().cloned())
+    }
+
+    /// Inserts `n` instances of `token` at RNG-chosen positions.
+    pub fn insert_instances<R: RngCore>(&mut self, token: &Token, n: u64, rng: &mut R) {
+        for _ in 0..n {
+            let pos = rng.gen_range(0..=self.tokens.len());
+            self.tokens.insert(pos, token.clone());
+        }
+    }
+
+    /// Removes `n` RNG-chosen instances of `token`. Panics if fewer
+    /// than `n` instances exist (the caller's boundary logic guarantees
+    /// feasibility).
+    pub fn remove_instances<R: RngCore>(&mut self, token: &Token, n: u64, rng: &mut R) {
+        let mut positions: Vec<usize> = self
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| *t == token)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            positions.len() as u64 >= n,
+            "cannot remove {n} instances of {token}: only {} present",
+            positions.len()
+        );
+        positions.shuffle(rng);
+        let mut doomed: Vec<usize> = positions.into_iter().take(n as usize).collect();
+        doomed.sort_unstable();
+        let mut doomed_iter = doomed.into_iter().peekable();
+        let mut idx = 0usize;
+        self.tokens.retain(|_| {
+            let keep = doomed_iter.peek() != Some(&idx);
+            if !keep {
+                doomed_iter.next();
+            }
+            idx += 1;
+            keep
+        });
+    }
+
+    /// A uniformly random subsample containing `⌊len · fraction⌋`
+    /// tokens (the sampling attacker's move, Sec. V-B).
+    pub fn sample<R: RngCore>(&self, fraction: f64, rng: &mut R) -> Dataset {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let k = (self.tokens.len() as f64 * fraction).floor() as usize;
+        let mut idx: Vec<usize> = (0..self.tokens.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        idx.sort_unstable();
+        Dataset { tokens: idx.into_iter().map(|i| self.tokens[i].clone()).collect() }
+    }
+}
+
+impl FromIterator<Token> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        Dataset { tokens: iter.into_iter().collect() }
+    }
+}
+
+/// A multi-column dataset (rows of string fields).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(columns: Vec<String>) -> Self {
+        Table { columns, rows: Vec::new() }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row; must match the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row/column arity mismatch");
+        self.rows.push(row);
+    }
+
+    fn column_indices(&self, cols: &[&str]) -> Vec<usize> {
+        cols.iter()
+            .map(|c| {
+                self.columns
+                    .iter()
+                    .position(|x| x == c)
+                    .unwrap_or_else(|| panic!("unknown column {c}"))
+            })
+            .collect()
+    }
+
+    /// Extracts the (possibly composite) token of each row over the
+    /// given columns — the Sec. IV-C view of a multi-dimensional set.
+    pub fn tokens_over(&self, cols: &[&str]) -> Dataset {
+        let idx = self.column_indices(cols);
+        self.rows
+            .iter()
+            .map(|r| {
+                if idx.len() == 1 {
+                    Token::new(r[idx[0]].clone())
+                } else {
+                    Token::composite(idx.iter().map(|&i| r[i].as_str()))
+                }
+            })
+            .collect()
+    }
+
+    /// Removes `n` RNG-chosen rows whose token over `cols` equals `token`.
+    pub fn remove_token_rows<R: RngCore>(
+        &mut self,
+        cols: &[&str],
+        token: &Token,
+        n: u64,
+        rng: &mut R,
+    ) {
+        let idx = self.column_indices(cols);
+        let token_of = |row: &Vec<String>| -> Token {
+            if idx.len() == 1 {
+                Token::new(row[idx[0]].clone())
+            } else {
+                Token::composite(idx.iter().map(|&i| row[i].as_str()))
+            }
+        };
+        let mut positions: Vec<usize> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| token_of(r) == *token)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            positions.len() as u64 >= n,
+            "cannot remove {n} rows of {token}: only {} present",
+            positions.len()
+        );
+        positions.shuffle(rng);
+        let mut doomed: Vec<usize> = positions.into_iter().take(n as usize).collect();
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        for d in doomed {
+            self.rows.remove(d);
+        }
+    }
+
+    /// Adds `n` rows carrying `token` over `cols` by duplicating the
+    /// non-token fields of random existing carrier rows and inserting
+    /// at random positions (the paper's naive multi-dim insertion).
+    pub fn add_token_rows<R: RngCore>(
+        &mut self,
+        cols: &[&str],
+        token: &Token,
+        n: u64,
+        rng: &mut R,
+    ) {
+        let idx = self.column_indices(cols);
+        let token_of = |row: &Vec<String>| -> Token {
+            if idx.len() == 1 {
+                Token::new(row[idx[0]].clone())
+            } else {
+                Token::composite(idx.iter().map(|&i| row[i].as_str()))
+            }
+        };
+        // Snapshot the carrier rows before inserting: insertions shift
+        // row indices, so holding indices across iterations would
+        // duplicate the wrong rows.
+        let templates: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .filter(|r| token_of(r) == *token)
+            .cloned()
+            .collect();
+        assert!(
+            !templates.is_empty(),
+            "cannot add rows for {token}: no template row carries it"
+        );
+        for _ in 0..n {
+            let template = templates.choose(rng).expect("non-empty").clone();
+            let pos = rng.gen_range(0..=self.rows.len());
+            self.rows.insert(pos, template);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tk(s: &str) -> Token {
+        Token::new(s)
+    }
+
+    #[test]
+    fn histogram_round_trip() {
+        let d = Dataset::from_strs(["a", "b", "a", "a", "c"]);
+        let h = d.histogram();
+        assert_eq!(h.count(&tk("a")), Some(3));
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn insert_preserves_multiset_and_grows() {
+        let mut d = Dataset::from_strs(["a", "b", "c"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        d.insert_instances(&tk("b"), 4, &mut rng);
+        assert_eq!(d.len(), 7);
+        assert_eq!(d.histogram().count(&tk("b")), Some(5));
+    }
+
+    #[test]
+    fn remove_takes_exactly_n() {
+        let mut d = Dataset::from_strs(["a", "b", "a", "a", "b", "a"]);
+        let mut rng = StdRng::seed_from_u64(2);
+        d.remove_instances(&tk("a"), 3, &mut rng);
+        assert_eq!(d.histogram().count(&tk("a")), Some(1));
+        assert_eq!(d.histogram().count(&tk("b")), Some(2));
+        // Relative order of survivors is preserved.
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn remove_more_than_present_panics() {
+        let mut d = Dataset::from_strs(["a"]);
+        let mut rng = StdRng::seed_from_u64(3);
+        d.remove_instances(&tk("a"), 2, &mut rng);
+    }
+
+    #[test]
+    fn sample_size_and_containment() {
+        let d = Dataset::from_strs((0..100).map(|i| format!("t{}", i % 10)));
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = d.sample(0.2, &mut rng);
+        assert_eq!(s.len(), 20);
+        // Every sampled token exists in the original.
+        let h = d.histogram();
+        for t in s.iter() {
+            assert!(h.count(t).is_some());
+        }
+    }
+
+    #[test]
+    fn sample_edges() {
+        let d = Dataset::from_strs(["a", "b"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(d.sample(0.0, &mut rng).len(), 0);
+        assert_eq!(d.sample(1.0, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn table_composite_tokens() {
+        let mut t = Table::new(vec!["age".into(), "work".into(), "zip".into()]);
+        t.push_row(vec!["39".into(), "Gov".into(), "111".into()]);
+        t.push_row(vec!["39".into(), "Gov".into(), "222".into()]);
+        t.push_row(vec!["50".into(), "Self".into(), "333".into()]);
+        let d = t.tokens_over(&["age", "work"]);
+        let h = d.histogram();
+        assert_eq!(h.count(&Token::composite(["39", "Gov"])), Some(2));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn table_add_rows_duplicates_template_fields() {
+        let mut t = Table::new(vec!["age".into(), "work".into()]);
+        t.push_row(vec!["39".into(), "Gov".into()]);
+        t.push_row(vec!["50".into(), "Self".into()]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let tok = Token::composite(["39", "Gov"]);
+        t.add_token_rows(&["age", "work"], &tok, 3, &mut rng);
+        assert_eq!(t.len(), 5);
+        let h = t.tokens_over(&["age", "work"]).histogram();
+        assert_eq!(h.count(&tok), Some(4));
+    }
+
+    #[test]
+    fn table_remove_rows() {
+        let mut t = Table::new(vec!["age".into()]);
+        for _ in 0..5 {
+            t.push_row(vec!["39".into()]);
+        }
+        t.push_row(vec!["50".into()]);
+        let mut rng = StdRng::seed_from_u64(7);
+        t.remove_token_rows(&["age"], &tk("39"), 2, &mut rng);
+        assert_eq!(t.len(), 4);
+        let h = t.tokens_over(&["age"]).histogram();
+        assert_eq!(h.count(&tk("39")), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no template row")]
+    fn table_add_requires_carrier() {
+        let mut t = Table::new(vec!["age".into()]);
+        t.push_row(vec!["39".into()]);
+        let mut rng = StdRng::seed_from_u64(8);
+        t.add_token_rows(&["age"], &tk("99"), 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column")]
+    fn unknown_column_panics() {
+        let t = Table::new(vec!["age".into()]);
+        t.tokens_over(&["nope"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn row_arity_checked() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1".into()]);
+    }
+}

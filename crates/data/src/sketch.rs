@@ -1,0 +1,289 @@
+//! Streaming histogram construction: Space-Saving top-k and a
+//! Count-Min sketch.
+//!
+//! The paper's setting is wholesale datasets "with large numbers of
+//! tuples"; at marketplace scale the exact histogram may not fit in
+//! memory while the stream is being ingested. FreqyWM only needs the
+//! *head* of the distribution anyway (the flat tail has zero boundaries
+//! and yields no eligible pairs — Sec. IV-A), so a top-k summary is the
+//! natural substrate:
+//!
+//! * [`SpaceSaving`] — Metwally et al.'s deterministic top-k counter
+//!   with the classic guarantees: every true count is within
+//!   `N / capacity` of its estimate, over-estimation only, and any
+//!   token with true count > `N / capacity` is present;
+//! * [`CountMinSketch`] — keyed-hash count-min for point estimates on
+//!   the full token universe (over-estimation only, `εN` with
+//!   probability `1 − δ`).
+
+use crate::histogram::Histogram;
+use crate::token::Token;
+use freqywm_crypto::hmac::hmac_sha256;
+use std::collections::HashMap;
+
+/// Space-Saving top-k counter.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// token -> (count, over-estimation error)
+    counters: HashMap<Token, (u64, u64)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary holding at most `capacity` tokens.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity + 1), total: 0 }
+    }
+
+    /// Number of stream items observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of tracked tokens (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Observes one token.
+    pub fn observe(&mut self, token: &Token) {
+        self.observe_n(token, 1);
+    }
+
+    /// Observes `n` instances of a token.
+    pub fn observe_n(&mut self, token: &Token, n: u64) {
+        self.total += n;
+        if let Some((c, _)) = self.counters.get_mut(token) {
+            *c += n;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(token.clone(), (n, 0));
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count
+        // as over-estimation error.
+        let (victim, min_count) = self
+            .counters
+            .iter()
+            .min_by_key(|(t, (c, _))| (*c, (*t).clone()))
+            .map(|(t, (c, _))| (t.clone(), *c))
+            .expect("capacity > 0");
+        self.counters.remove(&victim);
+        self.counters.insert(token.clone(), (min_count + n, min_count));
+    }
+
+    /// Estimated count and error bound of a token, if tracked:
+    /// true count ∈ `[estimate − error, estimate]`.
+    pub fn estimate(&self, token: &Token) -> Option<(u64, u64)> {
+        self.counters.get(token).copied()
+    }
+
+    /// Maximum over-estimation of any tracked counter (≤ N/capacity).
+    pub fn max_error(&self) -> u64 {
+        self.counters.values().map(|(_, e)| *e).max().unwrap_or(0)
+    }
+
+    /// Materialises the summary as a [`Histogram`] over the tracked
+    /// tokens — the input handed to `WM_Generate`. Tokens whose error
+    /// bound exceeds `max_error` are dropped (their rank is unreliable,
+    /// and an unreliable rank would poison the boundary computation).
+    pub fn histogram(&self, max_error: u64) -> Histogram {
+        Histogram::from_counts(
+            self.counters
+                .iter()
+                .filter(|(_, (_, e))| *e <= max_error)
+                .map(|(t, (c, _))| (t.clone(), *c)),
+        )
+    }
+}
+
+/// Count-Min sketch with keyed (HMAC) hash rows.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    keys: Vec<[u8; 8]>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// `width` counters per row, `depth` rows. Error ≤ `e·N/width` with
+    /// probability `1 − e^{−depth}` (standard CM bounds).
+    pub fn new(width: usize, depth: usize) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let keys = (0..depth)
+            .map(|i| (i as u64).to_be_bytes())
+            .collect();
+        CountMinSketch { width, rows: vec![vec![0; width]; depth], keys, total: 0 }
+    }
+
+    fn index(&self, row: usize, token: &Token) -> usize {
+        let mac = hmac_sha256(&self.keys[row], token.as_bytes());
+        (u64::from_be_bytes(mac[..8].try_into().expect("8 bytes")) % self.width as u64) as usize
+    }
+
+    pub fn observe(&mut self, token: &Token) {
+        self.observe_n(token, 1);
+    }
+
+    pub fn observe_n(&mut self, token: &Token, n: u64) {
+        self.total += n;
+        for row in 0..self.rows.len() {
+            let idx = self.index(row, token);
+            self.rows[row][idx] += n;
+        }
+    }
+
+    /// Point estimate (never under-estimates).
+    pub fn estimate(&self, token: &Token) -> u64 {
+        (0..self.rows.len())
+            .map(|row| self.rows[row][self.index(row, token)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{power_law_dataset, PowerLawConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tk(s: &str) -> Token {
+        Token::new(s)
+    }
+
+    #[test]
+    fn space_saving_exact_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for (t, n) in [("a", 7u64), ("b", 3), ("c", 1)] {
+            ss.observe_n(&tk(t), n);
+        }
+        assert_eq!(ss.estimate(&tk("a")), Some((7, 0)));
+        assert_eq!(ss.estimate(&tk("b")), Some((3, 0)));
+        assert_eq!(ss.estimate(&tk("c")), Some((1, 0)));
+        assert_eq!(ss.total(), 11);
+        assert_eq!(ss.max_error(), 0);
+    }
+
+    #[test]
+    fn space_saving_eviction_tracks_error() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe_n(&tk("a"), 10);
+        ss.observe_n(&tk("b"), 5);
+        ss.observe(&tk("c")); // evicts b (min=5): c gets count 6, error 5
+        assert!(ss.estimate(&tk("b")).is_none());
+        assert_eq!(ss.estimate(&tk("c")), Some((6, 5)));
+        assert_eq!(ss.len(), 2);
+    }
+
+    #[test]
+    fn space_saving_never_underestimates() {
+        let cfg = PowerLawConfig { distinct_tokens: 500, sample_size: 60_000, alpha: 0.8 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = power_law_dataset(&cfg, &mut rng);
+        let exact = data.histogram();
+        let mut ss = SpaceSaving::new(64);
+        for t in data.iter() {
+            ss.observe(t);
+        }
+        assert_eq!(ss.total(), data.len() as u64);
+        // Classic guarantee: estimate >= true count, error <= N/capacity.
+        for (t, (est, err)) in ss.counters.iter() {
+            let truth = exact.count(t).unwrap_or(0);
+            assert!(*est >= truth, "{t}: est {est} < true {truth}");
+            assert!(*est - err <= truth, "{t}: lower bound violated");
+        }
+        assert!(ss.max_error() <= ss.total() / 64);
+    }
+
+    #[test]
+    fn space_saving_keeps_heavy_hitters() {
+        // Any token with true count > N/capacity must be tracked.
+        let cfg = PowerLawConfig { distinct_tokens: 2_000, sample_size: 100_000, alpha: 1.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = power_law_dataset(&cfg, &mut rng);
+        let exact = data.histogram();
+        let capacity = 128usize;
+        let mut ss = SpaceSaving::new(capacity);
+        for t in data.iter() {
+            ss.observe(t);
+        }
+        let threshold = ss.total() / capacity as u64;
+        for (t, c) in exact.entries() {
+            if *c > threshold {
+                assert!(ss.estimate(t).is_some(), "heavy hitter {t} ({c}) lost");
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_histogram_is_watermarkable_head() {
+        // End-to-end: stream -> top-k summary -> histogram whose head
+        // matches the exact histogram's head closely enough to carry a
+        // watermark.
+        let cfg = PowerLawConfig { distinct_tokens: 1_000, sample_size: 80_000, alpha: 1.1 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = power_law_dataset(&cfg, &mut rng);
+        let exact = data.histogram();
+        let mut ss = SpaceSaving::new(256);
+        for t in data.iter() {
+            ss.observe(t);
+        }
+        let head = ss.histogram(0); // only error-free counters
+        assert!(head.len() >= 16, "head too small: {}", head.len());
+        // Error-free counters are exact.
+        for (t, c) in head.entries() {
+            assert_eq!(exact.count(t), Some(*c), "token {t}");
+        }
+        // The head's top ranks coincide with the exact top ranks.
+        for (a, b) in head.entries().iter().take(8).zip(exact.entries().iter().take(8)) {
+            assert_eq!(a.0, b.0, "rank order diverged");
+        }
+    }
+
+    #[test]
+    fn count_min_never_underestimates_and_is_tight_on_heavy() {
+        let cfg = PowerLawConfig { distinct_tokens: 3_000, sample_size: 80_000, alpha: 0.9 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = power_law_dataset(&cfg, &mut rng);
+        let exact = data.histogram();
+        let mut cm = CountMinSketch::new(2_048, 4);
+        for t in data.iter() {
+            cm.observe(t);
+        }
+        assert_eq!(cm.total(), data.len() as u64);
+        let slack = 2 * cm.total() / 2_048; // 2·N/width safety margin
+        for (t, c) in exact.entries().iter().take(200) {
+            let est = cm.estimate(t);
+            assert!(est >= *c, "{t}: under-estimate");
+            assert!(est <= c + slack, "{t}: est {est} vs true {c} (+{slack})");
+        }
+        // Unseen token estimates stay within the collision bound.
+        assert!(cm.estimate(&tk("never-seen")) <= slack);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        SpaceSaving::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        CountMinSketch::new(0, 2);
+    }
+}

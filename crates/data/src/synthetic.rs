@@ -1,0 +1,218 @@
+//! Synthetic power-law datasets (Sec. IV-A).
+//!
+//! The paper's synthetic experiments draw 1M samples over 1K distinct
+//! tokens from a power-law with skewness α ∈ [0.05, 1]:
+//! `P(token i) ∝ (i+1)^{−α}`. α = 0 is uniform (no eligible pairs —
+//! the boundaries collapse); α = 1 is the classic Zipf law with a long,
+//! nearly flat tail.
+
+use crate::dataset::Dataset;
+use crate::token::Token;
+use rand::distributions::Distribution;
+use rand::RngCore;
+
+/// Configuration of the power-law generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawConfig {
+    /// Number of distinct tokens (paper: 1 000).
+    pub distinct_tokens: usize,
+    /// Total sample size (paper: 1 000 000).
+    pub sample_size: usize,
+    /// Skewness α (paper sweeps {0.05, 0.2, 0.5, 0.7, 0.9, 1}).
+    pub alpha: f64,
+}
+
+impl Default for PowerLawConfig {
+    fn default() -> Self {
+        PowerLawConfig { distinct_tokens: 1_000, sample_size: 1_000_000, alpha: 0.5 }
+    }
+}
+
+/// Weighted categorical sampler over ranks `0..n` with
+/// `w_i ∝ (i+1)^{−α}` (cumulative table + binary search).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one category");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-alpha);
+            cumulative.push(acc);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Theoretical probability of rank `i`.
+    pub fn prob(&self, i: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        (self.cumulative[i] - prev) / total
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u = rand::distributions::Uniform::new(0.0, total).sample(rng);
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Generates a power-law token dataset; tokens are named `tk0000…`
+/// in popularity order (rank 0 is the hottest token).
+pub fn power_law_dataset<R: RngCore>(config: &PowerLawConfig, rng: &mut R) -> Dataset {
+    let names: Vec<Token> = (0..config.distinct_tokens)
+        .map(|i| Token::new(format!("tk{i:05}")))
+        .collect();
+    let sampler = ZipfSampler::new(config.distinct_tokens, config.alpha);
+    (0..config.sample_size)
+        .map(|_| names[sampler.sample(rng)].clone())
+        .collect()
+}
+
+/// Deterministic expected-count histogram of the same law (largest
+/// remainder rounding so the total matches `sample_size` exactly).
+/// Useful when an experiment wants the law's shape without sampling
+/// noise.
+pub fn power_law_counts(config: &PowerLawConfig) -> Vec<(Token, u64)> {
+    let sampler = ZipfSampler::new(config.distinct_tokens, config.alpha);
+    let raw: Vec<f64> = (0..config.distinct_tokens)
+        .map(|i| sampler.prob(i) * config.sample_size as f64)
+        .collect();
+    let mut counts: Vec<u64> = raw.iter().map(|x| x.floor() as u64).collect();
+    let assigned: u64 = counts.iter().sum();
+    let mut remainders: Vec<(usize, f64)> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i, x - x.floor()))
+        .collect();
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN").then(a.0.cmp(&b.0)));
+    let deficit = config.sample_size as u64 - assigned;
+    for (i, _) in remainders.into_iter().take(deficit as usize) {
+        counts[i] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (Token::new(format!("tk{i:05}")), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_probabilities_sum_to_one() {
+        let s = ZipfSampler::new(100, 0.7);
+        let total: f64 = (0..100).map(|i| s.prob(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let s = ZipfSampler::new(10, 0.0);
+        for i in 0..10 {
+            assert!((s.prob(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_alpha_more_skew() {
+        let flat = ZipfSampler::new(100, 0.1);
+        let steep = ZipfSampler::new(100, 1.0);
+        assert!(steep.prob(0) > flat.prob(0));
+        assert!(steep.prob(99) < flat.prob(99));
+    }
+
+    #[test]
+    fn probabilities_monotone_decreasing() {
+        let s = ZipfSampler::new(50, 0.9);
+        for i in 1..50 {
+            assert!(s.prob(i) <= s.prob(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn sample_in_range_and_deterministic() {
+        let s = ZipfSampler::new(20, 0.5);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let a = s.sample(&mut r1);
+            let b = s.sample(&mut r2);
+            assert!(a < 20);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_theory() {
+        let s = ZipfSampler::new(10, 0.8);
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 200_000usize;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
+            let theo = s.prob(i);
+            assert!(
+                (emp - theo).abs() < 0.01,
+                "rank {i}: empirical {emp:.4} vs theoretical {theo:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_has_requested_size() {
+        let cfg = PowerLawConfig { distinct_tokens: 50, sample_size: 5_000, alpha: 0.5 };
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = power_law_dataset(&cfg, &mut rng);
+        assert_eq!(d.len(), 5_000);
+        let h = d.histogram();
+        assert!(h.len() <= 50);
+        // Hot token is (with overwhelming probability) tk00000.
+        assert_eq!(h.entries()[0].0.as_str(), "tk00000");
+    }
+
+    #[test]
+    fn deterministic_counts_total_exact() {
+        let cfg = PowerLawConfig { distinct_tokens: 997, sample_size: 123_456, alpha: 0.7 };
+        let counts = power_law_counts(&cfg);
+        let total: u64 = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 123_456);
+        assert_eq!(counts.len(), 997);
+        // Monotone non-increasing by rank.
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_categories_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn negative_alpha_panics() {
+        ZipfSampler::new(5, -0.1);
+    }
+}

@@ -1,0 +1,245 @@
+//! The hash chain.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use freqywm_crypto::hmac::{digest_eq, hmac_sha256};
+use freqywm_crypto::sha256::sha256;
+use freqywm_crypto::Digest;
+use std::fmt;
+
+/// One registered fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Position in the chain (0-based).
+    pub index: u64,
+    /// Logical timestamp supplied by the caller (e.g. Unix seconds).
+    pub timestamp: u64,
+    /// Who the fingerprint was issued to (buyer id, marketplace id…).
+    pub subject: String,
+    /// SHA-256 of the serialised secret list — commits to the
+    /// watermark without revealing it.
+    pub fingerprint: Digest,
+    /// Hash of the previous entry (all-zero for the genesis entry).
+    pub prev_hash: Digest,
+    /// HMAC over the canonical encoding, keyed with the ledger key.
+    pub mac: Digest,
+}
+
+impl Entry {
+    /// Canonical byte encoding (without the MAC).
+    fn encode_unmacced(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.subject.len());
+        buf.put_u64(self.index);
+        buf.put_u64(self.timestamp);
+        buf.put_u64(self.subject.len() as u64);
+        buf.put_slice(self.subject.as_bytes());
+        buf.put_slice(&self.fingerprint);
+        buf.put_slice(&self.prev_hash);
+        buf.freeze()
+    }
+
+    /// Hash identifying this entry in the chain.
+    pub fn hash(&self) -> Digest {
+        let mut buf = BytesMut::from(&self.encode_unmacced()[..]);
+        buf.put_slice(&self.mac);
+        sha256(&buf)
+    }
+}
+
+/// Ledger errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The chain linkage or a MAC failed verification at this index.
+    Corrupted { index: u64, reason: &'static str },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Corrupted { index, reason } => {
+                write!(f, "ledger corrupted at entry {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The append-only ledger.
+#[derive(Debug, Clone)]
+pub struct Ledger {
+    key: Vec<u8>,
+    entries: Vec<Entry>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger authenticated under `key`.
+    pub fn new(key: &[u8]) -> Self {
+        Ledger { key: key.to_vec(), entries: Vec::new() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Registers a fingerprint; returns the new entry's index.
+    ///
+    /// `secret_material` is hashed — typically the output of
+    /// `SecretList::to_text()` — so the ledger never stores secrets.
+    pub fn register(&mut self, timestamp: u64, subject: &str, secret_material: &[u8]) -> u64 {
+        let prev_hash = self
+            .entries
+            .last()
+            .map(|e| e.hash())
+            .unwrap_or([0u8; 32]);
+        let mut entry = Entry {
+            index: self.entries.len() as u64,
+            timestamp,
+            subject: subject.to_string(),
+            fingerprint: sha256(secret_material),
+            prev_hash,
+            mac: [0u8; 32],
+        };
+        entry.mac = hmac_sha256(&self.key, &entry.encode_unmacced());
+        let idx = entry.index;
+        self.entries.push(entry);
+        idx
+    }
+
+    /// Verifies the full chain: per-entry MACs, index continuity and
+    /// hash linkage.
+    pub fn verify_chain(&self) -> Result<(), LedgerError> {
+        let mut prev = [0u8; 32];
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.index != i as u64 {
+                return Err(LedgerError::Corrupted { index: i as u64, reason: "index gap" });
+            }
+            if e.prev_hash != prev {
+                return Err(LedgerError::Corrupted { index: e.index, reason: "broken link" });
+            }
+            let mac = hmac_sha256(&self.key, &e.encode_unmacced());
+            if !digest_eq(&mac, &e.mac) {
+                return Err(LedgerError::Corrupted { index: e.index, reason: "bad mac" });
+            }
+            prev = e.hash();
+        }
+        Ok(())
+    }
+
+    /// Finds the earliest entry matching a fingerprint — the
+    /// leak-tracing lookup ("whose watermark is on this copy?").
+    pub fn find_fingerprint(&self, secret_material: &[u8]) -> Option<&Entry> {
+        let fp = sha256(secret_material);
+        self.entries.iter().find(|e| digest_eq(&e.fingerprint, &fp))
+    }
+
+    /// Chronological comparison for dispute resolution: which of two
+    /// fingerprints was registered first?
+    pub fn earlier_of(&self, material_a: &[u8], material_b: &[u8]) -> Option<std::cmp::Ordering> {
+        let a = self.find_fingerprint(material_a)?;
+        let b = self.find_fingerprint(material_b)?;
+        Some(a.timestamp.cmp(&b.timestamp).then(a.index.cmp(&b.index)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger_with(n: usize) -> Ledger {
+        let mut l = Ledger::new(b"marketplace-ledger-key");
+        for i in 0..n {
+            l.register(1_700_000_000 + i as u64, &format!("buyer-{i}"), format!("secret-{i}").as_bytes());
+        }
+        l
+    }
+
+    #[test]
+    fn empty_ledger_verifies() {
+        assert_eq!(Ledger::new(b"k").verify_chain(), Ok(()));
+    }
+
+    #[test]
+    fn append_and_verify() {
+        let l = ledger_with(10);
+        assert_eq!(l.len(), 10);
+        assert_eq!(l.verify_chain(), Ok(()));
+    }
+
+    #[test]
+    fn lookup_by_fingerprint() {
+        let l = ledger_with(5);
+        let e = l.find_fingerprint(b"secret-3").expect("registered");
+        assert_eq!(e.subject, "buyer-3");
+        assert!(l.find_fingerprint(b"never-registered").is_none());
+    }
+
+    #[test]
+    fn chronology() {
+        let l = ledger_with(5);
+        assert_eq!(
+            l.earlier_of(b"secret-1", b"secret-4"),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(
+            l.earlier_of(b"secret-4", b"secret-1"),
+            Some(std::cmp::Ordering::Greater)
+        );
+        assert_eq!(l.earlier_of(b"secret-1", b"missing"), None);
+    }
+
+    #[test]
+    fn tampering_with_subject_detected() {
+        let mut l = ledger_with(4);
+        l.entries[2].subject = "mallory".into();
+        let err = l.verify_chain().unwrap_err();
+        assert_eq!(err, LedgerError::Corrupted { index: 2, reason: "bad mac" });
+    }
+
+    #[test]
+    fn tampering_with_timestamp_detected() {
+        let mut l = ledger_with(4);
+        l.entries[1].timestamp = 1;
+        assert!(l.verify_chain().is_err());
+    }
+
+    #[test]
+    fn reordering_detected() {
+        let mut l = ledger_with(4);
+        l.entries.swap(1, 2);
+        assert!(l.verify_chain().is_err());
+    }
+
+    #[test]
+    fn deletion_detected() {
+        let mut l = ledger_with(4);
+        l.entries.remove(1);
+        assert!(l.verify_chain().is_err());
+    }
+
+    #[test]
+    fn recomputed_mac_with_wrong_key_detected() {
+        // An attacker without the ledger key cannot re-MAC a forged entry.
+        let mut l = ledger_with(3);
+        l.entries[1].subject = "mallory".into();
+        let forged_mac = hmac_sha256(b"wrong-key", &l.entries[1].encode_unmacced());
+        l.entries[1].mac = forged_mac;
+        assert!(l.verify_chain().is_err());
+    }
+
+    #[test]
+    fn fingerprint_does_not_store_secret() {
+        let l = ledger_with(1);
+        let secret = b"secret-0";
+        // The entry holds a hash, not the material.
+        assert_eq!(l.entries()[0].fingerprint, sha256(secret));
+        assert_ne!(&l.entries()[0].fingerprint[..], &secret[..]);
+    }
+}

@@ -1,0 +1,18 @@
+//! An append-only, hash-chained fingerprint ledger.
+//!
+//! The paper's buyer-tracing use case (Sec. I): a seller creates a
+//! different watermark per buyer and registers a *description* of it
+//! in an immutable index (e.g. a blockchain); when an unauthorised
+//! copy surfaces, its watermark identifies the leaking buyer, and the
+//! registration timestamp gives chronological evidence for disputes.
+//!
+//! This crate provides that index as a library: each entry commits to
+//! the previous entry's hash (a blockchain-style chain), records are
+//! HMAC-authenticated with the ledger key, and [`Ledger::verify_chain`]
+//! detects any tampering. Entries store a fingerprint digest — the
+//! SHA-256 of the serialised secret list — so the ledger itself never
+//! holds watermark secrets.
+
+mod chain;
+
+pub use chain::{Entry, Ledger, LedgerError};

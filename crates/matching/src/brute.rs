@@ -1,0 +1,101 @@
+//! Exponential exact maximum-weight matcher.
+//!
+//! Used as a correctness oracle for [`crate::blossom`] in property
+//! tests and as the "exact" reference in the ablation benches. Only
+//! suitable for small graphs (≲ 20 edges).
+
+use crate::graph::Graph;
+
+/// Maximum total weight over all matchings of `graph` (the empty
+/// matching has weight 0, so the result is never negative).
+pub fn brute_force_max_weight(graph: &Graph) -> i64 {
+    let edges = graph.edges();
+    let n = graph.num_vertices();
+    let mut used = vec![false; n];
+    fn rec(edges: &[crate::graph::Edge], idx: usize, used: &mut [bool], acc: i64) -> i64 {
+        if idx == edges.len() {
+            return acc;
+        }
+        // Skip edge idx.
+        let mut best = rec(edges, idx + 1, used, acc);
+        let e = edges[idx];
+        if !used[e.u] && !used[e.v] {
+            used[e.u] = true;
+            used[e.v] = true;
+            best = best.max(rec(edges, idx + 1, used, acc + e.weight));
+            used[e.u] = false;
+            used[e.v] = false;
+        }
+        best
+    }
+    rec(edges, 0, &mut used, 0)
+}
+
+/// Edge-index set of one optimal matching (ties broken arbitrarily).
+pub fn brute_force_matching(graph: &Graph) -> Vec<usize> {
+    let edges = graph.edges();
+    let n = graph.num_vertices();
+    let mut used = vec![false; n];
+    let mut best: (i64, Vec<usize>) = (0, Vec::new());
+    let mut cur: Vec<usize> = Vec::new();
+    fn rec(
+        edges: &[crate::graph::Edge],
+        idx: usize,
+        used: &mut [bool],
+        acc: i64,
+        cur: &mut Vec<usize>,
+        best: &mut (i64, Vec<usize>),
+    ) {
+        if idx == edges.len() {
+            if acc > best.0 {
+                *best = (acc, cur.clone());
+            }
+            return;
+        }
+        rec(edges, idx + 1, used, acc, cur, best);
+        let e = edges[idx];
+        if !used[e.u] && !used[e.v] {
+            used[e.u] = true;
+            used[e.v] = true;
+            cur.push(idx);
+            rec(edges, idx + 1, used, acc + e.weight, cur, best);
+            cur.pop();
+            used[e.u] = false;
+            used[e.v] = false;
+        }
+    }
+    rec(edges, 0, &mut used, 0, &mut cur, &mut best);
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_weight_zero() {
+        assert_eq!(brute_force_max_weight(&Graph::new(5)), 0);
+    }
+
+    #[test]
+    fn picks_best_of_triangle() {
+        let g = Graph::from_edges([(0, 1, 3), (1, 2, 4), (0, 2, 5)]);
+        assert_eq!(brute_force_max_weight(&g), 5);
+    }
+
+    #[test]
+    fn combines_disjoint_edges() {
+        let g = Graph::from_edges([(0, 1, 3), (2, 3, 4), (1, 2, 6)]);
+        assert_eq!(brute_force_max_weight(&g), 7);
+        let m = brute_force_matching(&g);
+        assert_eq!(g.weight_of(&m), 7);
+        assert!(g.is_matching(&m));
+    }
+
+    #[test]
+    fn negative_edges_skipped() {
+        let g = Graph::from_edges([(0, 1, -3)]);
+        assert_eq!(brute_force_max_weight(&g), 0);
+        assert!(brute_force_matching(&g).is_empty());
+    }
+}

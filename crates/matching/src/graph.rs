@@ -1,0 +1,155 @@
+//! Weighted undirected graph representation shared by the matchers.
+
+/// An undirected weighted edge `(u, v, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub u: usize,
+    pub v: usize,
+    pub weight: i64,
+}
+
+impl Edge {
+    pub fn new(u: usize, v: usize, weight: i64) -> Self {
+        Edge { u, v, weight }
+    }
+
+    /// The endpoint different from `x`; panics if `x` is not incident.
+    pub fn other(&self, x: usize) -> usize {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} not incident to edge ({}, {})", self.u, self.v)
+        }
+    }
+}
+
+/// A simple undirected weighted graph over vertices `0..n`.
+///
+/// Self-loops are rejected (a token cannot pair with itself); parallel
+/// edges are permitted by the matchers but [`Graph::add_edge`] keeps the
+/// heavier one to match the eligible-pair semantics (one `s_ij` per pair).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { n, edges: Vec::new() }
+    }
+
+    /// Builds a graph from raw edges, growing the vertex count as needed.
+    pub fn from_edges(edges: impl IntoIterator<Item = (usize, usize, i64)>) -> Self {
+        let mut g = Graph::new(0);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adds an undirected edge. Panics on self-loops. If the pair
+    /// already exists, keeps the maximum weight.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: i64) {
+        assert_ne!(u, v, "self-loops are not allowed (token paired with itself)");
+        self.n = self.n.max(u + 1).max(v + 1);
+        if let Some(e) = self
+            .edges
+            .iter_mut()
+            .find(|e| (e.u == u && e.v == v) || (e.u == v && e.v == u))
+        {
+            e.weight = e.weight.max(weight);
+        } else {
+            self.edges.push(Edge::new(u, v, weight));
+        }
+    }
+
+    /// Total weight of a set of edge indices.
+    pub fn weight_of(&self, edge_indices: &[usize]) -> i64 {
+        edge_indices.iter().map(|&i| self.edges[i].weight).sum()
+    }
+
+    /// `true` iff the edge-index set is a matching (no shared vertices).
+    pub fn is_matching(&self, edge_indices: &[usize]) -> bool {
+        let mut seen = vec![false; self.n];
+        for &i in edge_indices {
+            let e = self.edges[i];
+            if seen[e.u] || seen[e.v] {
+                return false;
+            }
+            seen[e.u] = true;
+            seen[e.v] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_grows() {
+        let mut g = Graph::new(0);
+        g.add_edge(0, 3, 5);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 1);
+        g.add_edge(1, 2, 7);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_edge_keeps_max_weight() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 0, 9);
+        g.add_edge(0, 1, 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edges()[0].weight, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        Graph::new(2).add_edge(1, 1, 3);
+    }
+
+    #[test]
+    fn matching_check() {
+        let g = Graph::from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert!(g.is_matching(&[0, 2]));
+        assert!(!g.is_matching(&[0, 1]));
+        assert!(g.is_matching(&[]));
+    }
+
+    #[test]
+    fn edge_other() {
+        let e = Edge::new(2, 5, 1);
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not incident")]
+    fn edge_other_panics() {
+        Edge::new(2, 5, 1).other(3);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's two heuristic matchers (Sec. III-B2).
+//!
+//! * **Greedy** — sort eligible pairs ascending by remainder (here:
+//!   descending by weight, since weight = T − remainder) and take each
+//!   pair whose endpoints are still free.
+//! * **Random** — same, but visit pairs in a seeded random order.
+//!
+//! Both return *maximal* matchings (no extendable edge is skipped);
+//! the budget check is applied later by the selection pipeline.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+/// Greedy maximal matching: edges visited in descending weight
+/// (ties broken by edge index for determinism). Returns edge indices.
+pub fn greedy_matching(graph: &Graph) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..graph.num_edges()).collect();
+    order.sort_by(|&a, &b| {
+        graph.edges()[b]
+            .weight
+            .cmp(&graph.edges()[a].weight)
+            .then(a.cmp(&b))
+    });
+    take_in_order(graph, &order)
+}
+
+/// Random maximal matching: edges visited in an `rng`-shuffled order.
+pub fn random_matching<R: RngCore>(graph: &Graph, rng: &mut R) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..graph.num_edges()).collect();
+    order.shuffle(rng);
+    take_in_order(graph, &order)
+}
+
+fn take_in_order(graph: &Graph, order: &[usize]) -> Vec<usize> {
+    let mut used = vec![false; graph.num_vertices()];
+    let mut chosen = Vec::new();
+    for &i in order {
+        let e = graph.edges()[i];
+        if !used[e.u] && !used[e.v] {
+            used[e.u] = true;
+            used[e.v] = true;
+            chosen.push(i);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_prefers_heavy_edges() {
+        // Greedy takes (1,2,11) first, blocking both light edges.
+        let g = Graph::from_edges([(0, 1, 5), (1, 2, 11), (2, 3, 5)]);
+        assert_eq!(greedy_matching(&g), vec![1]);
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let g = Graph::from_edges([(0, 1, 1), (2, 3, 1), (4, 5, 1)]);
+        let m = greedy_matching(&g);
+        assert_eq!(m.len(), 3);
+        assert!(g.is_matching(&m));
+    }
+
+    #[test]
+    fn greedy_deterministic() {
+        let g = Graph::from_edges([(0, 1, 5), (1, 2, 5), (2, 3, 5), (3, 0, 5)]);
+        assert_eq!(greedy_matching(&g), greedy_matching(&g));
+    }
+
+    #[test]
+    fn random_is_valid_and_seeded() {
+        let g = Graph::from_edges([(0, 1, 5), (1, 2, 4), (2, 3, 3), (3, 4, 2), (4, 5, 1)]);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let m1 = random_matching(&g, &mut r1);
+        let m2 = random_matching(&g, &mut r2);
+        assert_eq!(m1, m2, "same seed, same matching");
+        assert!(g.is_matching(&m1));
+        assert!(!m1.is_empty());
+    }
+
+    #[test]
+    fn random_matchings_are_maximal() {
+        let g = Graph::from_edges([(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let m = random_matching(&g, &mut rng);
+            assert!(g.is_matching(&m));
+            // A maximal matching on a 6-path has 2 or 3 edges.
+            assert!((2..=3).contains(&m.len()), "got {}", m.len());
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(4);
+        assert!(greedy_matching(&g).is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_matching(&g, &mut rng).is_empty());
+    }
+}

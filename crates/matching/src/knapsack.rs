@@ -1,0 +1,152 @@
+//! Equally-valued 0/1 knapsack (QKP) — Sec. III-B2.
+//!
+//! The general 0/1 knapsack is NP-hard, but when every item has value
+//! 1 the optimum is obtained by sorting the items ascending by weight
+//! and taking them until the capacity is exhausted
+//! ([`equal_value_knapsack`]). FreqyWM's real budget (cosine
+//! similarity) is not additive, so the core pipeline uses the
+//! predicate-driven variant [`greedy_under_predicate`], which admits an
+//! item only if the caller-supplied constraint still holds after
+//! tentatively applying it.
+
+/// Selects the maximum number of items whose total weight does not
+/// exceed `capacity`. Returns item indices in ascending-weight order.
+///
+/// This greedy is optimal: exchanging any selected item for a heavier
+/// unselected one can only reduce the remaining capacity.
+pub fn equal_value_knapsack(weights: &[i64], capacity: i64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (weights[i], i));
+    let mut total: i64 = 0;
+    let mut chosen = Vec::new();
+    for i in order {
+        let w = weights[i].max(0);
+        if total + w <= capacity {
+            total += w;
+            chosen.push(i);
+        } else {
+            break; // all remaining items are at least as heavy
+        }
+    }
+    chosen
+}
+
+/// Greedy selection under an arbitrary feasibility predicate.
+///
+/// Items are visited in the given `order`; `admit(i)` tentatively
+/// applies item `i` and returns whether the budget constraint still
+/// holds — if not, the caller must roll the tentative application back
+/// before returning `false`. Unlike the additive knapsack, one
+/// violation does not stop the scan (a later, lighter item may still
+/// fit), matching the paper's greedy description ("continues until b is
+/// exhausted or there is no more item to visit").
+pub fn greedy_under_predicate<F>(order: &[usize], mut admit: F) -> Vec<usize>
+where
+    F: FnMut(usize) -> bool,
+{
+    let mut chosen = Vec::new();
+    for &i in order {
+        if admit(i) {
+            chosen.push(i);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn takes_lightest_first() {
+        let chosen = equal_value_knapsack(&[5, 1, 3, 2], 6);
+        // weights sorted: 1,2,3,5 -> 1+2+3=6 fits, 5 does not.
+        assert_eq!(chosen, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_takes_only_zero_weight() {
+        assert!(equal_value_knapsack(&[1, 2], 0).is_empty());
+        assert_eq!(equal_value_knapsack(&[0, 2], 0), vec![0]);
+    }
+
+    #[test]
+    fn all_fit() {
+        assert_eq!(equal_value_knapsack(&[1, 1, 1], 100).len(), 3);
+    }
+
+    #[test]
+    fn empty_items() {
+        assert!(equal_value_knapsack(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn negative_weights_treated_as_zero_cost() {
+        // Defensive: a negative "cost" cannot free budget.
+        let chosen = equal_value_knapsack(&[-5, 3], 2);
+        assert_eq!(chosen, vec![0]);
+    }
+
+    #[test]
+    fn predicate_greedy_skips_and_continues() {
+        // Budget of 6 in an additive disguise, but with a scan order
+        // that hits an over-budget item in the middle.
+        let weights = [4i64, 5, 2];
+        let mut total = 0i64;
+        let chosen = greedy_under_predicate(&[0, 1, 2], |i| {
+            if total + weights[i] <= 6 {
+                total += weights[i];
+                true
+            } else {
+                false
+            }
+        });
+        // 4 fits, 5 does not, 2 fits: the scan must not stop at 5.
+        assert_eq!(chosen, vec![0, 2]);
+    }
+
+    proptest! {
+        /// Greedy count is optimal for the equal-value knapsack:
+        /// compare against exhaustive search on small instances.
+        #[test]
+        fn greedy_count_is_optimal(
+            weights in proptest::collection::vec(0i64..50, 0..12),
+            capacity in 0i64..120,
+        ) {
+            let greedy = equal_value_knapsack(&weights, capacity).len();
+            // Exhaustive optimum.
+            let n = weights.len();
+            let mut best = 0usize;
+            for mask in 0u32..(1 << n) {
+                let mut w = 0i64;
+                let mut cnt = 0usize;
+                for (i, &wi) in weights.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        w += wi.max(0);
+                        cnt += 1;
+                    }
+                }
+                if w <= capacity {
+                    best = best.max(cnt);
+                }
+            }
+            prop_assert_eq!(greedy, best);
+        }
+
+        #[test]
+        fn selection_within_capacity(
+            weights in proptest::collection::vec(0i64..100, 0..32),
+            capacity in 0i64..500,
+        ) {
+            let chosen = equal_value_knapsack(&weights, capacity);
+            let total: i64 = chosen.iter().map(|&i| weights[i]).sum();
+            prop_assert!(total <= capacity);
+            // No duplicates.
+            let mut sorted = chosen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), chosen.len());
+        }
+    }
+}

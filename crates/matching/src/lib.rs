@@ -1,0 +1,31 @@
+//! Graph-matching substrate for FreqyWM.
+//!
+//! The paper reduces optimal watermark-pair selection to **Maximum
+//! Weight Matching** on the eligible-pair graph followed by an
+//! **equally-valued 0/1 knapsack** over the matched edges
+//! (Sec. III-B2). This crate provides:
+//!
+//! * [`blossom`] — Galil's O(V³) maximum-weight matching for general
+//!   graphs (the blossom algorithm, ported from the classical
+//!   van Rantwijk formulation used by NetworkX), with an optional
+//!   maximum-cardinality mode;
+//! * [`greedy`] — greedy and seeded-random maximal matchings (the
+//!   paper's two heuristics);
+//! * [`brute`] — exponential exact matcher used as a test oracle and
+//!   in ablation benches;
+//! * [`knapsack`] — the polynomial equally-valued knapsack (maximise
+//!   item count under a capacity), plus a callback-driven variant for
+//!   non-additive budgets such as cosine similarity;
+//! * [`graph`] — the weighted-edge representation shared by all of the
+//!   above.
+
+pub mod blossom;
+pub mod brute;
+pub mod graph;
+pub mod greedy;
+pub mod knapsack;
+
+pub use blossom::max_weight_matching;
+pub use graph::{Edge, Graph};
+pub use greedy::{greedy_matching, random_matching};
+pub use knapsack::{equal_value_knapsack, greedy_under_predicate};

@@ -1,0 +1,301 @@
+//! A single LSTM layer with full backpropagation through time.
+//!
+//! Gate layout in the stacked weight matrices: `[i, f, g, o]` (input,
+//! forget, cell candidate, output), each of size `hidden`. The
+//! analytic gradients are validated against central finite differences
+//! in the test-suite.
+
+use crate::nn::{sigmoid, Matrix};
+use rand::RngCore;
+
+/// LSTM parameters.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    pub input: usize,
+    pub hidden: usize,
+    /// `(4·hidden) × input`.
+    pub w: Matrix,
+    /// `(4·hidden) × hidden`.
+    pub u: Matrix,
+    /// `4·hidden`.
+    pub b: Vec<f64>,
+}
+
+/// Gradients of the LSTM parameters (same shapes).
+#[derive(Debug, Clone)]
+pub struct LstmGrads {
+    pub w: Matrix,
+    pub u: Matrix,
+    pub b: Vec<f64>,
+}
+
+/// Per-step cache needed by the backward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    tanh_c: Vec<f64>,
+}
+
+/// Forward trace over a sequence.
+#[derive(Debug, Clone)]
+pub struct LstmTrace {
+    steps: Vec<StepCache>,
+    /// Hidden state after each step (`steps.len()` entries).
+    pub hidden_states: Vec<Vec<f64>>,
+}
+
+impl Lstm {
+    pub fn new<R: RngCore>(input: usize, hidden: usize, rng: &mut R) -> Self {
+        let mut lstm = Lstm {
+            input,
+            hidden,
+            w: Matrix::xavier(4 * hidden, input, rng),
+            u: Matrix::xavier(4 * hidden, hidden, rng),
+            b: vec![0.0; 4 * hidden],
+        };
+        // Forget-gate bias 1.0: standard trick for gradient flow.
+        for j in 0..hidden {
+            lstm.b[hidden + j] = 1.0;
+        }
+        lstm
+    }
+
+    pub fn zero_grads(&self) -> LstmGrads {
+        LstmGrads {
+            w: Matrix::zeros(4 * self.hidden, self.input),
+            u: Matrix::zeros(4 * self.hidden, self.hidden),
+            b: vec![0.0; 4 * self.hidden],
+        }
+    }
+
+    /// Runs the sequence from zero initial state; returns the trace.
+    pub fn forward(&self, inputs: &[Vec<f64>]) -> LstmTrace {
+        let h = self.hidden;
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        let mut steps = Vec::with_capacity(inputs.len());
+        let mut hidden_states = Vec::with_capacity(inputs.len());
+        for x in inputs {
+            assert_eq!(x.len(), self.input, "input width mismatch");
+            let mut z = self.w.matvec(x);
+            let uh = self.u.matvec(&h_prev);
+            for (zi, ui) in z.iter_mut().zip(&uh) {
+                *zi += ui;
+            }
+            for (zi, bi) in z.iter_mut().zip(&self.b) {
+                *zi += bi;
+            }
+            let i: Vec<f64> = z[..h].iter().map(|&v| sigmoid(v)).collect();
+            let f: Vec<f64> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
+            let g: Vec<f64> = z[2 * h..3 * h].iter().map(|&v| v.tanh()).collect();
+            let o: Vec<f64> = z[3 * h..4 * h].iter().map(|&v| sigmoid(v)).collect();
+            let c: Vec<f64> = (0..h).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
+            let tanh_c: Vec<f64> = c.iter().map(|&v| v.tanh()).collect();
+            let h_new: Vec<f64> = (0..h).map(|j| o[j] * tanh_c[j]).collect();
+            steps.push(StepCache {
+                x: x.clone(),
+                h_prev: h_prev.clone(),
+                c_prev: c_prev.clone(),
+                i,
+                f,
+                g,
+                o,
+                tanh_c,
+            });
+            hidden_states.push(h_new.clone());
+            h_prev = h_new;
+            c_prev = c;
+        }
+        LstmTrace { steps, hidden_states }
+    }
+
+    /// Backpropagation through time. `dh_out[t]` is the loss gradient
+    /// w.r.t. the hidden state at step `t` (zeros where the loss does
+    /// not read the state). Accumulates parameter gradients into
+    /// `grads` and returns the gradients w.r.t. the inputs.
+    pub fn backward(
+        &self,
+        trace: &LstmTrace,
+        dh_out: &[Vec<f64>],
+        grads: &mut LstmGrads,
+    ) -> Vec<Vec<f64>> {
+        let h = self.hidden;
+        let n = trace.steps.len();
+        assert_eq!(dh_out.len(), n, "one dh per step required");
+        let mut dx = vec![vec![0.0; self.input]; n];
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..n).rev() {
+            let s = &trace.steps[t];
+            let mut dh: Vec<f64> = dh_out[t].clone();
+            for (a, b) in dh.iter_mut().zip(&dh_next) {
+                *a += b;
+            }
+            let mut dz = vec![0.0; 4 * h];
+            let mut dc_prev = vec![0.0; h];
+            for j in 0..h {
+                let d_o = dh[j] * s.tanh_c[j];
+                let dc = dc_next[j] + dh[j] * s.o[j] * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
+                let d_f = dc * s.c_prev[j];
+                let d_i = dc * s.g[j];
+                let d_g = dc * s.i[j];
+                dc_prev[j] = dc * s.f[j];
+                dz[j] = d_i * s.i[j] * (1.0 - s.i[j]);
+                dz[h + j] = d_f * s.f[j] * (1.0 - s.f[j]);
+                dz[2 * h + j] = d_g * (1.0 - s.g[j] * s.g[j]);
+                dz[3 * h + j] = d_o * s.o[j] * (1.0 - s.o[j]);
+            }
+            grads.w.add_outer(1.0, &dz, &s.x);
+            grads.u.add_outer(1.0, &dz, &s.h_prev);
+            for (gb, d) in grads.b.iter_mut().zip(&dz) {
+                *gb += d;
+            }
+            dx[t] = self.w.matvec_t(&dz);
+            dh_next = self.u.matvec_t(&dz);
+            dc_next = dc_prev;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Scalar loss for gradient checking: sum of the last hidden state.
+    fn loss_of(lstm: &Lstm, inputs: &[Vec<f64>]) -> f64 {
+        let trace = lstm.forward(inputs);
+        trace.hidden_states.last().expect("non-empty").iter().sum()
+    }
+
+    fn dh_for_sum_loss(n: usize, h: usize) -> Vec<Vec<f64>> {
+        let mut dh = vec![vec![0.0; h]; n];
+        dh[n - 1] = vec![1.0; h];
+        dh
+    }
+
+    #[test]
+    fn forward_shapes_and_state_evolution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let inputs: Vec<Vec<f64>> = (0..4).map(|t| vec![t as f64 * 0.1; 3]).collect();
+        let trace = lstm.forward(&inputs);
+        assert_eq!(trace.hidden_states.len(), 4);
+        assert!(trace.hidden_states.iter().all(|h| h.len() == 5));
+        // Hidden values bounded by tanh × sigmoid.
+        assert!(trace
+            .hidden_states
+            .iter()
+            .flatten()
+            .all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let inputs: Vec<Vec<f64>> =
+            (0..3).map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let trace = lstm.forward(&inputs);
+        let mut grads = lstm.zero_grads();
+        lstm.backward(&trace, &dh_for_sum_loss(3, 3), &mut grads);
+
+        let eps = 1e-5;
+        // Check a spread of W, U and b entries.
+        for idx in [0usize, 5, 11, 17, 23] {
+            let orig = lstm.w.data[idx];
+            lstm.w.data[idx] = orig + eps;
+            let lp = loss_of(&lstm, &inputs);
+            lstm.w.data[idx] = orig - eps;
+            let lm = loss_of(&lstm, &inputs);
+            lstm.w.data[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.w.data[idx]).abs() < 1e-6,
+                "W[{idx}]: fd {fd} vs analytic {}",
+                grads.w.data[idx]
+            );
+        }
+        for idx in [0usize, 7, 19, 35] {
+            let orig = lstm.u.data[idx];
+            lstm.u.data[idx] = orig + eps;
+            let lp = loss_of(&lstm, &inputs);
+            lstm.u.data[idx] = orig - eps;
+            let lm = loss_of(&lstm, &inputs);
+            lstm.u.data[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.u.data[idx]).abs() < 1e-6,
+                "U[{idx}]: fd {fd} vs analytic {}",
+                grads.u.data[idx]
+            );
+        }
+        for idx in 0..12 {
+            let orig = lstm.b[idx];
+            lstm.b[idx] = orig + eps;
+            let lp = loss_of(&lstm, &inputs);
+            lstm.b[idx] = orig - eps;
+            let lm = loss_of(&lstm, &inputs);
+            lstm.b[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grads.b[idx]).abs() < 1e-6,
+                "b[{idx}]: fd {fd} vs analytic {}",
+                grads.b[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(2, 4, &mut rng);
+        let mut inputs: Vec<Vec<f64>> =
+            (0..3).map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let trace = lstm.forward(&inputs);
+        let mut grads = lstm.zero_grads();
+        let dx = lstm.backward(&trace, &dh_for_sum_loss(3, 4), &mut grads);
+
+        let eps = 1e-5;
+        for t in 0..3 {
+            for d in 0..2 {
+                let orig = inputs[t][d];
+                inputs[t][d] = orig + eps;
+                let lp = loss_of(&lstm, &inputs);
+                inputs[t][d] = orig - eps;
+                let lm = loss_of(&lstm, &inputs);
+                inputs[t][d] = orig;
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - dx[t][d]).abs() < 1e-6,
+                    "x[{t}][{d}]: fd {fd} vs analytic {}",
+                    dx[t][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        assert!(lstm.b[3..6].iter().all(|&b| b == 1.0));
+        assert!(lstm.b[..3].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn input_width_checked() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lstm = Lstm::new(3, 2, &mut rng);
+        lstm.forward(&[vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Embedding → LSTM → softmax next-token classifier with end-to-end
+//! backpropagation and Adam, matching the paper's architecture sketch
+//! (embedding layer, LSTM layer, output layer).
+
+use crate::lstm::Lstm;
+use crate::nn::{softmax, softmax_cross_entropy, Adam, Matrix};
+use rand::RngCore;
+
+/// Model dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelConfig {
+    pub vocab: usize,
+    pub embedding: usize,
+    pub hidden: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig { vocab: 64, embedding: 16, hidden: 32 }
+    }
+}
+
+/// The next-token model.
+#[derive(Debug, Clone)]
+pub struct NextTokenModel {
+    pub config: ModelConfig,
+    /// `vocab × embedding`.
+    embedding: Matrix,
+    lstm: Lstm,
+    /// `vocab × hidden`.
+    out_w: Matrix,
+    out_b: Vec<f64>,
+    // Optimiser state.
+    opt_embedding: Adam,
+    opt_lstm_w: Adam,
+    opt_lstm_u: Adam,
+    opt_lstm_b: Adam,
+    opt_out_w: Adam,
+    opt_out_b: Adam,
+}
+
+impl NextTokenModel {
+    pub fn new<R: RngCore>(config: ModelConfig, lr: f64, rng: &mut R) -> Self {
+        assert!(config.vocab >= 2 && config.embedding >= 1 && config.hidden >= 1);
+        let embedding = Matrix::xavier(config.vocab, config.embedding, rng);
+        let lstm = Lstm::new(config.embedding, config.hidden, rng);
+        let out_w = Matrix::xavier(config.vocab, config.hidden, rng);
+        let out_b = vec![0.0; config.vocab];
+        NextTokenModel {
+            opt_embedding: Adam::new(embedding.data.len(), lr),
+            opt_lstm_w: Adam::new(lstm.w.data.len(), lr),
+            opt_lstm_u: Adam::new(lstm.u.data.len(), lr),
+            opt_lstm_b: Adam::new(lstm.b.len(), lr),
+            opt_out_w: Adam::new(out_w.data.len(), lr),
+            opt_out_b: Adam::new(out_b.len(), lr),
+            config,
+            embedding,
+            lstm,
+            out_w,
+            out_b,
+        }
+    }
+
+    fn embed(&self, id: usize) -> Vec<f64> {
+        let e = self.config.embedding;
+        self.embedding.data[id * e..(id + 1) * e].to_vec()
+    }
+
+    /// Logits for the next token after `context`.
+    pub fn logits(&self, context: &[usize]) -> Vec<f64> {
+        assert!(!context.is_empty(), "context must be non-empty");
+        let inputs: Vec<Vec<f64>> = context.iter().map(|&id| self.embed(id)).collect();
+        let trace = self.lstm.forward(&inputs);
+        let h_last = trace.hidden_states.last().expect("non-empty");
+        let mut logits = self.out_w.matvec(h_last);
+        for (l, b) in logits.iter_mut().zip(&self.out_b) {
+            *l += b;
+        }
+        logits
+    }
+
+    /// Probability distribution over the next token.
+    pub fn predict_proba(&self, context: &[usize]) -> Vec<f64> {
+        softmax(&self.logits(context))
+    }
+
+    /// Most likely next token id.
+    pub fn predict(&self, context: &[usize]) -> usize {
+        self.logits(context)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty vocab")
+    }
+
+    /// One SGD step on a (context, target) example over a mini-batch of
+    /// accumulated gradients. Returns the mean loss.
+    pub fn train_batch(&mut self, batch: &[(Vec<usize>, usize)]) -> f64 {
+        assert!(!batch.is_empty(), "empty batch");
+        let e = self.config.embedding;
+        let mut g_embedding = Matrix::zeros(self.config.vocab, e);
+        let mut g_lstm = self.lstm.zero_grads();
+        let mut g_out_w = Matrix::zeros(self.config.vocab, self.config.hidden);
+        let mut g_out_b = vec![0.0; self.config.vocab];
+        let mut total_loss = 0.0;
+        for (context, target) in batch {
+            assert!(!context.is_empty());
+            assert!(*target < self.config.vocab);
+            let inputs: Vec<Vec<f64>> = context.iter().map(|&id| self.embed(id)).collect();
+            let trace = self.lstm.forward(&inputs);
+            let h_last = trace.hidden_states.last().expect("non-empty").clone();
+            let mut logits = self.out_w.matvec(&h_last);
+            for (l, b) in logits.iter_mut().zip(&self.out_b) {
+                *l += b;
+            }
+            let (loss, dlogits) = softmax_cross_entropy(&logits, *target);
+            total_loss += loss;
+            // Output layer gradients.
+            g_out_w.add_outer(1.0, &dlogits, &h_last);
+            for (g, d) in g_out_b.iter_mut().zip(&dlogits) {
+                *g += d;
+            }
+            // Gradient w.r.t. the last hidden state.
+            let dh_last = self.out_w.matvec_t(&dlogits);
+            let mut dh_out = vec![vec![0.0; self.config.hidden]; context.len()];
+            *dh_out.last_mut().expect("non-empty") = dh_last;
+            let dx = self.lstm.backward(&trace, &dh_out, &mut g_lstm);
+            // Embedding gradients (scatter by token id).
+            for (x, &id) in dx.iter().zip(context.iter()) {
+                for (d, &g) in x.iter().enumerate() {
+                    g_embedding.data[id * e + d] += g;
+                }
+            }
+        }
+        let scale = 1.0 / batch.len() as f64;
+        for g in g_embedding
+            .data
+            .iter_mut()
+            .chain(g_lstm.w.data.iter_mut())
+            .chain(g_lstm.u.data.iter_mut())
+            .chain(g_lstm.b.iter_mut())
+            .chain(g_out_w.data.iter_mut())
+            .chain(g_out_b.iter_mut())
+        {
+            *g *= scale;
+        }
+        self.opt_embedding.step(&mut self.embedding.data, &g_embedding.data);
+        self.opt_lstm_w.step(&mut self.lstm.w.data, &g_lstm.w.data);
+        self.opt_lstm_u.step(&mut self.lstm.u.data, &g_lstm.u.data);
+        self.opt_lstm_b.step(&mut self.lstm.b, &g_lstm.b);
+        self.opt_out_w.step(&mut self.out_w.data, &g_out_w.data);
+        self.opt_out_b.step(&mut self.out_b, &g_out_b);
+        total_loss * scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> NextTokenModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NextTokenModel::new(ModelConfig { vocab: 5, embedding: 4, hidden: 8 }, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn prediction_shapes() {
+        let m = tiny_model(1);
+        let p = m.predict_proba(&[1, 2, 3]);
+        assert_eq!(p.len(), 5);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(m.predict(&[1, 2, 3]) < 5);
+    }
+
+    #[test]
+    fn learns_a_deterministic_pattern() {
+        // Sequence rule: token (x) is always followed by (x + 1) mod 5.
+        let mut m = tiny_model(2);
+        let mut batch = Vec::new();
+        for x in 0..5usize {
+            batch.push((vec![x], (x + 1) % 5));
+        }
+        let first_loss = m.train_batch(&batch);
+        let mut last_loss = first_loss;
+        for _ in 0..400 {
+            last_loss = m.train_batch(&batch);
+        }
+        assert!(last_loss < first_loss * 0.2, "loss {first_loss} -> {last_loss}");
+        for x in 0..5usize {
+            assert_eq!(m.predict(&[x]), (x + 1) % 5, "after {x}");
+        }
+    }
+
+    #[test]
+    fn learns_a_context_dependent_rule() {
+        // Next token depends on the sum of a 2-token context (parity).
+        let mut m = tiny_model(3);
+        let mut batch = Vec::new();
+        for a in 0..4usize {
+            for b in 0..4usize {
+                batch.push((vec![a, b], (a + b) % 2));
+            }
+        }
+        for _ in 0..500 {
+            m.train_batch(&batch);
+        }
+        let correct = batch
+            .iter()
+            .filter(|(ctx, tgt)| m.predict(ctx) == *tgt)
+            .count();
+        assert!(
+            correct as f64 / batch.len() as f64 > 0.9,
+            "accuracy {}/{}",
+            correct,
+            batch.len()
+        );
+    }
+
+    #[test]
+    fn loss_decreases_on_average() {
+        let mut m = tiny_model(4);
+        let batch = vec![(vec![0, 1, 2], 3), (vec![1, 2, 3], 4), (vec![2, 3, 4], 0)];
+        let early: f64 = (0..5).map(|_| m.train_batch(&batch)).sum::<f64>() / 5.0;
+        for _ in 0..200 {
+            m.train_batch(&batch);
+        }
+        let late: f64 = (0..5).map(|_| m.train_batch(&batch)).sum::<f64>() / 5.0;
+        assert!(late < early, "{early} -> {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        tiny_model(5).train_batch(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_context_panics() {
+        tiny_model(6).logits(&[]);
+    }
+}

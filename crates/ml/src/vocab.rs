@@ -1,0 +1,103 @@
+//! Token ↔ id vocabulary with an UNK bucket.
+//!
+//! The predictor caps the vocabulary at the `max_size − 1` most
+//! frequent tokens; everything else maps to UNK (id 0), mirroring the
+//! usual treatment of long-tail URLs.
+
+use freqywm_data::histogram::Histogram;
+use freqywm_data::token::Token;
+use std::collections::HashMap;
+
+/// Reserved id for unknown / out-of-vocabulary tokens.
+pub const UNK: usize = 0;
+
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    ids: HashMap<Token, usize>,
+    tokens: Vec<Token>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from the `max_size − 1` most frequent tokens
+    /// of `hist` (id 0 is UNK).
+    pub fn build(hist: &Histogram, max_size: usize) -> Self {
+        assert!(max_size >= 2, "vocabulary needs UNK plus at least one token");
+        let mut tokens = vec![Token::new("<UNK>")];
+        let mut ids = HashMap::new();
+        for (t, _) in hist.entries().iter().take(max_size - 1) {
+            ids.insert(t.clone(), tokens.len());
+            tokens.push(t.clone());
+        }
+        Vocab { ids, tokens }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 1
+    }
+
+    /// Id of a token (UNK when out of vocabulary).
+    pub fn id_of(&self, token: &Token) -> usize {
+        self.ids.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Token of an id.
+    pub fn token_of(&self, id: usize) -> &Token {
+        &self.tokens[id]
+    }
+
+    /// Encodes a token sequence.
+    pub fn encode(&self, tokens: &[Token]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id_of(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram::from_counts([
+            (Token::new("a"), 100u64),
+            (Token::new("b"), 50),
+            (Token::new("c"), 10),
+            (Token::new("d"), 1),
+        ])
+    }
+
+    #[test]
+    fn caps_at_max_size_with_unk() {
+        let v = Vocab::build(&hist(), 3);
+        assert_eq!(v.len(), 3); // UNK + a + b
+        assert_eq!(v.id_of(&Token::new("a")), 1);
+        assert_eq!(v.id_of(&Token::new("b")), 2);
+        assert_eq!(v.id_of(&Token::new("c")), UNK);
+        assert_eq!(v.id_of(&Token::new("zzz")), UNK);
+    }
+
+    #[test]
+    fn round_trip_ids() {
+        let v = Vocab::build(&hist(), 10);
+        for id in 1..v.len() {
+            let t = v.token_of(id).clone();
+            assert_eq!(v.id_of(&t), id);
+        }
+        assert_eq!(v.token_of(UNK).as_str(), "<UNK>");
+    }
+
+    #[test]
+    fn encode_sequence() {
+        let v = Vocab::build(&hist(), 3);
+        let seq = [Token::new("a"), Token::new("d"), Token::new("b")];
+        assert_eq!(v.encode(&seq), vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "UNK")]
+    fn too_small_vocab_panics() {
+        Vocab::build(&hist(), 1);
+    }
+}

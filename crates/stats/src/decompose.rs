@@ -1,0 +1,251 @@
+//! Additive time-series decomposition: `y_t = trend_t + seasonal_t +
+//! residual_t`.
+//!
+//! Sec. VI (Figs. 6–8) analyses the eyeWnder click-stream's trend,
+//! seasonality and residuals before and after ten successive
+//! watermarks. We implement the classical decomposition: centred
+//! moving-average trend, period-mean seasonality of the detrended
+//! series, residual as the remainder.
+
+/// Result of [`decompose_additive`]. All series have the input length;
+/// positions where the centred moving average is undefined (the first
+/// and last `period/2` points) carry the nearest defined trend value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    pub trend: Vec<f64>,
+    pub seasonal: Vec<f64>,
+    pub residual: Vec<f64>,
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Reconstructs the original series (trend + seasonal + residual).
+    pub fn reconstruct(&self) -> Vec<f64> {
+        self.trend
+            .iter()
+            .zip(&self.seasonal)
+            .zip(&self.residual)
+            .map(|((t, s), r)| t + s + r)
+            .collect()
+    }
+}
+
+/// Centred moving average of window `period` (even windows use the
+/// standard 2×MA). Edges are padded with the nearest defined value.
+pub fn centered_moving_average(series: &[f64], period: usize) -> Vec<f64> {
+    assert!(period >= 1, "period must be >= 1");
+    let n = series.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if period == 1 {
+        return series.to_vec();
+    }
+    let half = period / 2;
+    let mut out = vec![f64::NAN; n];
+    #[allow(clippy::needless_range_loop)] // windows are index-centred
+    if period % 2 == 1 {
+        for i in half..n.saturating_sub(half) {
+            let window = &series[i - half..=i + half];
+            out[i] = window.iter().sum::<f64>() / period as f64;
+        }
+    } else {
+        // 2xMA: average of two adjacent period-length windows.
+        for i in half..n.saturating_sub(half) {
+            let lo = i - half;
+            if i + half >= n {
+                continue;
+            }
+            let w1: f64 = series[lo..lo + period].iter().sum::<f64>() / period as f64;
+            let w2: f64 = series[lo + 1..lo + 1 + period.min(n - lo - 1)]
+                .iter()
+                .sum::<f64>()
+                / period as f64;
+            out[i] = (w1 + w2) / 2.0;
+        }
+    }
+    // Edge fill: propagate nearest defined value outward.
+    let first_def = out.iter().position(|x| !x.is_nan());
+    let last_def = out.iter().rposition(|x| !x.is_nan());
+    match (first_def, last_def) {
+        (Some(f), Some(l)) => {
+            let (fv, lv) = (out[f], out[l]);
+            for x in out[..f].iter_mut() {
+                *x = fv;
+            }
+            for x in out[l + 1..].iter_mut() {
+                *x = lv;
+            }
+        }
+        _ => {
+            // Window longer than the series: fall back to the global mean.
+            let mean = series.iter().sum::<f64>() / n as f64;
+            out.iter_mut().for_each(|x| *x = mean);
+        }
+    }
+    out
+}
+
+/// Classical additive decomposition with the given seasonal `period`.
+///
+/// Panics if `period == 0` or the series is empty.
+pub fn decompose_additive(series: &[f64], period: usize) -> Decomposition {
+    assert!(period >= 1, "period must be >= 1");
+    assert!(!series.is_empty(), "series must be non-empty");
+    let n = series.len();
+    let trend = centered_moving_average(series, period);
+    let detrended: Vec<f64> = series.iter().zip(&trend).map(|(y, t)| y - t).collect();
+
+    // Seasonal component: mean of detrended values per phase, centred
+    // so the seasonal means sum to ~0 over one period.
+    let mut phase_sum = vec![0.0f64; period];
+    let mut phase_cnt = vec![0usize; period];
+    for (i, &d) in detrended.iter().enumerate() {
+        phase_sum[i % period] += d;
+        phase_cnt[i % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_cnt)
+        .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for m in phase_mean.iter_mut() {
+        *m -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|i| phase_mean[i % period]).collect();
+    let residual: Vec<f64> = series
+        .iter()
+        .zip(&trend)
+        .zip(&seasonal)
+        .map(|((y, t), s)| y - t - s)
+        .collect();
+
+    Decomposition { trend, seasonal, residual, period }
+}
+
+/// Maximum absolute difference between two equally long series —
+/// the "insignificant change" check in the Figs. 6–8 discussion.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired series required");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Pearson correlation between two series (1.0 for identical shapes).
+pub fn series_correlation(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired series required");
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 1.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ma_of_constant_series_is_constant() {
+        let s = vec![5.0; 20];
+        for period in [1, 2, 3, 7] {
+            let ma = centered_moving_average(&s, period);
+            assert!(ma.iter().all(|&x| (x - 5.0).abs() < 1e-12), "period {period}");
+        }
+    }
+
+    #[test]
+    fn ma_period_one_is_identity() {
+        let s = vec![1.0, 4.0, 2.0, 8.0];
+        assert_eq!(centered_moving_average(&s, 1), s);
+    }
+
+    #[test]
+    fn ma_smooths_linear_trend_exactly() {
+        // A centred MA of a linear series reproduces it in the interior.
+        let s: Vec<f64> = (0..30).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let ma = centered_moving_average(&s, 5);
+        for i in 2..28 {
+            assert!((ma[i] - s[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn decomposition_reconstructs_series() {
+        let s: Vec<f64> = (0..48)
+            .map(|i| 10.0 + 0.5 * i as f64 + 3.0 * ((i % 12) as f64 - 5.5))
+            .collect();
+        let d = decompose_additive(&s, 12);
+        let rec = d.reconstruct();
+        for (a, b) in s.iter().zip(&rec) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seasonal_component_detected() {
+        // Pure seasonal signal, period 4, no trend.
+        let pattern = [4.0, -1.0, -2.0, -1.0];
+        let s: Vec<f64> = (0..64).map(|i| 100.0 + pattern[i % 4]).collect();
+        let d = decompose_additive(&s, 4);
+        // Interior seasonal estimates must recover the pattern.
+        for i in 8..56 {
+            assert!(
+                (d.seasonal[i] - pattern[i % 4]).abs() < 0.2,
+                "i={i}: {} vs {}",
+                d.seasonal[i],
+                pattern[i % 4]
+            );
+        }
+        // Residuals near zero in the interior.
+        assert!(d.residual[8..56].iter().all(|r| r.abs() < 0.5));
+    }
+
+    #[test]
+    fn seasonal_sums_to_zero_over_period() {
+        let s: Vec<f64> = (0..40).map(|i| (i as f64 * 0.4).sin() * 3.0 + i as f64).collect();
+        let d = decompose_additive(&s, 8);
+        let sum: f64 = d.seasonal[..8].iter().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_longer_than_series_falls_back_to_mean() {
+        let s = vec![1.0, 2.0, 3.0];
+        let ma = centered_moving_average(&s, 10);
+        assert!(ma.iter().all(|&x| (x - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn max_abs_diff_and_correlation() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.5, 2.0, 2.0];
+        assert!((max_abs_diff(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((series_correlation(&a, &a) - 1.0).abs() < 1e-12);
+        let inv = vec![3.0, 2.0, 1.0];
+        assert!((series_correlation(&a, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_series_panics() {
+        decompose_additive(&[], 4);
+    }
+}

@@ -1,0 +1,266 @@
+//! Complex FFT / DFT.
+//!
+//! Sec. III-B4 evaluates the Poisson–Binomial survival function "using
+//! the Discrete Fourier Transform of the characteristic function".
+//! That method (Fernández–Williams) needs a length-(n+1) DFT for
+//! arbitrary n, so we provide:
+//!
+//! * an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths,
+//! * a naive O(n²) DFT for arbitrary lengths (n ≤ a few thousand here),
+//! * a [`dft`] wrapper picking between them.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number. Minimal on purpose — only what the DFT and the
+/// characteristic-function evaluation need.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    pub fn scale(self, k: f64) -> Self {
+        Complex { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+/// In-place iterative radix-2 FFT. `data.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/n scaling).
+pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft_pow2 requires power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+}
+
+/// Naive O(n²) DFT for arbitrary lengths.
+pub fn dft_naive(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in data.iter().enumerate() {
+            acc = acc + x * Complex::cis(base * (k as f64) * (j as f64));
+        }
+        if inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Forward (or inverse) DFT of arbitrary length: radix-2 FFT when the
+/// length is a power of two, naive DFT otherwise.
+pub fn dft(data: &[Complex], inverse: bool) -> Vec<Complex> {
+    if data.len().is_power_of_two() {
+        let mut v = data.to_vec();
+        fft_pow2(&mut v, inverse);
+        v
+    } else {
+        dft_naive(data, inverse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex, eps: f64) -> bool {
+        (a.re - b.re).abs() < eps && (a.im - b.im).abs() < eps
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        let out = dft(&data, false);
+        for x in out {
+            assert!(close(x, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let data = vec![Complex::ONE; 8];
+        let out = dft(&data, false);
+        assert!(close(out[0], Complex::new(8.0, 0.0), 1e-12));
+        for x in &out[1..] {
+            assert!(close(*x, Complex::ZERO, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_on_pow2() {
+        let data: Vec<Complex> = (0..16)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let fast = dft(&data, false);
+        let slow = dft_naive(&data, false);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(*a, *b, 1e-9), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn non_pow2_round_trip() {
+        let data: Vec<Complex> = (0..51)
+            .map(|i| Complex::new(i as f64, (i * i % 7) as f64))
+            .collect();
+        let freq = dft(&data, false);
+        let back = dft(&freq, true);
+        for (a, b) in data.iter().zip(&back) {
+            assert!(close(*a, *b, 1e-8));
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+            .collect();
+        let freq = dft(&data, false);
+        let time_energy: f64 = data.iter().map(|x| x.norm() * x.norm()).sum();
+        let freq_energy: f64 =
+            freq.iter().map(|x| x.norm() * x.norm()).sum::<f64>() / data.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = Complex::new(0.0, 1.0);
+        assert!(close(i * i, Complex::new(-1.0, 0.0), 1e-15));
+        assert!(close(i.conj(), Complex::new(0.0, -1.0), 1e-15));
+        assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-15);
+        assert!(close(-i, Complex::new(0.0, -1.0), 1e-15));
+        assert!(close(
+            Complex::cis(std::f64::consts::PI / 2.0),
+            i,
+            1e-12
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn fft_round_trip(re in proptest::collection::vec(-100.0f64..100.0, 1..6)) {
+            // Pad to a power of two.
+            let n = re.len().next_power_of_two();
+            let mut data: Vec<Complex> =
+                re.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            data.resize(n, Complex::ZERO);
+            let freq = dft(&data, false);
+            let back = dft(&freq, true);
+            for (a, b) in data.iter().zip(&back) {
+                prop_assert!(close(*a, *b, 1e-8));
+            }
+        }
+
+        #[test]
+        fn linearity(
+            a in proptest::collection::vec(-10.0f64..10.0, 8),
+            b in proptest::collection::vec(-10.0f64..10.0, 8),
+        ) {
+            let ca: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let cb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let sum: Vec<Complex> = ca.iter().zip(&cb).map(|(&x, &y)| x + y).collect();
+            let fa = dft(&ca, false);
+            let fb = dft(&cb, false);
+            let fsum = dft(&sum, false);
+            for ((x, y), z) in fa.iter().zip(&fb).zip(&fsum) {
+                prop_assert!(close(*x + *y, *z, 1e-8));
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Statistics substrate for FreqyWM.
+//!
+//! Pure-math building blocks used across the workspace:
+//!
+//! * [`similarity`] — distribution similarity metrics. The paper's
+//!   *Similarity Constraint* bounds the drop in similarity between the
+//!   original and watermarked frequency histograms by a budget `b`
+//!   (cosine by default, any metric pluggable).
+//! * [`rank`] — rank-correlation and ranking-churn measures for the
+//!   *Ranking Constraint* and the Sec. IV-D baseline comparison.
+//! * [`moments`] — descriptive statistics (mean/std of watermark
+//!   deltas, skewness, …).
+//! * [`fft`] — complex FFT / DFT, needed by the paper's
+//!   characteristic-function evaluation of the Poisson–Binomial tail.
+//! * [`poisson_binomial`] — exact DP and DFT evaluations of
+//!   `P(S_n ≥ k)` plus the closed-form Markov bound (Sec. III-B4).
+//! * [`decompose`] — additive time-series decomposition
+//!   (trend / seasonality / residual) for the Figs. 6–8 feature analysis.
+
+pub mod decompose;
+pub mod fft;
+pub mod moments;
+pub mod poisson_binomial;
+pub mod rank;
+pub mod similarity;
+
+pub use poisson_binomial::{markov_bound, PoissonBinomial};
+pub use similarity::{cosine_similarity, Similarity, SimilarityMetric};

@@ -1,0 +1,145 @@
+//! Descriptive statistics.
+//!
+//! Sec. IV-D reports the mean and standard deviation of the per-token
+//! changes the baselines introduce (WM-OBT: 444 ± 855.91, WM-RVS:
+//! −69.43 ± 414.10); this module computes those change statistics plus
+//! general moments used by the data generators' self-checks.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    pub n: usize,
+    pub mean: f64,
+    /// Population variance (divide by n).
+    pub variance: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Fisher skewness (0 for symmetric distributions).
+    pub skewness: f64,
+}
+
+/// Computes [`Moments`] of an f64 sample. Returns `None` for an empty
+/// sample.
+pub fn moments(sample: &[f64]) -> Option<Moments> {
+    if sample.is_empty() {
+        return None;
+    }
+    let n = sample.len() as f64;
+    let mean = sample.iter().sum::<f64>() / n;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in sample {
+        let d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+        min = min.min(x);
+        max = max.max(x);
+    }
+    m2 /= n;
+    m3 /= n;
+    let std_dev = m2.sqrt();
+    let skewness = if std_dev > 0.0 { m3 / std_dev.powi(3) } else { 0.0 };
+    Some(Moments { n: sample.len(), mean, variance: m2, std_dev, min, max, skewness })
+}
+
+/// Per-position signed changes `after[i] − before[i]` as f64.
+pub fn signed_changes(before: &[u64], after: &[u64]) -> Vec<f64> {
+    assert_eq!(before.len(), after.len(), "paired vectors required");
+    before
+        .iter()
+        .zip(after)
+        .map(|(&b, &a)| a as f64 - b as f64)
+        .collect()
+}
+
+/// Mean and standard deviation of the changes a watermark introduced —
+/// the Sec. IV-D table rows.
+pub fn change_stats(before: &[u64], after: &[u64]) -> (f64, f64) {
+    let m = moments(&signed_changes(before, after)).expect("non-empty histograms");
+    (m.mean, m.std_dev)
+}
+
+/// Median of a sample (averages the middle pair for even lengths).
+pub fn median(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sample"));
+    let n = v.len();
+    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+}
+
+/// Empirical quantile via linear interpolation, `q ∈ [0, 1]`.
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+    if sample.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sample"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let m = moments(&[5.0; 10]).unwrap();
+        assert_eq!(m.mean, 5.0);
+        assert_eq!(m.std_dev, 0.0);
+        assert_eq!(m.skewness, 0.0);
+        assert_eq!(m.min, 5.0);
+        assert_eq!(m.max, 5.0);
+    }
+
+    #[test]
+    fn known_moments() {
+        let m = moments(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(moments(&[]).is_none());
+        assert!(median(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn skewness_sign() {
+        let right = moments(&[1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(right.skewness > 0.0);
+        let left = moments(&[-10.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(left.skewness < 0.0);
+    }
+
+    #[test]
+    fn change_stats_match_hand_computation() {
+        let before = [100u64, 50, 10];
+        let after = [98u64, 53, 10];
+        let (mean, sd) = change_stats(&before, &after);
+        // changes: -2, +3, 0 -> mean 1/3
+        assert!((mean - 1.0 / 3.0).abs() < 1e-12);
+        assert!(sd > 0.0);
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0).unwrap(), 5.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.5).unwrap(), 3.0);
+        assert!(quantile(&[1.0], 1.5).is_none());
+    }
+}

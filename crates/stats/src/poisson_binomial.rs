@@ -1,0 +1,281 @@
+//! The Poisson–Binomial distribution and the paper's false-positive
+//! analysis (Sec. III-B4).
+//!
+//! Detection accepts pair `m` spuriously with probability
+//! `p_m = t / s_ij` (a uniform remainder lands below the threshold).
+//! The number of spuriously accepted pairs `S_n = Σ X_m` is
+//! Poisson–Binomial; a non-watermarked dataset is falsely "detected"
+//! with probability `P(S_n ≥ k)`.
+//!
+//! The paper bounds this by Markov's inequality `P(S_n ≥ k) ≤ µ/k` and
+//! evaluates the exact tail "using the Discrete Fourier Transform of
+//! the characteristic function" (for n = 50). We implement both the
+//! exact dynamic-programming PMF and the DFT method and cross-check
+//! them in tests.
+
+use crate::fft::Complex;
+
+/// Poisson–Binomial distribution with success probabilities `p_m`.
+#[derive(Debug, Clone)]
+pub struct PoissonBinomial {
+    probs: Vec<f64>,
+}
+
+impl PoissonBinomial {
+    /// Creates the distribution; each probability must lie in `[0, 1]`.
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "success probabilities must be in [0,1]"
+        );
+        PoissonBinomial { probs }
+    }
+
+    pub fn n(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Mean `µ = Σ p_m`.
+    pub fn mean(&self) -> f64 {
+        self.probs.iter().sum()
+    }
+
+    /// Variance `Σ p_m (1 − p_m)`.
+    pub fn variance(&self) -> f64 {
+        self.probs.iter().map(|p| p * (1.0 - p)).sum()
+    }
+
+    /// Exact PMF via the O(n²) dynamic programme: `out[k] = P(S_n = k)`.
+    pub fn pmf_dp(&self) -> Vec<f64> {
+        let n = self.probs.len();
+        let mut pmf = vec![0.0f64; n + 1];
+        pmf[0] = 1.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            // Go high-to-low so we only need one buffer.
+            for k in (0..=i + 1).rev() {
+                let stay = if k <= i { pmf[k] * (1.0 - p) } else { 0.0 };
+                let up = if k > 0 { pmf[k - 1] * p } else { 0.0 };
+                pmf[k] = stay + up;
+            }
+        }
+        pmf
+    }
+
+    /// PMF via the DFT of the characteristic function
+    /// (Fernández–Williams): the paper's stated evaluation method.
+    ///
+    /// `P(S_n = k) = (1/(n+1)) Σ_{l=0}^{n} C^{-lk} Π_m (1 + (C^l − 1) p_m)`
+    /// with `C = exp(2πi/(n+1))`.
+    pub fn pmf_dft(&self) -> Vec<f64> {
+        let n = self.probs.len();
+        let m = n + 1;
+        let base = 2.0 * std::f64::consts::PI / m as f64;
+        // x[l] = Π_m (1 + (C^l − 1) p_m)  — the characteristic function
+        // sampled at the m-th roots of unity.
+        let mut x = Vec::with_capacity(m);
+        for l in 0..m {
+            let c = Complex::cis(base * l as f64);
+            let mut prod = Complex::ONE;
+            for &p in &self.probs {
+                let term = Complex::new(1.0 - p + c.re * p, c.im * p);
+                prod = prod * term;
+            }
+            x.push(prod);
+        }
+        // pmf[k] = (1/m) Σ_l x[l] C^{-lk} — a forward DFT of x.
+        let spectrum = crate::fft::dft(&x, false);
+        spectrum
+            .into_iter()
+            .map(|v| (v.re / m as f64).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Survival function `P(S_n ≥ k)` from the exact DP PMF.
+    pub fn survival(&self, k: usize) -> f64 {
+        let pmf = self.pmf_dp();
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n() {
+            return 0.0;
+        }
+        pmf[k..].iter().sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// Survival function computed from the DFT PMF (paper's method).
+    pub fn survival_dft(&self, k: usize) -> f64 {
+        let pmf = self.pmf_dft();
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n() {
+            return 0.0;
+        }
+        pmf[k..].iter().sum::<f64>().clamp(0.0, 1.0)
+    }
+}
+
+/// Markov's upper bound `P(S_n ≥ k) ≤ µ/k` (clamped to 1); the paper's
+/// closed-form false-positive bound. `k = 0` returns 1.
+pub fn markov_bound(mean: f64, k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    (mean / k as f64).min(1.0)
+}
+
+/// Convenience: false-positive success probability of a single pair,
+/// `p = t / s_ij` (clamped to 1), as modelled in Sec. III-B4.
+pub fn pair_false_positive_prob(t: u64, s_ij: u64) -> f64 {
+    if s_ij == 0 {
+        return 1.0;
+    }
+    (t as f64 / s_ij as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn binom_pmf(n: usize, p: f64, k: usize) -> f64 {
+        // Direct product form to avoid large factorials.
+        let mut c = 1.0f64;
+        for i in 0..k {
+            c *= (n - i) as f64 / (i + 1) as f64;
+        }
+        c * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32)
+    }
+
+    #[test]
+    fn reduces_to_binomial_for_equal_probs() {
+        let pb = PoissonBinomial::new(vec![0.3; 10]);
+        let pmf = pb.pmf_dp();
+        for (k, &p) in pmf.iter().enumerate() {
+            assert!(
+                (p - binom_pmf(10, 0.3, k)).abs() < 1e-12,
+                "k={k}: {} vs {}",
+                p,
+                binom_pmf(10, 0.3, k)
+            );
+        }
+    }
+
+    #[test]
+    fn dp_and_dft_agree() {
+        let probs: Vec<f64> = (1..=50).map(|i| (i as f64) / 51.0).collect();
+        let pb = PoissonBinomial::new(probs);
+        let dp = pb.pmf_dp();
+        let dft = pb.pmf_dft();
+        for (k, (a, b)) in dp.iter().zip(&dft).enumerate() {
+            assert!((a - b).abs() < 1e-9, "k={k}: dp={a} dft={b}");
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let pb = PoissonBinomial::new(vec![0.1, 0.9, 0.5, 0.25, 0.75]);
+        let total: f64 = pb.pmf_dp().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let total_dft: f64 = pb.pmf_dft().iter().sum();
+        assert!((total_dft - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_edges() {
+        let pb = PoissonBinomial::new(vec![0.5; 4]);
+        assert_eq!(pb.survival(0), 1.0);
+        assert_eq!(pb.survival(5), 0.0);
+        // P(S >= 4) = 0.5^4
+        assert!((pb.survival(4) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_monotone_decreasing_in_k() {
+        let probs: Vec<f64> = (0..50).map(|i| ((i * 7919) % 100) as f64 / 100.0).collect();
+        let pb = PoissonBinomial::new(probs);
+        let mut prev = 1.0;
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..=50 {
+            let s = pb.survival(k);
+            assert!(s <= prev + 1e-12, "k={k}");
+            prev = s;
+        }
+        // Paper: "survival probability is 0 when k goes to 50"
+        assert!(pb.survival(50) < 1e-10);
+    }
+
+    #[test]
+    fn markov_bound_dominates_exact_tail() {
+        // Markov must upper-bound the true survival for all k >= 1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..60);
+            let probs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let pb = PoissonBinomial::new(probs);
+            let mu = pb.mean();
+            for k in 1..=n {
+                assert!(
+                    pb.survival(k) <= markov_bound(mu, k) + 1e-12,
+                    "markov violated at n={n}, k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn markov_limits_match_paper_discussion() {
+        // t -> 0 => p_m -> 0 => µ -> 0 => bound -> 0.
+        assert_eq!(markov_bound(0.0, 5), 0.0);
+        // k -> 0 => P(S_n >= 0) = 1.
+        assert_eq!(markov_bound(3.0, 0), 1.0);
+        // large k: bound goes to 0.
+        assert!(markov_bound(3.0, 1000) < 0.01);
+    }
+
+    #[test]
+    fn pair_probability() {
+        assert_eq!(pair_false_positive_prob(0, 131), 0.0);
+        assert!((pair_false_positive_prob(1, 4) - 0.25).abs() < 1e-15);
+        assert_eq!(pair_false_positive_prob(200, 131), 1.0);
+        assert_eq!(pair_false_positive_prob(1, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_invalid_probability() {
+        PoissonBinomial::new(vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_distribution() {
+        let pb = PoissonBinomial::new(vec![]);
+        assert_eq!(pb.pmf_dp(), vec![1.0]);
+        assert_eq!(pb.survival(0), 1.0);
+        assert_eq!(pb.survival(1), 0.0);
+        assert_eq!(pb.mean(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dp_dft_agree_random(probs in proptest::collection::vec(0.0f64..=1.0, 1..40)) {
+            let pb = PoissonBinomial::new(probs);
+            let dp = pb.pmf_dp();
+            let dft = pb.pmf_dft();
+            for (a, b) in dp.iter().zip(&dft) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn mean_matches_pmf_expectation(
+            probs in proptest::collection::vec(0.0f64..=1.0, 1..30)
+        ) {
+            let pb = PoissonBinomial::new(probs);
+            let pmf = pb.pmf_dp();
+            let ev: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+            prop_assert!((ev - pb.mean()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Rank statistics for the *Ranking Constraint*.
+//!
+//! FreqyWM guarantees that watermarking never changes the frequency
+//! ranking of tokens; the Sec. IV-D comparison shows the numeric
+//! baselines (WM-OBT / WM-RVS) destroy it (998 and 987 of 1000 tokens
+//! change rank). This module provides the churn counter used for that
+//! table plus Spearman's ρ and Kendall's τ for finer-grained analysis.
+
+/// Assigns fractional ranks (average rank for ties) to `values`,
+/// descending: the largest value gets rank 1.
+pub fn fractional_ranks_desc(values: &[u64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[b].cmp(&values[a]).then(a.cmp(&b)));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j share the same value; average their 1-based ranks
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Number of positions whose *strict* descending rank changed between
+/// `before` and `after` (ties broken by index, mirroring a sorted
+/// histogram display). This is the "X out of 1000 tokens changed
+/// ranking" measure from Sec. IV-D.
+pub fn rank_churn(before: &[u64], after: &[u64]) -> usize {
+    assert_eq!(before.len(), after.len(), "paired vectors required");
+    let pos = |v: &[u64]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[b].cmp(&v[a]).then(a.cmp(&b)));
+        let mut position = vec![0usize; v.len()];
+        for (rank, &i) in idx.iter().enumerate() {
+            position[i] = rank;
+        }
+        position
+    };
+    let pb = pos(before);
+    let pa = pos(after);
+    pb.iter().zip(&pa).filter(|(x, y)| x != y).count()
+}
+
+/// `true` iff the weak descending order of `after` is consistent with
+/// `before`: whenever `before[i] > before[j]`, `after[i] >= after[j]`.
+/// This is the precise invariant FreqyWM's eligibility bound preserves
+/// (strict inequalities may collapse to ties but never invert).
+pub fn ranking_preserved(before: &[u64], after: &[u64]) -> bool {
+    assert_eq!(before.len(), after.len(), "paired vectors required");
+    let n = before.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| before[b].cmp(&before[a]));
+    // After sorting by `before` descending, `after` must be non-increasing
+    // across strictly-decreasing steps of `before`.
+    for w in idx.windows(2) {
+        let (i, j) = (w[0], w[1]);
+        if before[i] > before[j] && after[i] < after[j] {
+            return false;
+        }
+    }
+    true
+}
+
+/// Spearman rank correlation coefficient ρ ∈ [-1, 1].
+pub fn spearman_rho(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired vectors required");
+    let ra = fractional_ranks_desc(a);
+    let rb = fractional_ranks_desc(b);
+    pearson(&ra, &rb)
+}
+
+/// Kendall's τ-b rank correlation (handles ties). O(n²) — fine for the
+/// histogram sizes involved (≤ tens of thousands of tokens).
+pub fn kendall_tau(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "paired vectors required");
+    let n = a.len();
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_a, mut ties_b) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i].cmp(&a[j]);
+            let db = b[i].cmp(&b[j]);
+            match (da, db) {
+                (std::cmp::Ordering::Equal, std::cmp::Ordering::Equal) => {}
+                (std::cmp::Ordering::Equal, _) => ties_a += 1,
+                (_, std::cmp::Ordering::Equal) => ties_b += 1,
+                (x, y) if x == y => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as f64;
+    let denom = ((n0 - ties_a as f64) * (n0 - ties_b as f64)).sqrt();
+    if denom == 0.0 {
+        return 1.0; // all ties on one side: treat as fully concordant
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 1.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(fractional_ranks_desc(&[30, 20, 10]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(fractional_ranks_desc(&[10, 20, 30]), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        // 50, 20, 20, 10 -> ranks 1, 2.5, 2.5, 4
+        assert_eq!(
+            fractional_ranks_desc(&[50, 20, 20, 10]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn churn_zero_for_identical() {
+        assert_eq!(rank_churn(&[5, 4, 3], &[5, 4, 3]), 0);
+        // Frequencies changed but order intact -> no churn.
+        assert_eq!(rank_churn(&[100, 50, 10], &[90, 60, 11]), 0);
+    }
+
+    #[test]
+    fn churn_counts_swaps() {
+        assert_eq!(rank_churn(&[100, 50, 10], &[50, 100, 10]), 2);
+        assert_eq!(rank_churn(&[3, 2, 1], &[1, 2, 3]), 2); // middle keeps rank
+    }
+
+    #[test]
+    fn preserved_accepts_ties() {
+        // The paper running example: CNN and El Pais both at 53 stay tied.
+        assert!(ranking_preserved(&[64, 53, 53], &[65, 53, 53]));
+        // Strict order may collapse to a tie without violating the weak order.
+        assert!(ranking_preserved(&[10, 9], &[9, 9]));
+        // …but inversion is a violation.
+        assert!(!ranking_preserved(&[10, 9], &[8, 9]));
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverted() {
+        let a = [5u64, 4, 3, 2, 1];
+        let b = [10u64, 8, 6, 4, 2];
+        let c = [1u64, 2, 3, 4, 5];
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_known_values() {
+        let a = [1u64, 2, 3, 4];
+        let b = [1u64, 2, 3, 4];
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4u64, 3, 2, 1];
+        assert!((kendall_tau(&a, &c) + 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn churn_bounded(v in proptest::collection::vec(0u64..100, 2..40),
+                         w in proptest::collection::vec(0u64..100, 2..40)) {
+            let n = v.len().min(w.len());
+            let c = rank_churn(&v[..n], &w[..n]);
+            prop_assert!(c <= n);
+            // A single change of rank is impossible: churn is never 1.
+            prop_assert!(c != 1);
+        }
+
+        #[test]
+        fn spearman_bounded(v in proptest::collection::vec(0u64..100, 2..40),
+                            w in proptest::collection::vec(0u64..100, 2..40)) {
+            let n = v.len().min(w.len());
+            let rho = spearman_rho(&v[..n], &w[..n]);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho));
+        }
+
+        #[test]
+        fn preserved_implies_zero_churn_on_distinct(
+            mut v in proptest::collection::vec(1u64..1_000_000, 2..40)
+        ) {
+            // With strictly distinct values and order-preserving noise,
+            // churn must be 0.
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.dedup();
+            let after: Vec<u64> = v.iter().map(|&x| x + 1).collect();
+            prop_assert!(ranking_preserved(&v, &after));
+            prop_assert_eq!(rank_churn(&v, &after), 0);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Distribution similarity metrics.
+//!
+//! FreqyWM's *Similarity Constraint* demands
+//! `sim(D_hist_o, D_hist_w) ≥ (100 − b)%` for a user-chosen budget `b`.
+//! The paper uses cosine similarity but explicitly allows any metric
+//! ("any similarity metrics can be deployed without any loss of
+//! security"); the [`Similarity`] trait captures that plug-point.
+//!
+//! All metrics operate on *paired* frequency vectors: entry `i` of both
+//! slices refers to the same token. Metrics return a value in `[0, 1]`
+//! where `1` means identical distributions.
+
+/// A similarity metric over paired frequency vectors.
+///
+/// Implementations must be symmetric and return `1.0` for identical
+/// inputs; values are clamped to `[0, 1]`.
+pub trait Similarity {
+    /// Similarity in `[0, 1]` between paired frequency vectors.
+    fn similarity(&self, a: &[u64], b: &[u64]) -> f64;
+
+    /// Similarity expressed as a percentage in `[0, 100]`, the unit the
+    /// paper's budget `b` is stated in.
+    fn similarity_pct(&self, a: &[u64], b: &[u64]) -> f64 {
+        self.similarity(a, b) * 100.0
+    }
+}
+
+/// The built-in metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMetric {
+    /// Cosine similarity of the raw count vectors (paper default).
+    Cosine,
+    /// `1 − ½·Σ|p_i − q_i|` over the normalised distributions
+    /// (total-variation complement).
+    TotalVariation,
+    /// `1 − normalised Euclidean distance` of the count vectors.
+    Euclidean,
+    /// `1 − Jensen–Shannon divergence` (base-2, bounded in `[0, 1]`).
+    JensenShannon,
+    /// `1 − Hellinger distance`.
+    Hellinger,
+}
+
+impl Similarity for SimilarityMetric {
+    fn similarity(&self, a: &[u64], b: &[u64]) -> f64 {
+        match self {
+            SimilarityMetric::Cosine => cosine_similarity(a, b),
+            SimilarityMetric::TotalVariation => 1.0 - total_variation(a, b),
+            SimilarityMetric::Euclidean => euclidean_similarity(a, b),
+            SimilarityMetric::JensenShannon => 1.0 - jensen_shannon_divergence(a, b),
+            SimilarityMetric::Hellinger => 1.0 - hellinger_distance(a, b),
+        }
+        .clamp(0.0, 1.0)
+    }
+}
+
+fn assert_paired(a: &[u64], b: &[u64]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "similarity metrics require paired vectors ({} vs {})",
+        a.len(),
+        b.len()
+    );
+}
+
+/// Cosine similarity of two count vectors. Returns 1 for two empty or
+/// two all-zero vectors (identical), 0 if exactly one is all-zero.
+pub fn cosine_similarity(a: &[u64], b: &[u64]) -> f64 {
+    assert_paired(a, b);
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (x as f64, y as f64);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 1.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())).clamp(0.0, 1.0)
+}
+
+fn normalise(v: &[u64]) -> Vec<f64> {
+    let total: f64 = v.iter().map(|&x| x as f64).sum();
+    if total == 0.0 {
+        vec![0.0; v.len()]
+    } else {
+        v.iter().map(|&x| x as f64 / total).collect()
+    }
+}
+
+/// Total-variation distance between the normalised distributions.
+pub fn total_variation(a: &[u64], b: &[u64]) -> f64 {
+    assert_paired(a, b);
+    let (p, q) = (normalise(a), normalise(b));
+    0.5 * p
+        .iter()
+        .zip(&q)
+        .map(|(&x, &y)| (x - y).abs())
+        .sum::<f64>()
+}
+
+/// `1 − ‖a−b‖₂ / (‖a‖₂ + ‖b‖₂)`: a Euclidean similarity bounded in `[0, 1]`.
+pub fn euclidean_similarity(a: &[u64], b: &[u64]) -> f64 {
+    assert_paired(a, b);
+    let mut diff = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let (x, y) = (x as f64, y as f64);
+        diff += (x - y) * (x - y);
+        na += x * x;
+        nb += y * y;
+    }
+    let denom = na.sqrt() + nb.sqrt();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    1.0 - diff.sqrt() / denom
+}
+
+/// Jensen–Shannon divergence (base 2) of the normalised distributions;
+/// bounded in `[0, 1]`.
+pub fn jensen_shannon_divergence(a: &[u64], b: &[u64]) -> f64 {
+    assert_paired(a, b);
+    let (p, q) = (normalise(a), normalise(b));
+    let kl = |x: &[f64], m: &[f64]| -> f64 {
+        x.iter()
+            .zip(m)
+            .filter(|(&xi, _)| xi > 0.0)
+            .map(|(&xi, &mi)| xi * (xi / mi).log2())
+            .sum()
+    };
+    let m: Vec<f64> = p.iter().zip(&q).map(|(&x, &y)| 0.5 * (x + y)).collect();
+    (0.5 * kl(&p, &m) + 0.5 * kl(&q, &m)).clamp(0.0, 1.0)
+}
+
+/// Hellinger distance of the normalised distributions; in `[0, 1]`.
+pub fn hellinger_distance(a: &[u64], b: &[u64]) -> f64 {
+    assert_paired(a, b);
+    let (p, q) = (normalise(a), normalise(b));
+    let s: f64 = p
+        .iter()
+        .zip(&q)
+        .map(|(&x, &y)| {
+            let d = x.sqrt() - y.sqrt();
+            d * d
+        })
+        .sum();
+    (s / 2.0).sqrt().clamp(0.0, 1.0)
+}
+
+/// Distortion as the paper reports it: `100 − similarity%`, e.g. the
+/// "0.0002% distortion" headline number is `100 − 99.9998`.
+pub fn distortion_pct(metric: SimilarityMetric, a: &[u64], b: &[u64]) -> f64 {
+    100.0 - metric.similarity_pct(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [SimilarityMetric; 5] = [
+        SimilarityMetric::Cosine,
+        SimilarityMetric::TotalVariation,
+        SimilarityMetric::Euclidean,
+        SimilarityMetric::JensenShannon,
+        SimilarityMetric::Hellinger,
+    ];
+
+    #[test]
+    fn identical_vectors_have_similarity_one() {
+        let v = vec![10u64, 5, 3, 1, 0, 7];
+        for m in ALL {
+            assert!(
+                (m.similarity(&v, &v) - 1.0).abs() < 1e-12,
+                "{m:?} on identical vectors"
+            );
+        }
+    }
+
+    #[test]
+    fn orthogonal_vectors_cosine_zero() {
+        let a = vec![1u64, 0, 2, 0];
+        let b = vec![0u64, 3, 0, 4];
+        assert!(cosine_similarity(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_minimal_similarity() {
+        let a = vec![5u64, 5, 0, 0];
+        let b = vec![0u64, 0, 5, 5];
+        assert!((total_variation(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((jensen_shannon_divergence(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((hellinger_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_perturbation_small_distortion() {
+        // Mirrors the paper's running example magnitudes: a tiny change
+        // to a large histogram must produce near-zero distortion.
+        let a: Vec<u64> = (1..=1000u64).map(|i| 2 * i).rev().collect();
+        let mut b = a.clone();
+        b[0] -= 23;
+        b[3] += 22;
+        let d = distortion_pct(SimilarityMetric::Cosine, &a, &b);
+        assert!(d < 0.01, "distortion {d}%");
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        // cos between (1,0) and (1,1) = 1/sqrt(2)
+        let got = cosine_similarity(&[1, 0], &[1, 1]);
+        assert!((got - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vs_zero_and_zero_vs_nonzero() {
+        let z = vec![0u64; 4];
+        let v = vec![1u64, 2, 3, 4];
+        assert_eq!(cosine_similarity(&z, &z), 1.0);
+        assert_eq!(cosine_similarity(&z, &v), 0.0);
+        assert_eq!(euclidean_similarity(&z, &z), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn mismatched_lengths_panic() {
+        cosine_similarity(&[1, 2], &[1, 2, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_symmetric(
+            a in proptest::collection::vec(0u64..10_000, 1..64),
+            b in proptest::collection::vec(0u64..10_000, 1..64),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for m in ALL {
+                let ab = m.similarity(a, b);
+                let ba = m.similarity(b, a);
+                prop_assert!((0.0..=1.0).contains(&ab), "{m:?} out of range: {ab}");
+                prop_assert!((ab - ba).abs() < 1e-9, "{m:?} asymmetric");
+            }
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in proptest::collection::vec(0u64..10_000, 1..64)) {
+            for m in ALL {
+                prop_assert!((m.similarity(&a, &a) - 1.0).abs() < 1e-9, "{m:?}");
+            }
+        }
+
+        #[test]
+        fn scaling_invariance_of_cosine(
+            a in proptest::collection::vec(1u64..1000, 1..32),
+            k in 1u64..50,
+        ) {
+            let scaled: Vec<u64> = a.iter().map(|&x| x * k).collect();
+            let s = cosine_similarity(&a, &scaled);
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Robustness tour: run the paper's four attacks against one
+//! watermarked dataset and report what survives (Sec. V).
+//!
+//! ```sh
+//! cargo run --release --example attack_robustness
+//! ```
+
+use freqywm::prelude::*;
+use freqywm_attacks::destroy::{
+    destroy_percentage, destroy_with_reordering, destroy_within_boundaries,
+};
+use freqywm_attacks::guess::guess_attack;
+use freqywm_attacks::sampling::{detect_scaled, thin_histogram};
+use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // The paper's robustness testbed: α = 0.5, 1K tokens, 1M samples.
+    let hist = Histogram::from_counts(power_law_counts(&PowerLawConfig {
+        distinct_tokens: 1_000,
+        sample_size: 1_000_000,
+        alpha: 0.5,
+    }));
+    let params = GenerationParams::default().with_z(131).with_budget(2.0);
+    let out = Watermarker::new(params)
+        .generate_histogram(&hist, Secret::from_label("robustness-demo"))
+        .expect("eligible pairs exist");
+    println!(
+        "watermarked: {} pairs, distortion {:.6}%\n",
+        out.report.chosen_pairs,
+        100.0 - out.report.similarity_pct
+    );
+    let secrets = &out.secrets;
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // --- Sampling attack (Sec. V-B) ---
+    println!("sampling attack (scaled detection, t = 4):");
+    for pct in [50.0, 20.0, 5.0, 1.0] {
+        let frac = pct / 100.0;
+        let sample = thin_histogram(&out.watermarked, frac, &mut rng);
+        let d = detect_scaled(
+            &sample,
+            secrets,
+            &DetectionParams::default().with_t(4).with_k(1),
+            frac,
+        );
+        println!(
+            "  {pct:>5.1}% sample: {:>5.1}% of pairs verified, {} distinct tokens survive",
+            d.accept_rate() * 100.0,
+            sample.len()
+        );
+    }
+
+    // --- Destroy attacks (Sec. V-C) ---
+    println!("\ndestroy attacks (t = 4):");
+    let t4 = DetectionParams::default().with_t(4).with_k(1);
+    let weak = destroy_percentage(&out.watermarked, 1.0, &mut rng);
+    let dw = detect_histogram(&weak, secrets, &t4);
+    println!("  ±1% of boundaries (no re-ordering): {:>5.1}% verified", dw.accept_rate() * 100.0);
+    let strong = destroy_within_boundaries(&out.watermarked, &mut rng);
+    let ds = detect_histogram(&strong, secrets, &t4);
+    println!("  random within boundaries          : {:>5.1}% verified", ds.accept_rate() * 100.0);
+    for pct in [10.0, 50.0, 90.0] {
+        let re = destroy_with_reordering(&out.watermarked, pct, &mut rng);
+        let dr = detect_histogram(&re, secrets, &t4);
+        let (b, a) = out.watermarked.paired_counts(&re);
+        let churn = freqywm_stats::rank::rank_churn(&b, &a);
+        println!(
+            "  ±{pct:>4.0}% with re-ordering          : {:>5.1}% verified ({} ranks destroyed — data utility gone)",
+            dr.accept_rate() * 100.0,
+            churn
+        );
+    }
+
+    // --- Guess attack (Sec. V-A) ---
+    println!("\nguess attack (forged secrets, t = 0, k = 75% of pairs):");
+    let k = (secrets.len() * 3 / 4).max(1);
+    let report = guess_attack(
+        &out.watermarked,
+        secrets.z,
+        &DetectionParams::default().with_t(0).with_k(k),
+        500,
+        secrets.len(),
+        &mut rng,
+    );
+    println!(
+        "  {} attempts, {} successes (best attempt verified {}/{} pairs, needed {k})",
+        report.attempts, report.successes, report.best_accepted_pairs, secrets.len()
+    );
+    assert_eq!(report.successes, 0);
+
+    // --- False-positive control (the paper's Fig. 5 orange line) ---
+    // The chosen pairs' moduli are small on this data (the selector
+    // prefers small remainders, hence small s), so once t reaches s/2 a
+    // pair verifies on ANY data — exactly why the paper insists t and k
+    // must be chosen between the false-positive and false-negative
+    // curves. The modulus floor (`min_modulus`) widens that corridor.
+    println!("\nfalse-positive control (non-watermarked data, same token space, α = 0.7):");
+    let other = Histogram::from_counts(power_law_counts(&PowerLawConfig {
+        distinct_tokens: 1_000,
+        sample_size: 1_000_000,
+        alpha: 0.7,
+    }));
+    for t in [0u64, 4, 10] {
+        let d = detect_histogram(&other, secrets, &DetectionParams::default().with_t(t).with_k(1));
+        println!("  t = {t:>2}: {:>5.1}% of pairs falsely verified", d.accept_rate() * 100.0);
+    }
+    let mut s_values: Vec<u64> = secrets
+        .pairs
+        .iter()
+        .map(|(a, b)| {
+            freqywm_crypto::prf::pair_modulus(&secrets.secret, a.as_bytes(), b.as_bytes(), secrets.z)
+        })
+        .collect();
+    s_values.sort_unstable();
+    println!(
+        "  (chosen moduli: min {}, median {}, max {} — t must stay well below s/2)",
+        s_values.first().unwrap(),
+        s_values[s_values.len() / 2],
+        s_values.last().unwrap()
+    );
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration tests: full marketplace pipelines spanning
+//! generation, transformation, attacks, detection, dispute arbitration
+//! and the fingerprint ledger.
+
+use freqywm::prelude::*;
+use freqywm_attacks::destroy::destroy_percentage;
+use freqywm_attacks::sampling::sampling_attack;
+use freqywm_data::synthetic::{power_law_counts, power_law_dataset, PowerLawConfig};
+use freqywm_ledger::Ledger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn zipf_hist(alpha: f64, tokens: usize, samples: usize) -> Histogram {
+    Histogram::from_counts(power_law_counts(&PowerLawConfig {
+        distinct_tokens: tokens,
+        sample_size: samples,
+        alpha,
+    }))
+}
+
+#[test]
+fn generate_serialise_detect_round_trip() {
+    // Owner watermarks, stores the secret file, detects years later.
+    let hist = zipf_hist(0.6, 300, 500_000);
+    let params = GenerationParams::default().with_z(131);
+    let out = Watermarker::new(params)
+        .generate_histogram(&hist, Secret::from_label("e2e-roundtrip"))
+        .unwrap();
+    let stored = out.secrets.to_text();
+    let restored = SecretList::from_text(&stored).unwrap();
+    let detection = DetectionParams::default().with_t(0).with_k(restored.len());
+    assert!(detect_histogram(&out.watermarked, &restored, &detection).accepted);
+    // The unmarked original must not verify in full.
+    assert!(!detect_histogram(&hist, &restored, &detection).accepted);
+}
+
+#[test]
+fn dataset_level_pipeline_survives_attack_chain() {
+    // Generate on raw tokens, then sample 40% and add ±1% noise — the
+    // watermark must still be detectable with sane thresholds.
+    let cfg = PowerLawConfig { distinct_tokens: 200, sample_size: 150_000, alpha: 0.6 };
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = power_law_dataset(&cfg, &mut rng);
+    let (wdata, secrets, report) =
+        Watermarker::new(GenerationParams::default().with_z(131))
+            .watermark_dataset(&data, Secret::from_label("e2e-attacks"))
+            .unwrap();
+    assert!(report.ranking_preserved);
+
+    // Attack 1: subsample 40% with scaled detection.
+    let sampled = sampling_attack(
+        &wdata,
+        &secrets,
+        &DetectionParams::default().with_t(4).with_k(1),
+        0.4,
+        &mut rng,
+    );
+    assert!(
+        sampled.outcome.accept_rate() > 0.5,
+        "40% sample, t=4: {}",
+        sampled.outcome.accept_rate()
+    );
+
+    // Attack 2: ±1% destroy on the histogram.
+    let attacked = destroy_percentage(&wdata.histogram(), 1.0, &mut rng);
+    let d = detect_histogram(
+        &attacked,
+        &secrets,
+        &DetectionParams::default().with_t(4).with_k(secrets.len() / 2),
+    );
+    assert!(d.accepted, "±1% noise, t=4: {}/{}", d.accepted_pairs, d.total_pairs);
+}
+
+#[test]
+fn buyer_fingerprints_are_distinguishable_and_ledgered() {
+    let hist = zipf_hist(0.6, 300, 400_000);
+    let params = GenerationParams::default()
+        .with_z(131)
+        .with_exclude_free_pairs(true);
+    let wm = Watermarker::new(params);
+    let mut ledger = Ledger::new(b"integration-ledger");
+    let copies: Vec<_> = (0..3)
+        .map(|i| {
+            let out = wm
+                .generate_histogram(&hist, Secret::from_label(&format!("buyer-{i}")))
+                .unwrap();
+            ledger.register(1_000 + i, &format!("buyer-{i}"), out.secrets.to_text().as_bytes());
+            out
+        })
+        .collect();
+    ledger.verify_chain().unwrap();
+
+    // Each buyer's copy carries exactly its own watermark in full.
+    for (i, leak) in copies.iter().enumerate() {
+        for (j, candidate) in copies.iter().enumerate() {
+            let d = detect_histogram(
+                &leak.watermarked,
+                &candidate.secrets,
+                &DetectionParams::default().with_t(0).with_k(candidate.secrets.len()),
+            );
+            assert_eq!(
+                d.accepted,
+                i == j,
+                "leaked copy {i} vs fingerprint {j}: {}/{}",
+                d.accepted_pairs,
+                d.total_pairs
+            );
+        }
+        // And the ledger maps the secret back to the buyer.
+        let entry = ledger
+            .find_fingerprint(leak.secrets.to_text().as_bytes())
+            .expect("registered");
+        assert_eq!(entry.subject, format!("buyer-{i}"));
+    }
+}
+
+#[test]
+fn dispute_pipeline_owner_wins() {
+    let hist = zipf_hist(0.5, 400, 800_000);
+    let wm = Watermarker::new(
+        GenerationParams::default().with_z(131).with_exclude_free_pairs(true),
+    );
+    let owner_out = wm
+        .generate_histogram(&hist, Secret::from_label("e2e-owner"))
+        .unwrap();
+    let pirate_claim = freqywm_attacks::rewatermark::rewatermark_attack(
+        &owner_out.watermarked,
+        &wm,
+        Secret::from_label("e2e-pirate"),
+    )
+    .unwrap();
+    let owner_claim = Claim {
+        histogram: owner_out.watermarked.clone(),
+        secrets: owner_out.secrets,
+    };
+    let params = DetectionParams::default()
+        .with_t(0)
+        .with_k((owner_claim.secrets.len() / 4).max(1));
+    let ruling = judge_dispute(&owner_claim, &pirate_claim, &params);
+    assert_eq!(ruling.verdict, Verdict::FirstParty);
+}
+
+#[test]
+fn multiwatermark_then_ml_parity() {
+    // Small-scale version of the Sec. VI experiment chain.
+    let mut rng = StdRng::seed_from_u64(13);
+    let log = freqywm_data::realworld::eyewnder(30_000, &mut rng);
+    let wm = Watermarker::new(GenerationParams::default().with_z(131));
+    let secrets = (0..3)
+        .map(|i| Secret::from_label(&format!("e2e-mlwm-{i}")))
+        .collect();
+    let multi = multi_watermark(&wm, &log.urls().histogram(), secrets).unwrap();
+    assert!(!multi.rounds.is_empty());
+    let wlog = log.with_url_counts(multi.final_histogram().unwrap(), &mut rng);
+
+    let cfg = freqywm_ml::TrainConfig {
+        window: 4,
+        epochs: 2,
+        vocab_size: 32,
+        embedding: 8,
+        hidden: 12,
+        max_examples: 4_000,
+        ..Default::default()
+    };
+    let orig_tokens: Vec<Token> = log.urls().tokens().to_vec();
+    let mark_tokens: Vec<Token> = wlog.urls().tokens().to_vec();
+    let a = freqywm_ml::train_and_evaluate(&orig_tokens, &cfg);
+    let b = freqywm_ml::train_and_evaluate(&mark_tokens, &cfg);
+    assert!(
+        (a.test_accuracy - b.test_accuracy).abs() < 0.10,
+        "accuracy parity: {} vs {}",
+        a.test_accuracy,
+        b.test_accuracy
+    );
+}
+
+#[test]
+fn uniform_data_fails_loudly_everywhere() {
+    // The paper's unsupported regime must be a clean error, not a
+    // silent no-op watermark.
+    let uniform = Histogram::from_counts(
+        (0..100).map(|i| (Token::new(format!("t{i}")), 1_000u64)),
+    );
+    let err = Watermarker::default()
+        .generate_histogram(&uniform, Secret::from_label("e2e-uniform"))
+        .unwrap_err();
+    assert!(matches!(err, freqywm::core::error::Error::NoEligiblePairs));
+}
+
+#[test]
+fn csv_to_watermarked_table_pipeline() {
+    // CSV in -> multi-dim watermark -> CSV out -> detect.
+    let mut csv_text = String::from("age,workclass\n");
+    let mut rng = StdRng::seed_from_u64(17);
+    let table = freqywm_data::realworld::adult(8_000, &mut rng);
+    for row in table.rows() {
+        csv_text.push_str(&format!("{},{}\n", row[0], row[1]));
+    }
+    let parsed = freqywm_data::csv::parse_table(&csv_text).unwrap();
+    let (wtable, secrets, _) = Watermarker::new(GenerationParams::default().with_z(31))
+        .watermark_table(&parsed, &["age", "workclass"], Secret::from_label("e2e-csv"))
+        .unwrap();
+    let out_text = freqywm_data::csv::write_table(&wtable);
+    let reparsed = freqywm_data::csv::parse_table(&out_text).unwrap();
+    let hist = reparsed.tokens_over(&["age", "workclass"]).histogram();
+    let d = detect_histogram(
+        &hist,
+        &secrets,
+        &DetectionParams::default().with_t(0).with_k(secrets.len()),
+    );
+    assert!(d.accepted);
+}
