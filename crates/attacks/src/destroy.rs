@@ -22,8 +22,16 @@ pub fn destroy_within_boundaries<R: RngCore>(hist: &Histogram, rng: &mut R) -> H
     let n = counts.len();
     let tokens: Vec<_> = hist.tokens().cloned().collect();
     for i in 0..n {
-        let upper = if i == 0 { counts[i] / 2 } else { counts[i - 1] - counts[i] };
-        let lower = if i + 1 == n { counts[i] } else { counts[i] - counts[i + 1] };
+        let upper = if i == 0 {
+            counts[i] / 2
+        } else {
+            counts[i - 1] - counts[i]
+        };
+        let lower = if i + 1 == n {
+            counts[i]
+        } else {
+            counts[i] - counts[i + 1]
+        };
         let r = sample_signed(rng, lower, upper);
         counts[i] = (counts[i] as i64 + r) as u64;
         // The next token's upper boundary now refers to the updated
@@ -42,8 +50,16 @@ pub fn destroy_percentage<R: RngCore>(hist: &Histogram, pct: f64, rng: &mut R) -
     let n = counts.len();
     let tokens: Vec<_> = hist.tokens().cloned().collect();
     for i in 0..n {
-        let upper = if i == 0 { counts[i] / 2 } else { counts[i - 1] - counts[i] };
-        let lower = if i + 1 == n { counts[i] } else { counts[i] - counts[i + 1] };
+        let upper = if i == 0 {
+            counts[i] / 2
+        } else {
+            counts[i - 1] - counts[i]
+        };
+        let lower = if i + 1 == n {
+            counts[i]
+        } else {
+            counts[i] - counts[i + 1]
+        };
         let u = (upper as f64 * frac).floor() as u64;
         let l = (lower as f64 * frac).floor() as u64;
         let r = sample_signed(rng, l, u);
@@ -60,7 +76,11 @@ pub fn destroy_with_reordering<R: RngCore>(hist: &Histogram, pct: f64, rng: &mut
     let frac = pct / 100.0;
     Histogram::from_counts(hist.entries().iter().map(|(t, c)| {
         let span = (*c as f64 * frac).floor() as i64;
-        let r = if span == 0 { 0 } else { rng.gen_range(-span..=span) };
+        let r = if span == 0 {
+            0
+        } else {
+            rng.gen_range(-span..=span)
+        };
         (t.clone(), (*c as i64 + r).max(0) as u64)
     }))
 }

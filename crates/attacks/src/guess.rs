@@ -74,7 +74,11 @@ pub fn guess_attack<R: RngCore>(
             successes += 1;
         }
     }
-    GuessAttackReport { attempts, successes, best_accepted_pairs: best }
+    GuessAttackReport {
+        attempts,
+        successes,
+        best_accepted_pairs: best,
+    }
 }
 
 /// Expected per-pair acceptance probability of a *random* pair/secret
@@ -179,8 +183,15 @@ mod tests {
     fn empty_cases() {
         let h = Histogram::from_counts([(freqywm_data::token::Token::new("only"), 5u64)]);
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(empirical_pair_fp_probability(&h, 131, 0, 100, &mut rng), 0.0);
-        let report = GuessAttackReport { attempts: 0, successes: 0, best_accepted_pairs: 0 };
+        assert_eq!(
+            empirical_pair_fp_probability(&h, 131, 0, 100, &mut rng),
+            0.0
+        );
+        let report = GuessAttackReport {
+            attempts: 0,
+            successes: 0,
+            best_accepted_pairs: 0,
+        };
         assert_eq!(report.success_rate(), 0.0);
     }
 }

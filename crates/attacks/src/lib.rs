@@ -19,7 +19,7 @@ pub mod guess;
 pub mod rewatermark;
 pub mod sampling;
 
-pub use destroy::{destroy_with_reordering, destroy_within_boundaries, destroy_percentage};
+pub use destroy::{destroy_percentage, destroy_with_reordering, destroy_within_boundaries};
 pub use guess::{guess_attack, GuessAttackReport};
 pub use rewatermark::rewatermark_attack;
 pub use sampling::{sampling_attack, SampleDetection};

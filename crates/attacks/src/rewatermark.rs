@@ -20,7 +20,10 @@ pub fn rewatermark_attack(
     pirate_secret: Secret,
 ) -> Result<Claim> {
     let out = pirate_watermarker.generate_histogram(stolen, pirate_secret)?;
-    Ok(Claim { histogram: out.watermarked, secrets: out.secrets })
+    Ok(Claim {
+        histogram: out.watermarked,
+        secrets: out.secrets,
+    })
 }
 
 #[cfg(test)]
@@ -38,12 +41,17 @@ mod tests {
             alpha: 0.5,
         }));
         let wm = Watermarker::new(
-            GenerationParams::default().with_z(131).with_exclude_free_pairs(true),
+            GenerationParams::default()
+                .with_z(131)
+                .with_exclude_free_pairs(true),
         );
         let out = wm
             .generate_histogram(&h, Secret::from_label("rightful-owner"))
             .unwrap();
-        let claim = Claim { histogram: out.watermarked, secrets: out.secrets };
+        let claim = Claim {
+            histogram: out.watermarked,
+            secrets: out.secrets,
+        };
         (h, claim, wm)
     }
 
@@ -82,10 +90,8 @@ mod tests {
         // other — see EXPERIMENTS.md, "Reproduction notes"), so we only
         // assert the safety property: the pirate never *wins*.
         let (_, owner, wm) = owner_setup();
-        let p1 = rewatermark_attack(&owner.histogram, &wm, Secret::from_label("pirate-1"))
-            .unwrap();
-        let p2 =
-            rewatermark_attack(&p1.histogram, &wm, Secret::from_label("pirate-2")).unwrap();
+        let p1 = rewatermark_attack(&owner.histogram, &wm, Secret::from_label("pirate-1")).unwrap();
+        let p2 = rewatermark_attack(&p1.histogram, &wm, Secret::from_label("pirate-2")).unwrap();
         let params = DetectionParams::default()
             .with_t(0)
             .with_k((owner.secrets.len() / 4).max(1));

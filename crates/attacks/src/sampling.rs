@@ -45,7 +45,11 @@ pub fn sampling_attack<R: RngCore>(
     let distinct = hist.len();
     let scaled_params = params.with_scale(1.0 / fraction);
     let outcome = detect_histogram(&hist, secrets, &scaled_params);
-    SampleDetection { fraction, distinct_tokens: distinct, outcome }
+    SampleDetection {
+        fraction,
+        distinct_tokens: distinct,
+        outcome,
+    }
 }
 
 /// Histogram-level variant used by the large-scale experiments: takes
@@ -96,7 +100,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn watermarked_dataset() -> (Dataset, SecretList) {
-        let cfg = PowerLawConfig { distinct_tokens: 100, sample_size: 200_000, alpha: 0.5 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 100,
+            sample_size: 200_000,
+            alpha: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(21);
         let data = power_law_dataset(&cfg, &mut rng);
         let wm = Watermarker::new(GenerationParams::default().with_z(101));
@@ -191,6 +199,10 @@ mod tests {
         let params = DetectionParams::default().with_t(10).with_k(1);
         let outcome = detect_scaled(&thin, &secrets, &params, 0.25);
         assert!(outcome.accepted);
-        assert!(outcome.accept_rate() > 0.4, "rate {}", outcome.accept_rate());
+        assert!(
+            outcome.accept_rate() > 0.4,
+            "rate {}",
+            outcome.accept_rate()
+        );
     }
 }

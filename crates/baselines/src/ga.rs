@@ -100,8 +100,7 @@ where
                     let width = bounds[g].1 - bounds[g].0;
                     let u1: f64 = rng.gen_range(1e-12..1.0);
                     let u2: f64 = rng.gen();
-                    let normal =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     *gene += normal * width * cfg.mutation_scale;
                 }
                 *gene = gene.clamp(bounds[g].0, bounds[g].1);
@@ -148,7 +147,10 @@ mod tests {
         let best = optimize(
             &bounds,
             |g| -((g[0] - 3.0).powi(2) + (g[1] + 1.0).powi(2)),
-            &GaConfig { generations: 150, ..Default::default() },
+            &GaConfig {
+                generations: 150,
+                ..Default::default()
+            },
         );
         assert!((best[0] - 3.0).abs() < 0.3, "x = {}", best[0]);
         assert!((best[1] + 1.0).abs() < 0.3, "y = {}", best[1]);
@@ -178,8 +180,22 @@ mod tests {
     fn deterministic_per_seed() {
         let bounds = [(-5.0, 5.0); 3];
         let f = |g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>();
-        let a = optimize(&bounds, f, &GaConfig { seed: 42, ..Default::default() });
-        let b = optimize(&bounds, f, &GaConfig { seed: 42, ..Default::default() });
+        let a = optimize(
+            &bounds,
+            f,
+            &GaConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
+        let b = optimize(
+            &bounds,
+            f,
+            &GaConfig {
+                seed: 42,
+                ..Default::default()
+            },
+        );
         assert_eq!(a, b);
     }
 
@@ -190,7 +206,11 @@ mod tests {
         let best = optimize(
             &bounds,
             |g| -(g[0] * g[0] - 8.0 * (2.0 * std::f64::consts::PI * g[0]).cos()),
-            &GaConfig { generations: 200, population: 100, ..Default::default() },
+            &GaConfig {
+                generations: 200,
+                population: 100,
+                ..Default::default()
+            },
         );
         assert!(best[0].abs() < 0.5, "x = {}", best[0]);
     }

@@ -49,7 +49,11 @@ impl Default for WmObtConfig {
             condition: 0.75,
             change_bounds: (-0.5, 10.0),
             decoding_threshold: 0.0966,
-            ga: GaConfig { population: 40, generations: 40, ..Default::default() },
+            ga: GaConfig {
+                population: 40,
+                generations: 40,
+                ..Default::default()
+            },
         }
     }
 }
@@ -65,14 +69,17 @@ impl WmObt {
     pub fn new(config: WmObtConfig, key: &[u8]) -> Self {
         assert!(config.partitions > 0, "need at least one partition");
         assert!(!config.bits.is_empty(), "need at least one watermark bit");
-        WmObt { config, key: key.to_vec() }
+        WmObt {
+            config,
+            key: key.to_vec(),
+        }
     }
 
     /// Secret partition of a token.
     fn partition_of(&self, token: &Token) -> usize {
         let mac = hmac_sha256(&self.key, token.as_bytes());
-        (u64::from_be_bytes(mac[..8].try_into().expect("8 bytes"))
-            % self.config.partitions as u64) as usize
+        (u64::from_be_bytes(mac[..8].try_into().expect("8 bytes")) % self.config.partitions as u64)
+            as usize
     }
 
     /// Sigmoid-smoothed fraction of `values` above `mean + c·σ`.
@@ -196,7 +203,10 @@ impl WmObt {
                 votes[p % nbits].1 += 1;
             }
         }
-        votes.into_iter().map(|(ones, zeros)| ones >= zeros).collect()
+        votes
+            .into_iter()
+            .map(|(ones, zeros)| ones >= zeros)
+            .collect()
     }
 
     /// Convenience: does the decoded bit string match the embedded one?
@@ -281,7 +291,10 @@ mod tests {
             h.len()
         );
         let sim = cosine_similarity(&a, &b);
-        assert!(sim < 0.999999, "distortion must dwarf FreqyWM's, sim = {sim}");
+        assert!(
+            sim < 0.999999,
+            "distortion must dwarf FreqyWM's, sim = {sim}"
+        );
     }
 
     #[test]
@@ -317,6 +330,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "partition")]
     fn zero_partitions_panics() {
-        WmObt::new(WmObtConfig { partitions: 0, ..Default::default() }, b"k");
+        WmObt::new(
+            WmObtConfig {
+                partitions: 0,
+                ..Default::default()
+            },
+            b"k",
+        );
     }
 }

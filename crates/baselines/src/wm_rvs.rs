@@ -45,7 +45,10 @@ pub struct WmRvs {
 impl WmRvs {
     pub fn new(config: WmRvsConfig, key: &[u8]) -> Self {
         assert!(config.max_position > 0, "need at least one digit position");
-        WmRvs { config, key: key.to_vec() }
+        WmRvs {
+            config,
+            key: key.to_vec(),
+        }
     }
 
     /// Keyed (position, digit) for a token.
@@ -73,7 +76,11 @@ impl WmRvs {
         let marked = Histogram::from_counts(hist.entries().iter().map(|(t, c)| {
             let (position, digit) = self.mark_of(t);
             let original_digit = Self::digit_at(*c, position);
-            recovery.push(Recovery { token: t.clone(), position, original_digit });
+            recovery.push(Recovery {
+                token: t.clone(),
+                position,
+                original_digit,
+            });
             (t.clone(), Self::with_digit(*c, position, digit))
         }));
         (marked, recovery)

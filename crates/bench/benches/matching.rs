@@ -29,12 +29,16 @@ fn bench_matchers(c: &mut Criterion) {
     group.sample_size(10);
     for (v, e) in [(100usize, 400usize), (400, 1_600), (1_000, 4_000)] {
         let g = random_graph(v, e, 42);
-        group.bench_with_input(BenchmarkId::new("blossom", format!("{v}v{e}e")), &g, |b, g| {
-            b.iter(|| max_weight_matching(black_box(g), false))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", format!("{v}v{e}e")), &g, |b, g| {
-            b.iter(|| greedy_matching(black_box(g)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blossom", format!("{v}v{e}e")),
+            &g,
+            |b, g| b.iter(|| max_weight_matching(black_box(g), false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("{v}v{e}e")),
+            &g,
+            |b, g| b.iter(|| greedy_matching(black_box(g))),
+        );
     }
     group.finish();
 }

@@ -26,21 +26,18 @@ fn bench_generation(c: &mut Criterion) {
         ("zipf-1k", zipf(1_000, 1_000_000, 0.5)),
         ("zipf-4k", zipf(4_000, 4_000_000, 0.5)),
     ] {
-        for (sel_name, sel) in
-            [("optimal", Selection::Optimal), ("greedy", Selection::Greedy)]
-        {
+        for (sel_name, sel) in [
+            ("optimal", Selection::Optimal),
+            ("greedy", Selection::Greedy),
+        ] {
             let params = GenerationParams::default().with_z(131).with_selection(sel);
-            group.bench_with_input(
-                BenchmarkId::new(sel_name, name),
-                &hist,
-                |b, h| {
-                    b.iter(|| {
-                        Watermarker::new(params)
-                            .generate_histogram(black_box(h), Secret::from_label("bench"))
-                            .expect("eligible pairs exist")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(sel_name, name), &hist, |b, h| {
+                b.iter(|| {
+                    Watermarker::new(params)
+                        .generate_histogram(black_box(h), Secret::from_label("bench"))
+                        .expect("eligible pairs exist")
+                })
+            });
         }
     }
     group.finish();
@@ -51,7 +48,9 @@ fn bench_detection(c: &mut Criterion) {
     let out = Watermarker::new(GenerationParams::default().with_z(131))
         .generate_histogram(&hist, Secret::from_label("bench"))
         .expect("eligible pairs exist");
-    let params = DetectionParams::default().with_t(0).with_k(out.secrets.len());
+    let params = DetectionParams::default()
+        .with_t(0)
+        .with_k(out.secrets.len());
     c.bench_function("detection/zipf-1k", |b| {
         b.iter(|| detect_histogram(black_box(&out.watermarked), &out.secrets, &params))
     });

@@ -30,18 +30,23 @@ fn main() {
         println!("\nAblation 1 — matching weight scheme (alpha = 0.5, z = 131, b = 2)");
         let widths = [18, 9, 9, 14, 14];
         print_header(
-            &["weights", "matched", "chosen", "distortion%", "total change"],
+            &[
+                "weights",
+                "matched",
+                "chosen",
+                "distortion%",
+                "total change",
+            ],
             &widths,
         );
         for (name, scheme) in [
             ("T - rm (paper)", WeightScheme::PaperRemainder),
             ("T - min(rm,s-rm)", WeightScheme::EffectiveCost),
         ] {
-            let out = Watermarker::new(
-                GenerationParams::default().with_z(131).with_weights(scheme),
-            )
-            .generate_histogram(&hist, Secret::from_label("abl-weights"))
-            .expect("skewed data");
+            let out =
+                Watermarker::new(GenerationParams::default().with_z(131).with_weights(scheme))
+                    .generate_histogram(&hist, Secret::from_label("abl-weights"))
+                    .expect("skewed data");
             print_row(
                 &[
                     name.to_string(),
@@ -76,9 +81,7 @@ fn main() {
                     )
                     .accept_rate(),
                 );
-                symmetric.push(
-                    detect_histogram(&attacked, &out.secrets, &base).accept_rate(),
-                );
+                symmetric.push(detect_histogram(&attacked, &out.secrets, &base).accept_rate());
             }
             print_row(
                 &[
@@ -89,7 +92,9 @@ fn main() {
                 &widths,
             );
         }
-        println!("(the symmetric rule catches remainders just below the modulus — paper's relaxation)");
+        println!(
+            "(the symmetric rule catches remainders just below the modulus — paper's relaxation)"
+        );
 
         // --- 3. modulus floor ---
         println!(
@@ -99,12 +104,21 @@ fn main() {
         let dnon = paper_zipf(0.7);
         let widths = [8, 8, 13, 13, 13, 15];
         print_header(
-            &["min_s", "pairs", "D_w t=4 %", "D_non t=4 %", "±1%atk t=4 %", "reorder90 t=4 %"],
+            &[
+                "min_s",
+                "pairs",
+                "D_w t=4 %",
+                "D_non t=4 %",
+                "±1%atk t=4 %",
+                "reorder90 t=4 %",
+            ],
             &widths,
         );
         for min_s in [2u64, 8, 16, 32] {
             let out = Watermarker::new(
-                GenerationParams::default().with_z(131).with_min_modulus(min_s),
+                GenerationParams::default()
+                    .with_z(131)
+                    .with_min_modulus(min_s),
             )
             .generate_histogram(&hist, Secret::from_label("abl-floor"))
             .expect("skewed data");

@@ -27,7 +27,14 @@ fn main() {
         println!("\nFig. 3 / Sec. IV-D — FreqyWM vs WM-OBT vs WM-RVS (alpha = 0.5, 1K tokens, 1M samples)");
         let widths = [9, 13, 12, 12, 14, 9];
         print_header(
-            &["scheme", "similarity%", "mean change", "std change", "rank churn", "time(s)"],
+            &[
+                "scheme",
+                "similarity%",
+                "mean change",
+                "std change",
+                "rank churn",
+                "time(s)",
+            ],
             &widths,
         );
 
@@ -95,9 +102,7 @@ fn main() {
             "\npaper: FreqyWM 99.9998% / 0 rank changes; WM-OBT 54.28% / 998 changed (444 ± 855.91, >30 min);"
         );
         println!("       WM-RVS 96% / 987 changed (-69.43 ± 414.10, seconds)");
-        println!(
-            "WM-OBT decoding threshold (calibrated, cf. paper's 0.0966): {threshold:.4}"
-        );
+        println!("WM-OBT decoding threshold (calibrated, cf. paper's 0.0966): {threshold:.4}");
     });
     println!("\n[exp_baselines: {total:.1}s]");
 }

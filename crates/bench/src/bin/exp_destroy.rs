@@ -23,8 +23,8 @@ use freqywm_core::detect::detect_histogram;
 use freqywm_core::generate::Watermarker;
 use freqywm_core::params::{DetectionParams, GenerationParams};
 use freqywm_core::secret::SecretList;
-use freqywm_data::histogram::Histogram;
 use freqywm_crypto::prf::Secret;
+use freqywm_data::histogram::Histogram;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,7 +39,12 @@ fn testbed() -> (Histogram, SecretList) {
 }
 
 fn rate(hist: &Histogram, secrets: &SecretList, t: u64) -> f64 {
-    detect_histogram(hist, secrets, &DetectionParams::default().with_t(t).with_k(1)).accept_rate()
+    detect_histogram(
+        hist,
+        secrets,
+        &DetectionParams::default().with_t(t).with_k(1),
+    )
+    .accept_rate()
 }
 
 fn fig5(wm: &Histogram, secrets: &SecretList) {
@@ -78,7 +83,10 @@ fn fig5(wm: &Histogram, secrets: &SecretList) {
 fn reorder(wm: &Histogram, secrets: &SecretList) {
     println!("\nSec. V-C2 — destroy attack WITH re-ordering (t = 4, mean of {REPEATS} draws)");
     let widths = [8, 12, 14, 14];
-    print_header(&["noise%", "verified%", "rank churn", "similarity%"], &widths);
+    print_header(
+        &["noise%", "verified%", "rank churn", "similarity%"],
+        &widths,
+    );
     for pct in [10.0, 30.0, 50.0, 60.0, 80.0, 90.0] {
         let mut rates = Vec::new();
         let mut churn = Vec::new();
@@ -101,8 +109,10 @@ fn reorder(wm: &Histogram, secrets: &SecretList) {
             &widths,
         );
     }
-    println!("paper: success rates 94/88/82/79/78/76 % for 10..90% noise at t=4 —\n\
-              the watermark outlives the data (ranking and similarity are wrecked first)");
+    println!(
+        "paper: success rates 94/88/82/79/78/76 % for 10..90% noise at t=4 —\n\
+              the watermark outlives the data (ranking and similarity are wrecked first)"
+    );
 }
 
 fn main() {

@@ -20,9 +20,7 @@ fn main() {
         let probs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
         let pb = PoissonBinomial::new(probs);
         let mu = pb.mean();
-        println!(
-            "\nSec. III-B4 — survival P(S_n >= k), n = {n}, p_m ~ U[0,1] (mu = {mu:.2})"
-        );
+        println!("\nSec. III-B4 — survival P(S_n >= k), n = {n}, p_m ~ U[0,1] (mu = {mu:.2})");
         let widths = [5, 14, 14, 14];
         print_header(&["k", "P (DFT)", "P (exact DP)", "Markov mu/k"], &widths);
         for k in [0usize, 1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] {
@@ -36,7 +34,10 @@ fn main() {
                 &widths,
             );
         }
-        println!("\nsurvival at k = n: {:.3e} (paper: \"0 when k goes to 50\")", pb.survival(n));
+        println!(
+            "\nsurvival at k = n: {:.3e} (paper: \"0 when k goes to 50\")",
+            pb.survival(n)
+        );
 
         // Limit in t: p_m = t/s_ij with the moduli a watermark actually
         // uses (s drawn uniformly from [2, 131)).

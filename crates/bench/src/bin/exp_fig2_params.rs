@@ -90,7 +90,14 @@ fn fig2c() {
     let hist = paper_zipf(0.7);
     let widths = [9, 9, 9, 9, 13, 13];
     print_header(
-        &["budget", "optimal", "greedy", "random", "greedy/opt", "random/opt"],
+        &[
+            "budget",
+            "optimal",
+            "greedy",
+            "random",
+            "greedy/opt",
+            "random/opt",
+        ],
         &widths,
     );
     // The similarity budget only starts to bind around 1e-5 % on this

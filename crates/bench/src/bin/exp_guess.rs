@@ -28,7 +28,10 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(3);
         println!("\nper-pair acceptance probability of a random guess:");
         let widths = [6, 12, 22, 22];
-        print_header(&["t", "empirical", "P(S_n >= n/2) exact", "Markov bound"], &widths);
+        print_header(
+            &["t", "empirical", "P(S_n >= n/2) exact", "Markov bound"],
+            &widths,
+        );
         for t in [0u64, 1, 2, 4] {
             let p = empirical_pair_fp_probability(&out.watermarked, 131, t, 5_000, &mut rng);
             let pb = PoissonBinomial::new(vec![p; n]);
@@ -46,7 +49,10 @@ fn main() {
         // The attack itself, at the owner's strict threshold.
         println!("\nmounting the attack (forged R + random pairs, t = 0, k = n/2):");
         let widths = [10, 12, 12, 18];
-        print_header(&["attempts", "successes", "best pairs", "needed (k)"], &widths);
+        print_header(
+            &["attempts", "successes", "best pairs", "needed (k)"],
+            &widths,
+        );
         let k = n / 2;
         let params = DetectionParams::default().with_t(0).with_k(k);
         for attempts in [100usize, 1_000] {

@@ -37,7 +37,16 @@ fn main() {
         );
         let widths = [7, 9, 9, 9, 9, 8, 12, 13];
         print_header(
-            &["epoch", "updates", "intact", "repaired", "retired", "added", "repair cost", "verify t=0"],
+            &[
+                "epoch",
+                "updates",
+                "intact",
+                "repaired",
+                "retired",
+                "added",
+                "repair cost",
+                "verify t=0",
+            ],
             &widths,
         );
         for epoch in 1..=8 {
@@ -63,7 +72,9 @@ fn main() {
             let verify = detect_histogram(
                 inc.histogram(),
                 inc.secrets(),
-                &DetectionParams::default().with_t(0).with_k(inc.secrets().len()),
+                &DetectionParams::default()
+                    .with_t(0)
+                    .with_k(inc.secrets().len()),
             );
             print_row(
                 &[
@@ -74,7 +85,11 @@ fn main() {
                     report.retired.to_string(),
                     report.added.to_string(),
                     report.total_change.to_string(),
-                    if verify.accepted { "ACCEPT".into() } else { "REJECT".into() },
+                    if verify.accepted {
+                        "ACCEPT".into()
+                    } else {
+                        "REJECT".into()
+                    },
                 ],
                 &widths,
             );

@@ -56,7 +56,14 @@ fn main() {
 
         let widths = [14, 12, 12, 12, 12, 10];
         print_header(
-            &["dataset", "train ex.", "test ex.", "final loss", "accuracy%", "time(s)"],
+            &[
+                "dataset",
+                "train ex.",
+                "test ex.",
+                "final loss",
+                "accuracy%",
+                "time(s)",
+            ],
             &widths,
         );
         print_row(

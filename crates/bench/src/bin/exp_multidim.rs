@@ -24,7 +24,14 @@ fn main() {
         println!("rows: {}, z = 131, b = 2\n", table.len());
         let widths = [20, 10, 8, 9, 13, 13];
         print_header(
-            &["token", "distinct", "|Le|", "chosen", "similarity%", "round-trip"],
+            &[
+                "token",
+                "distinct",
+                "|Le|",
+                "chosen",
+                "similarity%",
+                "round-trip",
+            ],
             &widths,
         );
         let params = GenerationParams::default().with_z(131).with_budget(2.0);
@@ -48,15 +55,24 @@ fn main() {
                     report.eligible_pairs.to_string(),
                     report.chosen_pairs.to_string(),
                     format!("{:.4}", report.similarity_pct),
-                    if d.accepted { "ACCEPT".into() } else { "REJECT".into() },
+                    if d.accepted {
+                        "ACCEPT".into()
+                    } else {
+                        "REJECT".into()
+                    },
                 ],
                 &widths,
             );
             assert!(d.accepted);
             // Semantic integrity: every row keeps the full column set.
-            assert!(wtable.rows().iter().all(|r| r.len() == table.columns().len()));
+            assert!(wtable
+                .rows()
+                .iter()
+                .all(|r| r.len() == table.columns().len()));
         }
-        println!("\npaper: [Age] 73 distinct -> 21 pairs; [Age, WorkClass] 481 distinct -> 20 pairs");
+        println!(
+            "\npaper: [Age] 73 distinct -> 21 pairs; [Age, WorkClass] 481 distinct -> 20 pairs"
+        );
     });
     println!("\n[exp_multidim: {secs:.1}s]");
 }

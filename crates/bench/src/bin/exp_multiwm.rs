@@ -49,7 +49,13 @@ fn discrepancy(log: &ClickStream, multi: &MultiWatermark) {
     );
     let widths = [7, 9, 13, 18, 15];
     print_header(
-        &["round", "pairs", "round sim%", "detect on final", "pairs verified"],
+        &[
+            "round",
+            "pairs",
+            "round sim%",
+            "detect on final",
+            "pairs verified",
+        ],
         &widths,
     );
     let fin = multi.final_histogram().expect("rounds exist");
@@ -63,7 +69,11 @@ fn discrepancy(log: &ClickStream, multi: &MultiWatermark) {
                 (i + 1).to_string(),
                 round.secrets.len().to_string(),
                 format!("{:.5}", round.report.similarity_pct),
-                if d.accepted { "ACCEPT".into() } else { "REJECT".into() },
+                if d.accepted {
+                    "ACCEPT".into()
+                } else {
+                    "REJECT".into()
+                },
                 format!("{}/{}", d.accepted_pairs, d.total_pairs),
             ],
             &widths,
@@ -84,7 +94,10 @@ fn decompose(log: &ClickStream, wlog: &ClickStream) {
     let da = decompose_additive(&after, 7);
     println!("\nFigs. 6-8 — feature analysis of the daily-visit series (weekly period)");
     let widths = [13, 13, 15, 15];
-    print_header(&["component", "correlation", "max |diff|", "mean level"], &widths);
+    print_header(
+        &["component", "correlation", "max |diff|", "mean level"],
+        &widths,
+    );
     for (name, b, a) in [
         ("trend", &db.trend, &da.trend),
         ("seasonality", &db.seasonal, &da.seasonal),
@@ -107,7 +120,9 @@ fn history(log: &ClickStream, wlog: &ClickStream) {
     let days = log.span_days();
     let before = log.daily_counts(days);
     let after = wlog.daily_counts(days);
-    println!("\nFig. 9 — daily browser-history volume, original vs 10x-watermarked (first 28 days)");
+    println!(
+        "\nFig. 9 — daily browser-history volume, original vs 10x-watermarked (first 28 days)"
+    );
     let widths = [6, 12, 12, 8];
     print_header(&["day", "original", "marked", "diff"], &widths);
     for d in 0..28usize.min(days as usize) {

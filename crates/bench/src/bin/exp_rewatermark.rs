@@ -59,11 +59,15 @@ fn run_case(label: &str, exclude_free: bool) {
 
 fn main() {
     let ((), secs) = timed(|| {
-        println!("\nSec. V-D — re-watermarking dispute, four detection runs at t = 0, k = |pairs|/4");
+        println!(
+            "\nSec. V-D — re-watermarking dispute, four detection runs at t = 0, k = |pairs|/4"
+        );
         println!("(own/own = self check; own/pirate = owner's mark on the re-marked copy; etc.)\n");
         let widths = [22, 10, 10, 10, 10, 15];
         print_header(
-            &["selector", "own/own%", "own/pir%", "pir/pir%", "pir/own%", "verdict"],
+            &[
+                "selector", "own/own%", "own/pir%", "pir/pir%", "pir/own%", "verdict",
+            ],
             &widths,
         );
         run_case("paper-faithful", false);

@@ -87,10 +87,7 @@ fn fig4(wm: &Histogram, secrets: &SecretList) {
     let mut rng = StdRng::seed_from_u64(2);
     for pct in [0.0007, 0.0015, 0.003, 0.007, 0.015, 0.05, 0.1, 0.5] {
         let frac = pct / 100.0;
-        let mut cells = vec![
-            format!("{pct}"),
-            format!("{:.0}", wm.total() as f64 * frac),
-        ];
+        let mut cells = vec![format!("{pct}"), format!("{:.0}", wm.total() as f64 * frac)];
         let mut distinct_seen = 0.0;
         for t in [2u64, 4, 10] {
             let (rate, distinct) = rate_at(wm, secrets, frac, t, &mut rng);

@@ -61,8 +61,16 @@ fn main() {
         let widths = [13, 8, 9, 9, 8, 8, 8, 8, 10, 11];
         print_header(
             &[
-                "dataset", "token", "rows", "distinct", "|Le|", "optimal", "greedy",
-                "random", "gen (s)", "detect (s)",
+                "dataset",
+                "token",
+                "rows",
+                "distinct",
+                "|Le|",
+                "optimal",
+                "greedy",
+                "random",
+                "gen (s)",
+                "detect (s)",
             ],
             &widths,
         );
@@ -87,14 +95,14 @@ fn main() {
                     .generate_histogram(&d.hist, secret.clone())
                     .expect("greedy succeeds where optimal does");
                 greedy.push(grd.report.chosen_pairs as f64);
-                let rnd = Watermarker::new(
-                    params.with_selection(Selection::Random { seed: run as u64 }),
-                )
-                .generate_histogram(&d.hist, secret.clone())
-                .expect("random succeeds where optimal does");
+                let rnd =
+                    Watermarker::new(params.with_selection(Selection::Random { seed: run as u64 }))
+                        .generate_histogram(&d.hist, secret.clone())
+                        .expect("random succeeds where optimal does");
                 random.push(rnd.report.chosen_pairs as f64);
-                let det_params =
-                    DetectionParams::default().with_t(0).with_k(out.secrets.len());
+                let det_params = DetectionParams::default()
+                    .with_t(0)
+                    .with_k(out.secrets.len());
                 let (outcome, t_det) = freqywm_bench::timed(|| {
                     detect_histogram(&out.watermarked, &out.secrets, &det_params)
                 });
@@ -121,7 +129,9 @@ fn main() {
             "\npaper (full-scale, Python): Taxi |Le|=33308 opt=805 grd=770 rnd=773 gen=182.5s det=0.609s"
         );
         println!("                            eyeWnder |Le|=257 opt=38 grd=33 rnd=31 gen=420.8s det=0.053s");
-        println!("                            Adult |Le|=72 opt=21 grd=20 rnd=17 gen=0.03s det=0.001s");
+        println!(
+            "                            Adult |Le|=72 opt=21 grd=20 rnd=17 gen=0.03s det=0.001s"
+        );
     });
     println!("\n[exp_table2: {secs:.1}s]");
 }

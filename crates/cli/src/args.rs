@@ -46,7 +46,39 @@ pub enum Command {
         /// Quorum as a fraction of each claimant's pair count.
         quorum: f64,
     },
+    /// Runs the multi-tenant engine over JSON-lines on stdin/stdout.
+    Serve {
+        engine: EngineOpts,
+    },
+    /// Processes a JSON-lines request file through the engine
+    /// (detect waves run concurrently on the worker pool).
+    Batch {
+        input: String,
+        engine: EngineOpts,
+    },
     Help,
+}
+
+/// Worker-pool/cache flags shared by `serve` and `batch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineOpts {
+    pub workers: usize,
+    pub queue: usize,
+    pub cache_shards: usize,
+    pub cache_capacity: usize,
+    pub no_cache: bool,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            workers: 4,
+            queue: 1024,
+            cache_shards: 8,
+            cache_capacity: 8_192,
+            no_cache: false,
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,10 +103,19 @@ USAGE:
                    --kind sample|destroy|reorder --param <x> [--seed N]
   freqywm judge    --a-input <a.txt> --a-secret <a.fwm>
                    --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
+  freqywm serve    [--workers 4] [--queue 1024] [--cache-shards 8]
+                   [--cache-capacity 8192] [--no-cache]
+  freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
+                   [--cache-shards 8] [--cache-capacity 8192] [--no-cache]
   freqywm help
 
 Token files contain one token per line. `detect` exits 0 on accept,
-1 on reject, 2 on error.";
+1 on reject, 2 on error.
+
+`serve` reads one JSON request per line on stdin and writes one JSON
+response per line on stdout (ops: register, embed, detect, maintain,
+dispute, metrics, shutdown). `batch` does the same over a file,
+running consecutive detect requests concurrently on the worker pool.";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -85,7 +126,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
         // Boolean flags take no value.
-        if key == "exclude-free-pairs" {
+        if key == "exclude-free-pairs" || key == "no-cache" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -112,9 +153,22 @@ fn opt_parse<T: std::str::FromStr>(
     default: T,
 ) -> Result<T, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: {v:?}")),
         None => Ok(default),
     }
+}
+
+fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> {
+    let defaults = EngineOpts::default();
+    Ok(EngineOpts {
+        workers: opt_parse(f, "workers", defaults.workers)?,
+        queue: opt_parse(f, "queue", defaults.queue)?,
+        cache_shards: opt_parse(f, "cache-shards", defaults.cache_shards)?,
+        cache_capacity: opt_parse(f, "cache-capacity", defaults.cache_capacity)?,
+        no_cache: f.contains_key("no-cache"),
+    })
 }
 
 /// Parses the command line (excluding the program name).
@@ -129,7 +183,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let selection = match f.get("selection").map(|s| s.as_str()).unwrap_or("optimal") {
                 "optimal" => Selection::Optimal,
                 "greedy" => Selection::Greedy,
-                "random" => Selection::Random { seed: opt_parse(&f, "seed", 0u64)? },
+                "random" => Selection::Random {
+                    seed: opt_parse(&f, "seed", 0u64)?,
+                },
                 other => return Err(format!("unknown selection {other:?}")),
             };
             Ok(Command::Generate {
@@ -146,9 +202,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "detect" => {
             let f = parse_flags(rest)?;
             let scale = match f.get("scale") {
-                Some(v) => {
-                    Some(v.parse().map_err(|_| format!("bad value for --scale: {v:?}"))?)
-                }
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("bad value for --scale: {v:?}"))?,
+                ),
                 None => None,
             };
             Ok(Command::Detect {
@@ -161,7 +218,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "inspect" => {
             let f = parse_flags(rest)?;
-            Ok(Command::Inspect { input: req(&f, "input")?, z: opt_parse(&f, "z", 131u64)? })
+            Ok(Command::Inspect {
+                input: req(&f, "input")?,
+                z: opt_parse(&f, "z", 131u64)?,
+            })
         }
         "attack" => {
             let f = parse_flags(rest)?;
@@ -179,6 +239,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "bad value for --param".to_string())?,
                 seed: opt_parse(&f, "seed", 0u64)?,
+            })
+        }
+        "serve" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Serve {
+                engine: parse_engine_opts(&f)?,
+            })
+        }
+        "batch" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Batch {
+                input: req(&f, "input")?,
+                engine: parse_engine_opts(&f)?,
             })
         }
         "judge" => {
@@ -214,11 +287,23 @@ mod tests {
     #[test]
     fn generate_defaults() {
         let c = parse_args(&v(&[
-            "generate", "--input", "in.txt", "--output", "out.txt", "--secret-out", "s.fwm",
+            "generate",
+            "--input",
+            "in.txt",
+            "--output",
+            "out.txt",
+            "--secret-out",
+            "s.fwm",
         ]))
         .unwrap();
         match c {
-            Command::Generate { budget, z, selection, exclude_free_pairs, .. } => {
+            Command::Generate {
+                budget,
+                z,
+                selection,
+                exclude_free_pairs,
+                ..
+            } => {
                 assert_eq!(budget, 2.0);
                 assert_eq!(z, 131);
                 assert_eq!(selection, Selection::Optimal);
@@ -231,13 +316,35 @@ mod tests {
     #[test]
     fn generate_full_flags() {
         let c = parse_args(&v(&[
-            "generate", "--input", "a", "--output", "b", "--secret-out", "c", "--budget",
-            "0.5", "--z", "1031", "--selection", "random", "--seed", "7",
-            "--exclude-free-pairs", "--secret-label", "demo",
+            "generate",
+            "--input",
+            "a",
+            "--output",
+            "b",
+            "--secret-out",
+            "c",
+            "--budget",
+            "0.5",
+            "--z",
+            "1031",
+            "--selection",
+            "random",
+            "--seed",
+            "7",
+            "--exclude-free-pairs",
+            "--secret-label",
+            "demo",
         ]))
         .unwrap();
         match c {
-            Command::Generate { budget, z, selection, exclude_free_pairs, secret_label, .. } => {
+            Command::Generate {
+                budget,
+                z,
+                selection,
+                exclude_free_pairs,
+                secret_label,
+                ..
+            } => {
                 assert_eq!(budget, 0.5);
                 assert_eq!(z, 1031);
                 assert_eq!(selection, Selection::Random { seed: 7 });
@@ -251,8 +358,7 @@ mod tests {
     #[test]
     fn detect_with_scale() {
         let c = parse_args(&v(&[
-            "detect", "--input", "x", "--secret", "s", "--t", "4", "--k", "10", "--scale",
-            "5.0",
+            "detect", "--input", "x", "--secret", "s", "--t", "4", "--k", "10", "--scale", "5.0",
         ]))
         .unwrap();
         assert_eq!(
@@ -279,7 +385,9 @@ mod tests {
             ]))
             .unwrap();
             match c {
-                Command::Attack { kind, param, seed, .. } => {
+                Command::Attack {
+                    kind, param, seed, ..
+                } => {
                     assert_eq!(kind, k);
                     assert_eq!(param, 0.5);
                     assert_eq!(seed, 0);
@@ -292,12 +400,23 @@ mod tests {
     #[test]
     fn judge_flags() {
         let c = parse_args(&v(&[
-            "judge", "--a-input", "a.txt", "--a-secret", "a.fwm", "--b-input", "b.txt",
-            "--b-secret", "b.fwm", "--quorum", "0.5",
+            "judge",
+            "--a-input",
+            "a.txt",
+            "--a-secret",
+            "a.fwm",
+            "--b-input",
+            "b.txt",
+            "--b-secret",
+            "b.fwm",
+            "--quorum",
+            "0.5",
         ]))
         .unwrap();
         match c {
-            Command::Judge { t, quorum, a_input, .. } => {
+            Command::Judge {
+                t, quorum, a_input, ..
+            } => {
                 assert_eq!(t, 0);
                 assert_eq!(quorum, 0.5);
                 assert_eq!(a_input, "a.txt");
@@ -308,13 +427,68 @@ mod tests {
     }
 
     #[test]
+    fn serve_and_batch_flags() {
+        assert_eq!(
+            parse_args(&v(&["serve"])).unwrap(),
+            Command::Serve {
+                engine: EngineOpts::default()
+            }
+        );
+        let c = parse_args(&v(&[
+            "serve",
+            "--workers",
+            "8",
+            "--queue",
+            "64",
+            "--no-cache",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { engine } => {
+                assert_eq!(engine.workers, 8);
+                assert_eq!(engine.queue, 64);
+                assert!(engine.no_cache);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&[
+            "batch",
+            "--input",
+            "reqs.jsonl",
+            "--cache-shards",
+            "2",
+            "--cache-capacity",
+            "100",
+        ]))
+        .unwrap();
+        match c {
+            Command::Batch { input, engine } => {
+                assert_eq!(input, "reqs.jsonl");
+                assert_eq!(engine.cache_shards, 2);
+                assert_eq!(engine.cache_capacity, 100);
+                assert!(!engine.no_cache);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["batch"])).is_err(), "batch needs --input");
+        assert!(parse_args(&v(&["serve", "--workers", "x"])).is_err());
+    }
+
+    #[test]
     fn errors() {
         assert!(parse_args(&v(&["generate", "--input", "a"])).is_err());
         assert!(parse_args(&v(&["nonsense"])).is_err());
         assert!(parse_args(&v(&["detect", "--input"])).is_err());
         assert!(parse_args(&v(&["detect", "badpositional"])).is_err());
         assert!(parse_args(&v(&[
-            "generate", "--input", "a", "--output", "b", "--secret-out", "c", "--z",
+            "generate",
+            "--input",
+            "a",
+            "--output",
+            "b",
+            "--secret-out",
+            "c",
+            "--z",
             "notanumber"
         ]))
         .is_err());

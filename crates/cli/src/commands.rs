@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{AttackKind, Command, USAGE};
+use crate::args::{AttackKind, Command, EngineOpts, USAGE};
 use freqywm_attacks::destroy::{destroy_with_reordering, destroy_within_boundaries};
 use freqywm_core::detect::detect_dataset;
 use freqywm_core::eligible::{eligible_pairs, r_max};
@@ -11,9 +11,28 @@ use freqywm_core::secret::SecretList;
 use freqywm_crypto::prf::Secret;
 use freqywm_data::dataset::Dataset;
 use freqywm_data::token::Token;
+use freqywm_service::engine::{Engine, EngineConfig};
+use freqywm_service::prf_cache::PrfCacheConfig;
+use freqywm_service::proto;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs;
+
+fn engine_config(opts: &EngineOpts) -> EngineConfig {
+    EngineConfig {
+        workers: opts.workers.max(1),
+        queue_capacity: opts.queue.max(1),
+        cache: if opts.no_cache {
+            PrfCacheConfig::disabled()
+        } else {
+            PrfCacheConfig {
+                shards: opts.cache_shards.max(1),
+                capacity_per_shard: opts.cache_capacity,
+            }
+        },
+        ..EngineConfig::default()
+    }
+}
 
 /// Runs a parsed command. Returns the process exit code.
 pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
@@ -27,8 +46,7 @@ pub fn run(cmd: Command, out: &mut dyn std::io::Write) -> i32 {
 }
 
 fn read_tokens(path: &str) -> Result<Dataset, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let tokens: Vec<Token> = text
         .lines()
         .filter(|l| !l.trim().is_empty())
@@ -97,10 +115,16 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             .ok();
             Ok(0)
         }
-        Command::Detect { input, secret, t, k, scale } => {
+        Command::Detect {
+            input,
+            secret,
+            t,
+            k,
+            scale,
+        } => {
             let data = read_tokens(&input)?;
-            let text = fs::read_to_string(&secret)
-                .map_err(|e| format!("cannot read {secret}: {e}"))?;
+            let text =
+                fs::read_to_string(&secret).map_err(|e| format!("cannot read {secret}: {e}"))?;
             let secrets = SecretList::from_text(&text).map_err(|e| e.to_string())?;
             let mut params = DetectionParams::default().with_t(t).with_k(k);
             if let Some(s) = scale {
@@ -144,7 +168,14 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             .ok();
             Ok(0)
         }
-        Command::Judge { a_input, a_secret, b_input, b_secret, t, quorum } => {
+        Command::Judge {
+            a_input,
+            a_secret,
+            b_input,
+            b_secret,
+            t,
+            quorum,
+        } => {
             if !(0.0..=1.0).contains(&quorum) {
                 return Err(format!("quorum must be in [0,1], got {quorum}"));
             }
@@ -153,12 +184,14 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
                 let text = fs::read_to_string(secret_path)
                     .map_err(|e| format!("cannot read {secret_path}: {e}"))?;
                 let secrets = SecretList::from_text(&text).map_err(|e| e.to_string())?;
-                Ok(Claim { histogram: data.histogram(), secrets })
+                Ok(Claim {
+                    histogram: data.histogram(),
+                    secrets,
+                })
             };
             let a = load(&a_input, &a_secret)?;
             let b = load(&b_input, &b_secret)?;
-            let k = ((a.secrets.len().min(b.secrets.len()) as f64 * quorum).ceil() as usize)
-                .max(1);
+            let k = ((a.secrets.len().min(b.secrets.len()) as f64 * quorum).ceil() as usize).max(1);
             let params = DetectionParams::default().with_t(t).with_k(k);
             let ruling = judge_dispute(&a, &b, &params);
             writeln!(
@@ -181,7 +214,41 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             .ok();
             Ok(0)
         }
-        Command::Attack { input, output, kind, param, seed, .. } => {
+        Command::Serve { engine } => {
+            let engine = Engine::start(engine_config(&engine));
+            let stdin = std::io::stdin();
+            proto::serve(&engine, stdin.lock(), &mut *out)
+                .map_err(|e| format!("serve I/O error: {e}"))?;
+            engine.shutdown();
+            Ok(0)
+        }
+        Command::Batch {
+            input,
+            engine: opts,
+        } => {
+            let text =
+                fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let engine = Engine::start(engine_config(&opts));
+            let responses = proto::run_batch(&engine, &lines);
+            let failed = responses
+                .iter()
+                .filter(|r| r.starts_with("{\"ok\":false"))
+                .count();
+            for r in &responses {
+                writeln!(out, "{r}").ok();
+            }
+            engine.shutdown();
+            Ok(if failed == 0 { 0 } else { 1 })
+        }
+        Command::Attack {
+            input,
+            output,
+            kind,
+            param,
+            seed,
+            ..
+        } => {
             let data = read_tokens(&input)?;
             let mut rng = StdRng::seed_from_u64(seed);
             let attacked: Dataset = match kind {
@@ -215,7 +282,12 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
                 }
             };
             write_tokens(&output, &attacked)?;
-            writeln!(out, "attacked dataset: {} tokens -> {output}", attacked.len()).ok();
+            writeln!(
+                out,
+                "attacked dataset: {} tokens -> {output}",
+                attacked.len()
+            )
+            .ok();
             Ok(0)
         }
     }
@@ -263,8 +335,18 @@ mod tests {
         // Free-pair exclusion so the original file cannot coincidentally
         // carry the full watermark.
         let (code, log) = run_line(&[
-            "generate", "--input", &input, "--output", &output, "--secret-out", &secret,
-            "--z", "19", "--secret-label", "cli-test", "--exclude-free-pairs",
+            "generate",
+            "--input",
+            &input,
+            "--output",
+            &output,
+            "--secret-out",
+            &secret,
+            "--z",
+            "19",
+            "--secret-label",
+            "cli-test",
+            "--exclude-free-pairs",
         ]);
         assert_eq!(code, 0, "{log}");
         assert!(log.contains("chosen pairs"));
@@ -276,7 +358,12 @@ mod tests {
         // The original file must NOT verify fully: demand every pair.
         let stored = SecretList::from_text(&fs::read_to_string(&secret).unwrap()).unwrap();
         let (code, _) = run_line(&[
-            "detect", "--input", &input, "--secret", &secret, "--k",
+            "detect",
+            "--input",
+            &input,
+            "--secret",
+            &secret,
+            "--k",
             &stored.len().to_string(),
         ]);
         assert_eq!(code, 1, "original data should fail strict detection");
@@ -298,17 +385,25 @@ mod tests {
         let secret = tmp("secret2.fwm");
         let attacked = tmp("attacked.txt");
         run_line(&[
-            "generate", "--input", &input, "--output", &output, "--secret-out", &secret,
-            "--z", "19", "--secret-label", "cli-test-2",
+            "generate",
+            "--input",
+            &input,
+            "--output",
+            &output,
+            "--secret-out",
+            &secret,
+            "--z",
+            "19",
+            "--secret-label",
+            "cli-test-2",
         ]);
         let (code, _) = run_line(&[
-            "attack", "--input", &output, "--output", &attacked, "--kind", "sample",
-            "--param", "0.5", "--seed", "3",
+            "attack", "--input", &output, "--output", &attacked, "--kind", "sample", "--param",
+            "0.5", "--seed", "3",
         ]);
         assert_eq!(code, 0);
         let (code, log) = run_line(&[
-            "detect", "--input", &attacked, "--secret", &secret, "--t", "6", "--scale",
-            "2.0",
+            "detect", "--input", &attacked, "--secret", &secret, "--t", "6", "--scale", "2.0",
         ]);
         assert_eq!(code, 0, "{log}");
     }
@@ -319,30 +414,103 @@ mod tests {
         let owner_out = tmp("owner.txt");
         let owner_secret = tmp("owner.fwm");
         run_line(&[
-            "generate", "--input", &input, "--output", &owner_out, "--secret-out",
-            &owner_secret, "--z", "19", "--secret-label", "cli-owner",
+            "generate",
+            "--input",
+            &input,
+            "--output",
+            &owner_out,
+            "--secret-out",
+            &owner_secret,
+            "--z",
+            "19",
+            "--secret-label",
+            "cli-owner",
             "--exclude-free-pairs",
         ]);
         // Pirate re-watermarks the owner's output.
         let pirate_out = tmp("pirate.txt");
         let pirate_secret = tmp("pirate.fwm");
         run_line(&[
-            "generate", "--input", &owner_out, "--output", &pirate_out, "--secret-out",
-            &pirate_secret, "--z", "19", "--secret-label", "cli-pirate",
+            "generate",
+            "--input",
+            &owner_out,
+            "--output",
+            &pirate_out,
+            "--secret-out",
+            &pirate_secret,
+            "--z",
+            "19",
+            "--secret-label",
+            "cli-pirate",
             "--exclude-free-pairs",
         ]);
         let (code, log) = run_line(&[
-            "judge", "--a-input", &owner_out, "--a-secret", &owner_secret, "--b-input",
-            &pirate_out, "--b-secret", &pirate_secret, "--quorum", "0.25",
+            "judge",
+            "--a-input",
+            &owner_out,
+            "--a-secret",
+            &owner_secret,
+            "--b-input",
+            &pirate_out,
+            "--b-secret",
+            &pirate_secret,
+            "--quorum",
+            "0.25",
         ]);
         assert_eq!(code, 0, "{log}");
         assert!(log.contains("FIRST PARTY"), "{log}");
     }
 
     #[test]
+    fn batch_runs_service_requests() {
+        let reqs = tmp("requests.jsonl");
+        // Power-law counts inline; register → embed → detect the
+        // original (partial) — all through the service engine.
+        let counts: Vec<String> = (0..60u64)
+            .map(|i| format!("[\"token-{i:02}\",{}]", 2_000 / (i + 1)))
+            .collect();
+        let counts = format!("[{}]", counts.join(","));
+        let text = format!(
+            concat!(
+                "{{\"op\":\"register\",\"tenant\":\"cli\",\"secret_label\":\"cli-batch\"}}\n",
+                "{{\"op\":\"embed\",\"tenant\":\"cli\",\"z\":19,\"counts\":{c}}}\n",
+                "{{\"op\":\"detect\",\"tenant\":\"cli\",\"t\":2,\"k\":1,\"counts\":{c}}}\n",
+                "{{\"op\":\"metrics\"}}\n",
+            ),
+            c = counts
+        );
+        fs::write(&reqs, text).unwrap();
+        let (code, log) = run_line(&["batch", "--input", &reqs, "--workers", "2"]);
+        assert_eq!(code, 0, "{log}");
+        let lines: Vec<&str> = log.trim().lines().collect();
+        assert_eq!(lines.len(), 4, "{log}");
+        assert!(lines[0].contains("ledger_index"), "{log}");
+        assert!(lines[1].contains("chosen_pairs"), "{log}");
+        assert!(lines[2].contains("\"op\":\"detect\""), "{log}");
+        assert!(lines[3].contains("\"completed\":2"), "{log}");
+    }
+
+    #[test]
+    fn batch_with_unknown_tenant_fails_nonzero() {
+        let reqs = tmp("bad-requests.jsonl");
+        fs::write(
+            &reqs,
+            "{\"op\":\"detect\",\"tenant\":\"ghost\",\"counts\":[[\"a\",1]]}\n",
+        )
+        .unwrap();
+        let (code, log) = run_line(&["batch", "--input", &reqs]);
+        assert_eq!(code, 1, "{log}");
+        assert!(log.contains("unknown tenant"), "{log}");
+    }
+
+    #[test]
     fn missing_file_is_error() {
         let (code, log) = run_line(&[
-            "detect", "--input", "/nonexistent/tokens.txt", "--secret", "/nonexistent/s",
+            "detect",
+            "--input",
+            "/nonexistent/tokens.txt",
+            "--secret",
+            "/nonexistent/s",
         ]);
         assert_eq!(code, 2);
         assert!(log.contains("error"));

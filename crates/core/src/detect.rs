@@ -9,7 +9,7 @@
 
 use crate::params::{DetectionParams, DetectionRule};
 use crate::secret::SecretList;
-use freqywm_crypto::prf::pair_modulus;
+use freqywm_crypto::prf::{DirectPrf, PrfProvider};
 use freqywm_data::dataset::Dataset;
 use freqywm_data::histogram::Histogram;
 use freqywm_data::token::Token;
@@ -61,6 +61,22 @@ pub fn detect_histogram(
     secrets: &SecretList,
     params: &DetectionParams,
 ) -> DetectionOutcome {
+    detect_histogram_with(hist, secrets, params, &DirectPrf)
+}
+
+/// Runs Algorithm II with an injected [`PrfProvider`].
+///
+/// Batched deployments re-verify the same vocabulary against the same
+/// secret over and over (marketplace re-detections, dispute panels);
+/// passing a memoizing provider skips re-deriving
+/// `H(tk_i ‖ H(R ‖ tk_j))` for pairs already seen. Semantics are
+/// identical to [`detect_histogram`] for any transparent provider.
+pub fn detect_histogram_with<P: PrfProvider>(
+    hist: &Histogram,
+    secrets: &SecretList,
+    params: &DetectionParams,
+    prf: &P,
+) -> DetectionOutcome {
     let scaled;
     let hist = match params.scale {
         Some(f) => {
@@ -87,7 +103,7 @@ pub fn detect_histogram(
             }
         };
         present_pairs += 1;
-        let s = pair_modulus(&secrets.secret, a.as_bytes(), b.as_bytes(), secrets.z);
+        let s = prf.pair_modulus(&secrets.secret, a.as_bytes(), b.as_bytes(), secrets.z);
         if s < 2 {
             // Cannot happen for pairs produced by generation; treat a
             // corrupted secret conservatively as non-verifying.
@@ -141,7 +157,7 @@ mod tests {
     use super::*;
     use crate::generate::Watermarker;
     use crate::params::GenerationParams;
-    use freqywm_crypto::prf::Secret;
+    use freqywm_crypto::prf::{pair_modulus, Secret};
     use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
     use proptest::prelude::*;
 
@@ -183,9 +199,14 @@ mod tests {
         // The original (non-watermarked) histogram should verify far
         // fewer pairs at t = 0 than the watermarked one.
         let (h, out, _) = watermark(0.7, 101);
-        let params = DetectionParams::default().with_t(0).with_k(out.secrets.len());
+        let params = DetectionParams::default()
+            .with_t(0)
+            .with_k(out.secrets.len());
         let d = detect_histogram(&h, &out.secrets, &params);
-        assert!(!d.accepted, "original data must not carry the full watermark");
+        assert!(
+            !d.accepted,
+            "original data must not carry the full watermark"
+        );
         assert!(d.accepted_pairs < out.secrets.len());
     }
 
@@ -200,8 +221,7 @@ mod tests {
         assert!(
             !d.accepted,
             "forged secret verified {}/{} pairs",
-            d.accepted_pairs,
-            d.total_pairs
+            d.accepted_pairs, d.total_pairs
         );
     }
 
@@ -272,13 +292,24 @@ mod tests {
             &secrets,
             &DetectionParams::default().with_t(1).with_k(1),
         );
-        assert!(sym.accepted, "symmetric rule must accept remainder s-1 at t=1");
+        assert!(
+            sym.accepted,
+            "symmetric rule must accept remainder s-1 at t=1"
+        );
         let strict = detect_histogram(
             &hist,
             &secrets,
-            &DetectionParams { t: 1, k: 1, rule: DetectionRule::Strict, scale: None },
+            &DetectionParams {
+                t: 1,
+                k: 1,
+                rule: DetectionRule::Strict,
+                scale: None,
+            },
         );
-        assert!(!strict.accepted, "strict rule must reject remainder s-1 at t=1");
+        assert!(
+            !strict.accepted,
+            "strict rule must reject remainder s-1 at t=1"
+        );
     }
 
     #[test]
@@ -287,7 +318,10 @@ mod tests {
         // Simulate a 25% sample by dividing every count by 4 (ideal,
         // noise-free subsample), then detect with scale 4.
         let quarter = out.watermarked.scaled(0.25);
-        let params = DetectionParams::default().with_t(2).with_k(1).with_scale(4.0);
+        let params = DetectionParams::default()
+            .with_t(2)
+            .with_k(1)
+            .with_scale(4.0);
         let d = detect_histogram(&quarter, &out.secrets, &params);
         assert!(d.accepted);
         // Most pairs come back under a small tolerance.
@@ -310,7 +344,9 @@ mod tests {
         let dbig = detect_histogram(
             &out.watermarked,
             &out.secrets,
-            &DetectionParams::default().with_t(0).with_k(out.secrets.len() + 1),
+            &DetectionParams::default()
+                .with_t(0)
+                .with_k(out.secrets.len() + 1),
         );
         assert!(!dbig.accepted);
     }

@@ -150,7 +150,7 @@ pub fn eligible_pairs_with_min(
 }
 
 /// Parallel variant of [`eligible_pairs_with_min`]: splits the
-/// candidate sweep across `threads` crossbeam scoped threads. Results
+/// candidate sweep across `threads` scoped threads. Results
 /// are identical to the sequential version (same `(i, j)` order) — the
 /// sweep is embarrassingly parallel once the inner digests are cached.
 /// Worth it from roughly 10⁶ candidate pairs (the Chicago-Taxi regime,
@@ -181,14 +181,14 @@ pub fn eligible_pairs_parallel(
     let threads = threads.max(1).min(candidates.len());
     let inner = inner_digests(hist, secret);
     let mut shards: Vec<Vec<EligiblePair>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for t in 0..threads {
             let counts = &counts;
             let min_bound = &min_bound;
             let candidates = &candidates;
             let inner = &inner;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut out = Vec::new();
                 // Strided outer loop balances the triangular workload.
                 let mut a = t;
@@ -211,8 +211,7 @@ pub fn eligible_pairs_parallel(
         for h in handles {
             shards.push(h.join().expect("eligibility worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut out: Vec<EligiblePair> = shards.into_iter().flatten().collect();
     out.sort_unstable_by_key(|p| (p.i, p.j));
     out
@@ -286,8 +285,7 @@ mod tests {
         for p in pairs {
             let tki = &h.entries()[p.i].0;
             let tkj = &h.entries()[p.j].0;
-            let expect =
-                freqywm_crypto::prf::pair_modulus(&s, tki.as_bytes(), tkj.as_bytes(), 97);
+            let expect = freqywm_crypto::prf::pair_modulus(&s, tki.as_bytes(), tkj.as_bytes(), 97);
             assert_eq!(p.s, expect);
         }
     }
@@ -298,7 +296,13 @@ mod tests {
         let h = hist(&[("a", 103), ("b", 102), ("c", 101), ("d", 100)]);
         let pairs = eligible_pairs(&h, &secret(), 1_000);
         for p in pairs {
-            assert!(p.s <= 2, "pair ({}, {}) with s={} should be excluded", p.i, p.j, p.s);
+            assert!(
+                p.s <= 2,
+                "pair ({}, {}) with s={} should be excluded",
+                p.i,
+                p.j,
+                p.s
+            );
         }
     }
 
@@ -314,11 +318,21 @@ mod tests {
 
     #[test]
     fn effective_cost_and_weights() {
-        let p = EligiblePair { i: 0, j: 1, s: 100, rm: 70 };
+        let p = EligiblePair {
+            i: 0,
+            j: 1,
+            s: 100,
+            rm: 70,
+        };
         assert_eq!(p.effective_cost(), 30);
         assert_eq!(p.weight(WeightScheme::PaperRemainder, 1000), 930);
         assert_eq!(p.weight(WeightScheme::EffectiveCost, 1000), 970);
-        let q = EligiblePair { i: 0, j: 1, s: 100, rm: 20 };
+        let q = EligiblePair {
+            i: 0,
+            j: 1,
+            s: 100,
+            rm: 20,
+        };
         assert_eq!(q.effective_cost(), 20);
     }
 
@@ -332,7 +346,13 @@ mod tests {
 
     #[test]
     fn min_modulus_filters_small_s() {
-        let h = hist(&[("a", 10_000), ("b", 8_000), ("c", 6_000), ("d", 4_000), ("e", 2_500)]);
+        let h = hist(&[
+            ("a", 10_000),
+            ("b", 8_000),
+            ("c", 6_000),
+            ("d", 4_000),
+            ("e", 2_500),
+        ]);
         let all = eligible_pairs(&h, &secret(), 257);
         let floored = eligible_pairs_with_min(&h, &secret(), 257, 50);
         assert!(floored.len() <= all.len());
@@ -360,9 +380,21 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let h = hist(&[
-            ("a", 90_000), ("b", 81_500), ("c", 74_000), ("d", 66_000), ("e", 59_000),
-            ("f", 52_500), ("g", 47_000), ("h", 41_000), ("i", 36_000), ("j", 31_000),
-            ("k", 27_000), ("l", 23_000), ("m", 19_500), ("n", 16_000), ("o", 13_000),
+            ("a", 90_000),
+            ("b", 81_500),
+            ("c", 74_000),
+            ("d", 66_000),
+            ("e", 59_000),
+            ("f", 52_500),
+            ("g", 47_000),
+            ("h", 41_000),
+            ("i", 36_000),
+            ("j", 31_000),
+            ("k", 27_000),
+            ("l", 23_000),
+            ("m", 19_500),
+            ("n", 16_000),
+            ("o", 13_000),
         ]);
         for min_s in [2u64, 8] {
             let seq = eligible_pairs_with_min(&h, &secret(), 257, min_s);

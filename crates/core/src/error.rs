@@ -26,7 +26,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::NoEligiblePairs => {
-                write!(f, "no eligible token pairs (insufficient frequency variation)")
+                write!(
+                    f,
+                    "no eligible token pairs (insufficient frequency variation)"
+                )
             }
             Error::BudgetExhausted => write!(f, "similarity budget admits no watermark pair"),
             Error::InvalidModuloBase { z, r_max } => {
@@ -36,7 +39,10 @@ impl fmt::Display for Error {
             Error::EmptyDataset => write!(f, "input dataset is empty"),
             Error::MalformedSecret(msg) => write!(f, "malformed secret: {msg}"),
             Error::ThresholdTooLarge { k, pairs } => {
-                write!(f, "detection threshold k={k} exceeds stored pairs ({pairs})")
+                write!(
+                    f,
+                    "detection threshold k={k} exceeds stored pairs ({pairs})"
+                )
             }
         }
     }
@@ -53,9 +59,15 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(Error::NoEligiblePairs.to_string().contains("eligible"));
-        assert!(Error::InvalidModuloBase { z: 1, r_max: 50 }.to_string().contains("z=1"));
+        assert!(Error::InvalidModuloBase { z: 1, r_max: 50 }
+            .to_string()
+            .contains("z=1"));
         assert!(Error::InvalidBudget(0.0).to_string().contains("0"));
-        assert!(Error::ThresholdTooLarge { k: 5, pairs: 2 }.to_string().contains("k=5"));
-        assert!(Error::MalformedSecret("bad line".into()).to_string().contains("bad line"));
+        assert!(Error::ThresholdTooLarge { k: 5, pairs: 2 }
+            .to_string()
+            .contains("k=5"));
+        assert!(Error::MalformedSecret("bad line".into())
+            .to_string()
+            .contains("bad line"));
     }
 }

@@ -69,7 +69,10 @@ impl Watermarker {
             return Err(Error::InvalidBudget(self.params.budget_pct));
         }
         if self.params.z < 2 {
-            return Err(Error::InvalidModuloBase { z: self.params.z, r_max: r_max(hist) });
+            return Err(Error::InvalidModuloBase {
+                z: self.params.z,
+                r_max: r_max(hist),
+            });
         }
         Ok(())
     }
@@ -130,7 +133,11 @@ impl Watermarker {
             ranking_preserved,
         };
         let secrets = SecretList::new(pairs, secret, self.params.z);
-        Ok(GenerationOutput { watermarked, secrets, report })
+        Ok(GenerationOutput {
+            watermarked,
+            secrets,
+            report,
+        })
     }
 
     /// Full Algorithm I over a token dataset: generates the watermark
@@ -151,9 +158,7 @@ impl Watermarker {
         for (token, want) in out.watermarked.entries() {
             let have = hist.count(token).unwrap_or(0);
             match want.cmp(&have) {
-                std::cmp::Ordering::Greater => {
-                    data.insert_instances(token, want - have, &mut rng)
-                }
+                std::cmp::Ordering::Greater => data.insert_instances(token, want - have, &mut rng),
                 std::cmp::Ordering::Less => data.remove_instances(token, have - want, &mut rng),
                 std::cmp::Ordering::Equal => {}
             }
@@ -240,14 +245,20 @@ mod tests {
     fn uniform_data_is_rejected() {
         let h = Histogram::from_counts((0..50).map(|i| (Token::new(format!("t{i}")), 1_000)));
         let wm = Watermarker::default();
-        assert!(matches!(wm.generate_histogram(&h, secret()), Err(Error::NoEligiblePairs)));
+        assert!(matches!(
+            wm.generate_histogram(&h, secret()),
+            Err(Error::NoEligiblePairs)
+        ));
     }
 
     #[test]
     fn empty_and_invalid_inputs() {
         let wm = Watermarker::default();
         let empty = Histogram::from_counts(std::iter::empty::<(Token, u64)>());
-        assert!(matches!(wm.generate_histogram(&empty, secret()), Err(Error::EmptyDataset)));
+        assert!(matches!(
+            wm.generate_histogram(&empty, secret()),
+            Err(Error::EmptyDataset)
+        ));
 
         let h = zipf_hist(0.5, 20, 10_000);
         let bad_budget = Watermarker::new(GenerationParams::default().with_budget(0.0));
@@ -264,7 +275,11 @@ mod tests {
 
     #[test]
     fn dataset_transformation_matches_histogram() {
-        let cfg = PowerLawConfig { distinct_tokens: 40, sample_size: 20_000, alpha: 0.8 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 40,
+            sample_size: 20_000,
+            alpha: 0.8,
+        };
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
         let data = freqywm_data::synthetic::power_law_dataset(&cfg, &mut rng);
         let wm = Watermarker::new(GenerationParams::default().with_z(19));
@@ -287,7 +302,11 @@ mod tests {
 
     #[test]
     fn transformation_is_deterministic_per_secret() {
-        let cfg = PowerLawConfig { distinct_tokens: 30, sample_size: 5_000, alpha: 0.9 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 30,
+            sample_size: 5_000,
+            alpha: 0.9,
+        };
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6);
         let data = freqywm_data::synthetic::power_law_dataset(&cfg, &mut rng);
         let wm = Watermarker::new(GenerationParams::default().with_z(17));
@@ -330,7 +349,9 @@ mod tests {
             .generate_histogram(&h, secret())
             .unwrap();
         let grd = Watermarker::new(
-            GenerationParams::default().with_z(z).with_selection(Selection::Greedy),
+            GenerationParams::default()
+                .with_z(z)
+                .with_selection(Selection::Greedy),
         )
         .generate_histogram(&h, secret())
         .unwrap();
@@ -363,8 +384,12 @@ mod tests {
     fn different_secrets_different_watermarks() {
         let h = zipf_hist(0.6, 100, 50_000);
         let wm = Watermarker::new(GenerationParams::default().with_z(31));
-        let o1 = wm.generate_histogram(&h, Secret::from_label("owner-1")).unwrap();
-        let o2 = wm.generate_histogram(&h, Secret::from_label("owner-2")).unwrap();
+        let o1 = wm
+            .generate_histogram(&h, Secret::from_label("owner-1"))
+            .unwrap();
+        let o2 = wm
+            .generate_histogram(&h, Secret::from_label("owner-2"))
+            .unwrap();
         assert_ne!(o1.secrets.pairs, o2.secrets.pairs);
     }
 }

@@ -61,7 +61,11 @@ pub struct IncrementalWatermarker {
 impl IncrementalWatermarker {
     /// Adopts an existing watermarked histogram and its secret list.
     pub fn new(params: GenerationParams, secrets: SecretList, histogram: Histogram) -> Self {
-        IncrementalWatermarker { params, secrets, histogram }
+        IncrementalWatermarker {
+            params,
+            secrets,
+            histogram,
+        }
     }
 
     /// Current secret list (pass to [`crate::detect::detect_histogram`]).
@@ -114,7 +118,12 @@ impl IncrementalWatermarker {
                 retired += 1;
                 continue;
             };
-            let s = pair_modulus(&self.secrets.secret, a.as_bytes(), b.as_bytes(), self.secrets.z);
+            let s = pair_modulus(
+                &self.secrets.secret,
+                a.as_bytes(),
+                b.as_bytes(),
+                self.secrets.z,
+            );
             if s < 2 {
                 retired += 1;
                 continue;
@@ -127,15 +136,15 @@ impl IncrementalWatermarker {
             // Re-run the modification rule on the *current* counts;
             // the repair is only legal if it fits the current
             // boundaries of both tokens (ranking must stay intact).
-            let (hi_tok, lo_tok, hi, lo) =
-                if fa >= fb { (&a, &b, fa, fb) } else { (&b, &a, fb, fa) };
+            let (hi_tok, lo_tok, hi, lo) = if fa >= fb {
+                (&a, &b, fa, fb)
+            } else {
+                (&b, &a, fb, fa)
+            };
             let (d_hi, d_lo) = pair_deltas(hi, lo, s);
             if self.repair_fits(&hist, hi_tok, d_hi) && self.repair_fits(&hist, lo_tok, d_lo) {
                 total_change += d_hi.unsigned_abs() + d_lo.unsigned_abs();
-                hist = hist.with_changes(&[
-                    (hi_tok.clone(), d_hi),
-                    (lo_tok.clone(), d_lo),
-                ]);
+                hist = hist.with_changes(&[(hi_tok.clone(), d_hi), (lo_tok.clone(), d_lo)]);
                 repaired += 1;
                 kept.push((a, b));
             } else {
@@ -201,7 +210,13 @@ impl IncrementalWatermarker {
         }
 
         self.histogram = hist;
-        Ok(MaintenanceReport { intact, repaired, retired, added, total_change })
+        Ok(MaintenanceReport {
+            intact,
+            repaired,
+            retired,
+            added,
+            total_change,
+        })
     }
 
     /// Would moving `token` by `delta` keep it inside its current rank
@@ -248,7 +263,9 @@ mod tests {
     }
 
     fn verify_all(inc: &IncrementalWatermarker) -> bool {
-        let params = DetectionParams::default().with_t(0).with_k(inc.secrets().len());
+        let params = DetectionParams::default()
+            .with_t(0)
+            .with_k(inc.secrets().len());
         detect_histogram(inc.histogram(), inc.secrets(), &params).accepted
     }
 
@@ -317,10 +334,7 @@ mod tests {
         assert!(report.retired >= 1);
         assert!(inc.histogram().count(&victim).is_none());
         // Replenishment keeps capacity close to the original.
-        assert!(
-            inc.secrets().len() + report.retired >= before,
-            "{report:?}"
-        );
+        assert!(inc.secrets().len() + report.retired >= before, "{report:?}");
         assert!(verify_all(&inc));
     }
 
@@ -346,7 +360,9 @@ mod tests {
     fn negative_update_below_zero_is_an_error() {
         let mut inc = setup();
         let (t, c) = inc.histogram().entries()[0].clone();
-        let err = inc.apply_updates(&[(t, -(c as i64) - 10)], false).unwrap_err();
+        let err = inc
+            .apply_updates(&[(t, -(c as i64) - 10)], false)
+            .unwrap_err();
         assert!(matches!(err, Error::MalformedSecret(_)));
     }
 

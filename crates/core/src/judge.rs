@@ -8,9 +8,10 @@
 //! pirate's watermark was inserted after `D_w` existed and therefore
 //! cannot be present in it.
 
-use crate::detect::{detect_histogram, DetectionOutcome};
+use crate::detect::{detect_histogram_with, DetectionOutcome};
 use crate::params::DetectionParams;
 use crate::secret::SecretList;
+use freqywm_crypto::prf::{DirectPrf, PrfProvider};
 use freqywm_data::histogram::Histogram;
 
 /// One party's ownership claim: the dataset version it holds plus the
@@ -47,10 +48,23 @@ pub struct Ruling {
 
 /// Arbitrates an ownership dispute between two claims.
 pub fn judge_dispute(a: &Claim, b: &Claim, params: &DetectionParams) -> Ruling {
-    let a_on_a = detect_histogram(&a.histogram, &a.secrets, params);
-    let a_on_b = detect_histogram(&b.histogram, &a.secrets, params);
-    let b_on_b = detect_histogram(&b.histogram, &b.secrets, params);
-    let b_on_a = detect_histogram(&a.histogram, &b.secrets, params);
+    judge_dispute_with(a, b, params, &DirectPrf, &DirectPrf)
+}
+
+/// Dispute arbitration with injected [`PrfProvider`]s, one per claimant
+/// (each claim has its own secret, so a memoizing deployment keys the
+/// two providers differently). Semantics match [`judge_dispute`].
+pub fn judge_dispute_with<PA: PrfProvider, PB: PrfProvider>(
+    a: &Claim,
+    b: &Claim,
+    params: &DetectionParams,
+    prf_a: &PA,
+    prf_b: &PB,
+) -> Ruling {
+    let a_on_a = detect_histogram_with(&a.histogram, &a.secrets, params, prf_a);
+    let a_on_b = detect_histogram_with(&b.histogram, &a.secrets, params, prf_a);
+    let b_on_b = detect_histogram_with(&b.histogram, &b.secrets, params, prf_b);
+    let b_on_a = detect_histogram_with(&a.histogram, &b.secrets, params, prf_b);
     let a_wins = a_on_a.accepted && a_on_b.accepted;
     let b_wins = b_on_b.accepted && b_on_a.accepted;
     let verdict = match (a_wins, b_wins) {
@@ -58,7 +72,13 @@ pub fn judge_dispute(a: &Claim, b: &Claim, params: &DetectionParams) -> Ruling {
         (false, true) => Verdict::SecondParty,
         _ => Verdict::Inconclusive,
     };
-    Ruling { verdict, a_on_a, a_on_b, b_on_b, b_on_a }
+    Ruling {
+        verdict,
+        a_on_a,
+        a_on_b,
+        b_on_b,
+        b_on_a,
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +104,9 @@ mod tests {
     /// discriminate (see EXPERIMENTS.md, "Reproduction notes").
     fn dispute() -> (Claim, Claim) {
         let wm = Watermarker::new(
-            GenerationParams::default().with_z(101).with_exclude_free_pairs(true),
+            GenerationParams::default()
+                .with_z(101)
+                .with_exclude_free_pairs(true),
         );
         let owner_out = wm
             .generate_histogram(&base_hist(), Secret::from_label("honest-owner"))
@@ -122,7 +144,10 @@ mod tests {
         // The discriminating run: pirate's secret must fail on the
         // owner's (earlier) version.
         assert!(!ruling.b_on_a.accepted);
-        assert!(ruling.a_on_b.accepted, "owner's mark survives re-watermarking");
+        assert!(
+            ruling.a_on_b.accepted,
+            "owner's mark survives re-watermarking"
+        );
     }
 
     #[test]
@@ -138,7 +163,9 @@ mod tests {
         // Two parties watermark two *independent* datasets: neither
         // secret verifies on the other's data.
         let wm = Watermarker::new(
-            GenerationParams::default().with_z(101).with_exclude_free_pairs(true),
+            GenerationParams::default()
+                .with_z(101)
+                .with_exclude_free_pairs(true),
         );
         let a_out = wm
             .generate_histogram(&base_hist(), Secret::from_label("party-a"))
@@ -151,8 +178,14 @@ mod tests {
         let b_out = wm
             .generate_histogram(&other, Secret::from_label("party-b"))
             .unwrap();
-        let a = Claim { histogram: a_out.watermarked, secrets: a_out.secrets };
-        let b = Claim { histogram: b_out.watermarked, secrets: b_out.secrets };
+        let a = Claim {
+            histogram: a_out.watermarked,
+            secrets: a_out.secrets,
+        };
+        let b = Claim {
+            histogram: b_out.watermarked,
+            secrets: b_out.secrets,
+        };
         let params = DetectionParams::default()
             .with_t(0)
             .with_k((a.secrets.len().min(b.secrets.len()) * 3 / 4).max(1));

@@ -38,10 +38,12 @@ pub mod params;
 pub mod secret;
 pub mod select;
 
-pub use detect::{detect_dataset, detect_histogram, DetectionOutcome, PairVerdict};
+pub use detect::{
+    detect_dataset, detect_histogram, detect_histogram_with, DetectionOutcome, PairVerdict,
+};
 pub use error::{Error, Result};
 pub use generate::{GenerationOutput, GenerationReport, Watermarker};
 pub use incremental::{IncrementalWatermarker, MaintenanceReport};
-pub use judge::{judge_dispute, Claim, Verdict};
+pub use judge::{judge_dispute, judge_dispute_with, Claim, Verdict};
 pub use params::{DetectionParams, DetectionRule, GenerationParams, Selection, WeightScheme};
 pub use secret::SecretList;

@@ -93,7 +93,9 @@ mod tests {
     }
 
     fn secrets(n: usize) -> Vec<Secret> {
-        (0..n).map(|i| Secret::from_label(&format!("round-{i}"))).collect()
+        (0..n)
+            .map(|i| Secret::from_label(&format!("round-{i}")))
+            .collect()
     }
 
     #[test]
@@ -131,7 +133,9 @@ mod tests {
         let wm = Watermarker::new(GenerationParams::default().with_z(101));
         let multi = multi_watermark(&wm, &h, secrets(3)).unwrap();
         let last = multi.rounds.last().unwrap();
-        let params = DetectionParams::default().with_t(0).with_k(last.secrets.len());
+        let params = DetectionParams::default()
+            .with_t(0)
+            .with_k(last.secrets.len());
         let d = detect_histogram(multi.final_histogram().unwrap(), &last.secrets, &params);
         assert!(d.accepted, "the most recent watermark must verify exactly");
     }

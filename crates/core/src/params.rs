@@ -155,7 +155,12 @@ pub struct DetectionParams {
 
 impl Default for DetectionParams {
     fn default() -> Self {
-        DetectionParams { t: 0, k: 1, rule: DetectionRule::Symmetric, scale: None }
+        DetectionParams {
+            t: 0,
+            k: 1,
+            rule: DetectionRule::Symmetric,
+            scale: None,
+        }
     }
 }
 
@@ -206,7 +211,10 @@ mod tests {
         assert_eq!(p.selection, Selection::Greedy);
         assert_eq!(p.weights, WeightScheme::EffectiveCost);
 
-        let d = DetectionParams::default().with_t(4).with_k(10).with_scale(5.0);
+        let d = DetectionParams::default()
+            .with_t(4)
+            .with_k(10)
+            .with_scale(5.0);
         assert_eq!(d.t, 4);
         assert_eq!(d.k, 10);
         assert_eq!(d.scale, Some(5.0));

@@ -147,7 +147,11 @@ fn select_optimal(
     params: &GenerationParams,
 ) -> SelectionResult {
     if eligible.is_empty() {
-        return SelectionResult { chosen: Vec::new(), matched: 0, similarity_pct: 100.0 };
+        return SelectionResult {
+            chosen: Vec::new(),
+            matched: 0,
+            similarity_pct: 100.0,
+        };
     }
     // Compress the vertex space to ranks that actually occur.
     let mut vertex_of = std::collections::HashMap::new();
@@ -165,7 +169,11 @@ fn select_optimal(
         // Edge weights carry the eligible-pair index via a side table;
         // Graph dedups (i, j) but eligible pairs are unique per (i, j).
         let _ = idx;
-        graph.add_edge(vertex_of[&p.i], vertex_of[&p.j], p.weight(params.weights, t_big));
+        graph.add_edge(
+            vertex_of[&p.i],
+            vertex_of[&p.j],
+            p.weight(params.weights, t_big),
+        );
     }
     let mate = max_weight_matching(&graph, false);
     // Recover matched eligible pairs.
@@ -211,7 +219,11 @@ fn select_sequential(
         }
     }
     let matched = chosen.len();
-    SelectionResult { chosen, matched, similarity_pct: tracker.similarity() * 100.0 }
+    SelectionResult {
+        chosen,
+        matched,
+        similarity_pct: tracker.similarity() * 100.0,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +243,9 @@ mod tests {
     }
 
     fn well_spaced() -> Histogram {
-        hist(&[10_000, 9_000, 8_100, 7_300, 6_600, 6_000, 5_500, 5_100, 4_800, 4_600])
+        hist(&[
+            10_000, 9_000, 8_100, 7_300, 6_600, 6_000, 5_500, 5_100, 4_800, 4_600,
+        ])
     }
 
     fn params(sel: Selection) -> GenerationParams {
@@ -244,7 +258,11 @@ mod tests {
         let secret = Secret::from_label("select");
         let el = eligible_pairs(&h, &secret, 23);
         assert!(!el.is_empty());
-        for sel in [Selection::Optimal, Selection::Greedy, Selection::Random { seed: 3 }] {
+        for sel in [
+            Selection::Optimal,
+            Selection::Greedy,
+            Selection::Random { seed: 3 },
+        ] {
             let r = select_pairs(&h, &el, &params(sel));
             let mut seen = std::collections::HashSet::new();
             for p in &r.chosen {

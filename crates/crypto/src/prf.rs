@@ -58,7 +58,9 @@ impl Secret {
     /// Deterministic secret derived from a string label. **Test and
     /// example use only** — real deployments must use [`Secret::generate`].
     pub fn from_label(label: &str) -> Self {
-        Secret { bytes: crate::sha256::sha256(label.as_bytes()) }
+        Secret {
+            bytes: crate::sha256::sha256(label.as_bytes()),
+        }
     }
 
     /// Raw secret bytes (for serialisation by the owner).
@@ -76,6 +78,38 @@ impl Secret {
         let v = crate::hex::decode(s)?;
         let bytes: [u8; SECRET_LEN] = v.try_into().ok()?;
         Some(Secret { bytes })
+    }
+
+    /// Overwrites the secret bytes with zeros. Called automatically on
+    /// drop; exposed for callers that want to wipe eagerly (e.g. a key
+    /// registry evicting a tenant).
+    pub fn zeroize(&mut self) {
+        for b in self.bytes.iter_mut() {
+            // Volatile so the wipe cannot be optimised away as a dead
+            // store right before deallocation.
+            unsafe { std::ptr::write_volatile(b, 0) };
+        }
+        std::sync::atomic::compiler_fence(std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Non-reversible 64-bit tag for cache keying: a domain-separated
+    /// SHA-256 of the secret, truncated. Safe to store next to cached
+    /// PRF outputs — recovering `R` from it is a preimage attack — and
+    /// stable across processes for the same secret.
+    pub fn cache_tag(&self) -> u64 {
+        let mut h = Sha256::new();
+        h.update(b"freqywm/cache-tag/v1");
+        h.update(&self.bytes);
+        let d = h.finalize();
+        u64::from_be_bytes(d[..8].try_into().expect("8-byte prefix"))
+    }
+}
+
+impl Drop for Secret {
+    /// Zeroize-on-drop: the high-entropy secret never lingers in freed
+    /// memory.
+    fn drop(&mut self) {
+        self.zeroize();
     }
 }
 
@@ -100,6 +134,33 @@ pub fn pair_modulus(secret: &Secret, tk_i: &[u8], tk_j: &[u8], z: u64) -> u64 {
     digest_mod(&outer, z)
 }
 
+/// Source of pair moduli.
+///
+/// Detection and batched service calls take a provider instead of
+/// calling [`pair_modulus`] directly, so a deployment can interpose a
+/// memoization layer (the service crate's sharded LRU) without the core
+/// algorithms knowing. Implementations must be semantically transparent:
+/// `provider.pair_modulus(...)` ≡ [`pair_modulus`] for all inputs.
+pub trait PrfProvider {
+    fn pair_modulus(&self, secret: &Secret, tk_i: &[u8], tk_j: &[u8], z: u64) -> u64;
+}
+
+/// The trivial provider: compute every modulus directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectPrf;
+
+impl PrfProvider for DirectPrf {
+    fn pair_modulus(&self, secret: &Secret, tk_i: &[u8], tk_j: &[u8], z: u64) -> u64 {
+        pair_modulus(secret, tk_i, tk_j, z)
+    }
+}
+
+impl<P: PrfProvider + ?Sized> PrfProvider for &P {
+    fn pair_modulus(&self, secret: &Secret, tk_i: &[u8], tk_j: &[u8], z: u64) -> u64 {
+        (**self).pair_modulus(secret, tk_i, tk_j, z)
+    }
+}
+
 /// Deterministic keystream: HMAC-SHA-256 in counter mode over a secret
 /// and a domain-separation label.
 ///
@@ -121,7 +182,12 @@ impl KeyStream {
         h.update(b"freqywm/keystream/v1");
         h.update(secret.as_bytes());
         h.update(label);
-        KeyStream { key: h.finalize(), counter: 0, buf: [0u8; 32], used: 32 }
+        KeyStream {
+            key: h.finalize(),
+            counter: 0,
+            buf: [0u8; 32],
+            used: 32,
+        }
     }
 
     fn refill(&mut self) {

@@ -34,7 +34,10 @@ impl Bucketizer {
     /// Panics on an empty input, non-finite values, or `k == 0`.
     pub fn fit(values: &[f64], policy: Policy) -> Self {
         assert!(!values.is_empty(), "cannot bucketize an empty sample");
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         match policy {
@@ -73,8 +76,16 @@ impl Bucketizer {
 
     /// Human-readable token for a bucket index.
     pub fn token_of(&self, bucket: usize) -> Token {
-        let lo = if bucket == 0 { self.lo } else { self.edges[bucket - 1] };
-        let hi = if bucket == self.edges.len() { self.hi } else { self.edges[bucket] };
+        let lo = if bucket == 0 {
+            self.lo
+        } else {
+            self.edges[bucket - 1]
+        };
+        let hi = if bucket == self.edges.len() {
+            self.hi
+        } else {
+            self.edges[bucket]
+        };
         Token::new(format!("bucket[{lo:.4},{hi:.4})#{bucket}"))
     }
 
@@ -125,10 +136,8 @@ mod tests {
     fn tokenize_creates_repeating_tokens() {
         // The Sec. VI scenario: all values distinct, no repetition …
         let values: Vec<f64> = (0..500).map(|i| 1000.0 + i as f64 * 0.37).collect();
-        let raw_hist = Dataset::new(
-            values.iter().map(|v| Token::new(format!("{v}"))).collect(),
-        )
-        .histogram();
+        let raw_hist =
+            Dataset::new(values.iter().map(|v| Token::new(format!("{v}"))).collect()).histogram();
         assert_eq!(raw_hist.len(), 500, "raw values never repeat");
         // … but bucketization yields a watermarkable histogram.
         let b = Bucketizer::fit(&values, Policy::EqualWidth(10));

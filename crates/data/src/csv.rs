@@ -164,6 +164,9 @@ mod tests {
     #[test]
     fn empty_fields_preserved() {
         let t = parse_table("a,b,c\n,,\n").unwrap();
-        assert_eq!(t.rows()[0], vec!["".to_string(), "".to_string(), "".to_string()]);
+        assert_eq!(
+            t.rows()[0],
+            vec!["".to_string(), "".to_string(), "".to_string()]
+        );
     }
 }

@@ -33,7 +33,9 @@ impl Dataset {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Dataset { tokens: items.into_iter().map(|s| Token::new(s)).collect() }
+        Dataset {
+            tokens: items.into_iter().map(|s| Token::new(s)).collect(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -105,13 +107,17 @@ impl Dataset {
         idx.shuffle(rng);
         idx.truncate(k);
         idx.sort_unstable();
-        Dataset { tokens: idx.into_iter().map(|i| self.tokens[i].clone()).collect() }
+        Dataset {
+            tokens: idx.into_iter().map(|i| self.tokens[i].clone()).collect(),
+        }
     }
 }
 
 impl FromIterator<Token> for Dataset {
     fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
-        Dataset { tokens: iter.into_iter().collect() }
+        Dataset {
+            tokens: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -124,7 +130,10 @@ pub struct Table {
 
 impl Table {
     pub fn new(columns: Vec<String>) -> Self {
-        Table { columns, rows: Vec::new() }
+        Table {
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     pub fn columns(&self) -> &[String] {

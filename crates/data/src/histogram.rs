@@ -110,7 +110,11 @@ impl Histogram {
             } else {
                 self.entries[i - 1].1 - f
             };
-            let lower = if i + 1 == n { f } else { f - self.entries[i + 1].1 };
+            let lower = if i + 1 == n {
+                f
+            } else {
+                f - self.entries[i + 1].1
+            };
             out.push(Boundaries { upper, lower });
         }
         out
@@ -120,8 +124,7 @@ impl Histogram {
     /// (and re-sorted). Panics if a change would drive a count negative
     /// or references an unknown token.
     pub fn with_changes(&self, changes: &[(Token, i64)]) -> Histogram {
-        let mut counts: HashMap<Token, u64> =
-            self.entries.iter().cloned().collect();
+        let mut counts: HashMap<Token, u64> = self.entries.iter().cloned().collect();
         for (t, d) in changes {
             let c = counts
                 .get_mut(t)
@@ -138,7 +141,10 @@ impl Histogram {
     /// Scales every count by `factor` (rounding to nearest), the
     /// detector's counter-move against sampling attacks (Sec. V-B).
     pub fn scaled(&self, factor: f64) -> Histogram {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         Histogram::from_counts(
             self.entries
                 .iter()
@@ -196,15 +202,21 @@ mod tests {
         let tokens: Vec<&str> = h.tokens().map(|t| t.as_str()).collect();
         assert_eq!(
             tokens,
-            vec!["Youtube", "Facebook", "Google", "Instagram", "BBC", "CNN", "El Pais"]
+            vec![
+                "Youtube",
+                "Facebook",
+                "Google",
+                "Instagram",
+                "BBC",
+                "CNN",
+                "El Pais"
+            ]
         );
     }
 
     #[test]
     fn counting_from_tokens() {
-        let h = Histogram::from_tokens(
-            ["a", "b", "a", "c", "a", "b"].into_iter().map(Token::new),
-        );
+        let h = Histogram::from_tokens(["a", "b", "a", "c", "a", "b"].into_iter().map(Token::new));
         assert_eq!(h.count(&tk("a")), Some(3));
         assert_eq!(h.count(&tk("b")), Some(2));
         assert_eq!(h.count(&tk("c")), Some(1));
@@ -235,7 +247,13 @@ mod tests {
     fn single_entry_boundaries() {
         let h = Histogram::from_counts([(tk("only"), 42)]);
         let b = h.boundaries();
-        assert_eq!(b, vec![Boundaries { upper: u64::MAX, lower: 42 }]);
+        assert_eq!(
+            b,
+            vec![Boundaries {
+                upper: u64::MAX,
+                lower: 42
+            }]
+        );
     }
 
     #[test]

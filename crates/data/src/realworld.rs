@@ -28,6 +28,31 @@ pub const TAXI_DEFAULT_TRIPS: usize = 600_000;
 pub const EYEWNDER_DEFAULT_EVENTS: usize = 220_000;
 pub const ADULT_DEFAULT_ROWS: usize = 32_561;
 
+/// Explicit-seed wrappers: the reproducible entry points (service
+/// tests and benches must never fall back to ambient entropy).
+pub fn chicago_taxi_seeded(trips: usize, seed: u64) -> Dataset {
+    use rand::SeedableRng;
+    chicago_taxi(trips, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+/// Seeded [`chicago_taxi_hist`].
+pub fn chicago_taxi_hist_seeded(trips: u64, sigma: f64, seed: u64) -> crate::histogram::Histogram {
+    use rand::SeedableRng;
+    chicago_taxi_hist(trips, sigma, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+/// Seeded [`eyewnder`].
+pub fn eyewnder_seeded(events: usize, seed: u64) -> ClickStream {
+    use rand::SeedableRng;
+    eyewnder(events, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
+/// Seeded [`adult`].
+pub fn adult_seeded(rows: usize, seed: u64) -> Table {
+    use rand::SeedableRng;
+    adult(rows, &mut rand::rngs::StdRng::seed_from_u64(seed))
+}
+
 /// Simulated Chicago Taxi: returns the Taxi-ID token dataset.
 ///
 /// Trips per taxi follow a lognormal-like law (exp of a normal sampled
@@ -50,14 +75,14 @@ pub fn chicago_taxi<R: RngCore>(trips: usize, rng: &mut R) -> Dataset {
         acc += w / total;
         cumulative.push(acc);
     }
-    let names: Vec<Token> = (0..TAXIS).map(|i| Token::new(format!("taxi-{i:04}"))).collect();
+    let names: Vec<Token> = (0..TAXIS)
+        .map(|i| Token::new(format!("taxi-{i:04}")))
+        .collect();
     let uni = rand::distributions::Uniform::new(0.0f64, 1.0);
     (0..trips)
         .map(|_| {
             let u = uni.sample(rng);
-            let idx = cumulative
-                .partition_point(|&c| c < u)
-                .min(TAXIS - 1);
+            let idx = cumulative.partition_point(|&c| c < u).min(TAXIS - 1);
             names[idx].clone()
         })
         .collect()
@@ -68,7 +93,11 @@ pub fn chicago_taxi<R: RngCore>(trips: usize, rng: &mut R) -> Dataset {
 /// so tens of millions of trips cost nothing). `sigma` controls the
 /// lognormal dispersion; 1.5 reproduces the paper's eligible-pair
 /// regime (|Le| in the tens of thousands at z = 131).
-pub fn chicago_taxi_hist<R: RngCore>(trips: u64, sigma: f64, rng: &mut R) -> crate::histogram::Histogram {
+pub fn chicago_taxi_hist<R: RngCore>(
+    trips: u64,
+    sigma: f64,
+    rng: &mut R,
+) -> crate::histogram::Histogram {
     const TAXIS: usize = 6_573;
     let mut weights = Vec::with_capacity(TAXIS);
     for _ in 0..TAXIS {
@@ -141,7 +170,13 @@ impl ClickStream {
                 for _ in 0..(*want - have) {
                     let day = rng.gen_range(0..days);
                     let pos = rng.gen_range(0..=events.len());
-                    events.insert(pos, ClickEvent { day, url: url.clone() });
+                    events.insert(
+                        pos,
+                        ClickEvent {
+                            day,
+                            url: url.clone(),
+                        },
+                    );
                 }
             } else if *want < have {
                 let mut to_remove = have - *want;
@@ -177,7 +212,9 @@ pub fn eyewnder<R: RngCore>(events: usize, rng: &mut R) -> ClickStream {
     const URLS: usize = 11_479;
     const DAYS: u32 = 84;
     let sampler = crate::synthetic::ZipfSampler::new(URLS, 1.05);
-    let names: Vec<Token> = (0..URLS).map(|i| Token::new(format!("url-{i:05}.example"))).collect();
+    let names: Vec<Token> = (0..URLS)
+        .map(|i| Token::new(format!("url-{i:05}.example")))
+        .collect();
     // Per-day weights: trend + weekly seasonality.
     let day_weights: Vec<f64> = (0..DAYS)
         .map(|d| {
@@ -253,7 +290,10 @@ pub fn adult<R: RngCore>(rows: usize, rng: &mut R) -> Table {
         let u: f64 = rng.gen();
         let age = ages[age_cum.partition_point(|&c| c < u).min(ages.len() - 1)];
         let u: f64 = rng.gen();
-        let wc = WORKCLASSES[wc_cum.partition_point(|&c| c < u).min(WORKCLASSES.len() - 1)].0;
+        let wc = WORKCLASSES[wc_cum
+            .partition_point(|&c| c < u)
+            .min(WORKCLASSES.len() - 1)]
+        .0;
         let hours = rng.gen_range(20..=60);
         table.push_row(vec![age.to_string(), wc.to_string(), hours.to_string()]);
     }
@@ -327,7 +367,11 @@ mod tests {
         let t = adult(20_000, &mut rng);
         assert_eq!(t.len(), 20_000);
         let ages = t.tokens_over(&["age"]).histogram();
-        assert!(ages.len() >= 70 && ages.len() <= 73, "distinct ages {}", ages.len());
+        assert!(
+            ages.len() >= 70 && ages.len() <= 73,
+            "distinct ages {}",
+            ages.len()
+        );
         // WorkClass marginal sanity: Private must dominate.
         let wc = t.tokens_over(&["workclass"]).histogram();
         assert_eq!(wc.entries()[0].0.as_str(), "Private");

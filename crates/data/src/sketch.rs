@@ -34,7 +34,11 @@ impl SpaceSaving {
     /// Creates a summary holding at most `capacity` tokens.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        SpaceSaving { capacity, counters: HashMap::with_capacity(capacity + 1), total: 0 }
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
     }
 
     /// Number of stream items observed.
@@ -76,7 +80,8 @@ impl SpaceSaving {
             .map(|(t, (c, _))| (t.clone(), *c))
             .expect("capacity > 0");
         self.counters.remove(&victim);
-        self.counters.insert(token.clone(), (min_count + n, min_count));
+        self.counters
+            .insert(token.clone(), (min_count + n, min_count));
     }
 
     /// Estimated count and error bound of a token, if tracked:
@@ -118,10 +123,13 @@ impl CountMinSketch {
     /// probability `1 − e^{−depth}` (standard CM bounds).
     pub fn new(width: usize, depth: usize) -> Self {
         assert!(width > 0 && depth > 0, "width and depth must be positive");
-        let keys = (0..depth)
-            .map(|i| (i as u64).to_be_bytes())
-            .collect();
-        CountMinSketch { width, rows: vec![vec![0; width]; depth], keys, total: 0 }
+        let keys = (0..depth).map(|i| (i as u64).to_be_bytes()).collect();
+        CountMinSketch {
+            width,
+            rows: vec![vec![0; width]; depth],
+            keys,
+            total: 0,
+        }
     }
 
     fn index(&self, row: usize, token: &Token) -> usize {
@@ -191,7 +199,11 @@ mod tests {
 
     #[test]
     fn space_saving_never_underestimates() {
-        let cfg = PowerLawConfig { distinct_tokens: 500, sample_size: 60_000, alpha: 0.8 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 500,
+            sample_size: 60_000,
+            alpha: 0.8,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let data = power_law_dataset(&cfg, &mut rng);
         let exact = data.histogram();
@@ -212,7 +224,11 @@ mod tests {
     #[test]
     fn space_saving_keeps_heavy_hitters() {
         // Any token with true count > N/capacity must be tracked.
-        let cfg = PowerLawConfig { distinct_tokens: 2_000, sample_size: 100_000, alpha: 1.0 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 2_000,
+            sample_size: 100_000,
+            alpha: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let data = power_law_dataset(&cfg, &mut rng);
         let exact = data.histogram();
@@ -234,7 +250,11 @@ mod tests {
         // End-to-end: stream -> top-k summary -> histogram whose head
         // matches the exact histogram's head closely enough to carry a
         // watermark.
-        let cfg = PowerLawConfig { distinct_tokens: 1_000, sample_size: 80_000, alpha: 1.1 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 1_000,
+            sample_size: 80_000,
+            alpha: 1.1,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let data = power_law_dataset(&cfg, &mut rng);
         let exact = data.histogram();
@@ -249,14 +269,23 @@ mod tests {
             assert_eq!(exact.count(t), Some(*c), "token {t}");
         }
         // The head's top ranks coincide with the exact top ranks.
-        for (a, b) in head.entries().iter().take(8).zip(exact.entries().iter().take(8)) {
+        for (a, b) in head
+            .entries()
+            .iter()
+            .take(8)
+            .zip(exact.entries().iter().take(8))
+        {
             assert_eq!(a.0, b.0, "rank order diverged");
         }
     }
 
     #[test]
     fn count_min_never_underestimates_and_is_tight_on_heavy() {
-        let cfg = PowerLawConfig { distinct_tokens: 3_000, sample_size: 80_000, alpha: 0.9 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 3_000,
+            sample_size: 80_000,
+            alpha: 0.9,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let data = power_law_dataset(&cfg, &mut rng);
         let exact = data.histogram();

@@ -24,7 +24,11 @@ pub struct PowerLawConfig {
 
 impl Default for PowerLawConfig {
     fn default() -> Self {
-        PowerLawConfig { distinct_tokens: 1_000, sample_size: 1_000_000, alpha: 0.5 }
+        PowerLawConfig {
+            distinct_tokens: 1_000,
+            sample_size: 1_000_000,
+            alpha: 0.5,
+        }
     }
 }
 
@@ -68,6 +72,15 @@ impl ZipfSampler {
         }
         .min(self.cumulative.len() - 1)
     }
+}
+
+/// [`power_law_dataset`] from an explicit seed — the reproducible
+/// entry point service-level tests and benches should prefer (never
+/// ambient entropy).
+pub fn power_law_dataset_seeded(config: &PowerLawConfig, seed: u64) -> Dataset {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    power_law_dataset(config, &mut rng)
 }
 
 /// Generates a power-law token dataset; tokens are named `tk0000…`
@@ -181,7 +194,11 @@ mod tests {
 
     #[test]
     fn dataset_has_requested_size() {
-        let cfg = PowerLawConfig { distinct_tokens: 50, sample_size: 5_000, alpha: 0.5 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 50,
+            sample_size: 5_000,
+            alpha: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(13);
         let d = power_law_dataset(&cfg, &mut rng);
         assert_eq!(d.len(), 5_000);
@@ -193,7 +210,11 @@ mod tests {
 
     #[test]
     fn deterministic_counts_total_exact() {
-        let cfg = PowerLawConfig { distinct_tokens: 997, sample_size: 123_456, alpha: 0.7 };
+        let cfg = PowerLawConfig {
+            distinct_tokens: 997,
+            sample_size: 123_456,
+            alpha: 0.7,
+        };
         let counts = power_law_counts(&cfg);
         let total: u64 = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 123_456);
@@ -202,6 +223,20 @@ mod tests {
         for w in counts.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
+    }
+
+    #[test]
+    fn seeded_dataset_is_reproducible() {
+        let cfg = PowerLawConfig {
+            distinct_tokens: 30,
+            sample_size: 2_000,
+            alpha: 0.6,
+        };
+        let a = power_law_dataset_seeded(&cfg, 99);
+        let b = power_law_dataset_seeded(&cfg, 99);
+        let c = power_law_dataset_seeded(&cfg, 100);
+        assert_eq!(a.tokens(), b.tokens());
+        assert_ne!(a.tokens(), c.tokens());
     }
 
     #[test]

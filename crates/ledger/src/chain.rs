@@ -74,7 +74,10 @@ pub struct Ledger {
 impl Ledger {
     /// Creates an empty ledger authenticated under `key`.
     pub fn new(key: &[u8]) -> Self {
-        Ledger { key: key.to_vec(), entries: Vec::new() }
+        Ledger {
+            key: key.to_vec(),
+            entries: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -94,11 +97,7 @@ impl Ledger {
     /// `secret_material` is hashed — typically the output of
     /// `SecretList::to_text()` — so the ledger never stores secrets.
     pub fn register(&mut self, timestamp: u64, subject: &str, secret_material: &[u8]) -> u64 {
-        let prev_hash = self
-            .entries
-            .last()
-            .map(|e| e.hash())
-            .unwrap_or([0u8; 32]);
+        let prev_hash = self.entries.last().map(|e| e.hash()).unwrap_or([0u8; 32]);
         let mut entry = Entry {
             index: self.entries.len() as u64,
             timestamp,
@@ -119,14 +118,23 @@ impl Ledger {
         let mut prev = [0u8; 32];
         for (i, e) in self.entries.iter().enumerate() {
             if e.index != i as u64 {
-                return Err(LedgerError::Corrupted { index: i as u64, reason: "index gap" });
+                return Err(LedgerError::Corrupted {
+                    index: i as u64,
+                    reason: "index gap",
+                });
             }
             if e.prev_hash != prev {
-                return Err(LedgerError::Corrupted { index: e.index, reason: "broken link" });
+                return Err(LedgerError::Corrupted {
+                    index: e.index,
+                    reason: "broken link",
+                });
             }
             let mac = hmac_sha256(&self.key, &e.encode_unmacced());
             if !digest_eq(&mac, &e.mac) {
-                return Err(LedgerError::Corrupted { index: e.index, reason: "bad mac" });
+                return Err(LedgerError::Corrupted {
+                    index: e.index,
+                    reason: "bad mac",
+                });
             }
             prev = e.hash();
         }
@@ -156,7 +164,11 @@ mod tests {
     fn ledger_with(n: usize) -> Ledger {
         let mut l = Ledger::new(b"marketplace-ledger-key");
         for i in 0..n {
-            l.register(1_700_000_000 + i as u64, &format!("buyer-{i}"), format!("secret-{i}").as_bytes());
+            l.register(
+                1_700_000_000 + i as u64,
+                &format!("buyer-{i}"),
+                format!("secret-{i}").as_bytes(),
+            );
         }
         l
     }
@@ -200,7 +212,13 @@ mod tests {
         let mut l = ledger_with(4);
         l.entries[2].subject = "mallory".into();
         let err = l.verify_chain().unwrap_err();
-        assert_eq!(err, LedgerError::Corrupted { index: 2, reason: "bad mac" });
+        assert_eq!(
+            err,
+            LedgerError::Corrupted {
+                index: 2,
+                reason: "bad mac"
+            }
+        );
     }
 
     #[test]

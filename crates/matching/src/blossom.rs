@@ -266,7 +266,11 @@ impl<'a> Matcher<'a> {
         self.labelend[b] = self.labelend[bb];
         self.dualvar[b] = 0;
         // Relabel contained vertices.
-        for &leaf in &path.iter().flat_map(|&c| self.leaves(c)).collect::<Vec<_>>() {
+        for &leaf in &path
+            .iter()
+            .flat_map(|&c| self.leaves(c))
+            .collect::<Vec<_>>()
+        {
             if self.label[self.inblossom[leaf]] == 2 {
                 self.queue.push(leaf);
             }
@@ -350,7 +354,8 @@ impl<'a> Matcher<'a> {
                 (-1, 1)
             };
             let endps_len = self.blossomendps[b].len() as isize;
-            let idx = move |j: isize| -> usize { (((j % endps_len) + endps_len) % endps_len) as usize };
+            let idx =
+                move |j: isize| -> usize { (((j % endps_len) + endps_len) % endps_len) as usize };
             let cidx = move |j: isize| -> usize { (((j % len) + len) % len) as usize };
             let mut p = self.labelend[b] as usize;
             while j != 0 {
@@ -440,7 +445,8 @@ impl<'a> Matcher<'a> {
         };
         let cidx = move |j: isize| -> usize { (((j % len) + len) % len) as usize };
         let endps_len = self.blossomendps[b].len() as isize;
-        let eidx = move |j: isize| -> usize { (((j % endps_len) + endps_len) % endps_len) as usize };
+        let eidx =
+            move |j: isize| -> usize { (((j % endps_len) + endps_len) % endps_len) as usize };
         while j != 0 {
             j += jstep;
             let t = self.blossomchilds[b][cidx(j)];
@@ -580,7 +586,12 @@ impl<'a> Matcher<'a> {
                 let mut deltablossom = 0usize;
                 if !self.max_cardinality {
                     deltatype = 1;
-                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                    delta = self.dualvar[..nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap()
+                        .max(0);
                 }
                 for v in 0..nvertex {
                     if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != NONE {
@@ -622,7 +633,12 @@ impl<'a> Matcher<'a> {
                     // No further improvement possible (max-cardinality
                     // mode); make the optimum verifiable.
                     deltatype = 1;
-                    delta = self.dualvar[..nvertex].iter().copied().min().unwrap().max(0);
+                    delta = self.dualvar[..nvertex]
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap()
+                        .max(0);
                 }
                 // Update dual variables.
                 for v in 0..nvertex {
@@ -775,7 +791,10 @@ mod tests {
             (3, 4, 6),
         ]);
         let m = max_weight_matching(&g, false);
-        assert_eq!(m, vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]);
+        assert_eq!(
+            m,
+            vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]
+        );
     }
 
     #[test]
@@ -790,7 +809,10 @@ mod tests {
             (0, 5, 3),
         ]);
         let m = max_weight_matching(&g, false);
-        assert_eq!(m, vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]);
+        assert_eq!(
+            m,
+            vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]
+        );
 
         let g = Graph::from_edges([
             (0, 1, 9),
@@ -801,7 +823,10 @@ mod tests {
             (0, 5, 4),
         ]);
         let m = max_weight_matching(&g, false);
-        assert_eq!(m, vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]);
+        assert_eq!(
+            m,
+            vec![Some(5), Some(2), Some(1), Some(4), Some(3), Some(0)]
+        );
     }
 
     #[test]
@@ -817,7 +842,10 @@ mod tests {
             (4, 5, 6),
         ]);
         let m = max_weight_matching(&g, false);
-        assert_eq!(m, vec![Some(2), Some(3), Some(0), Some(1), Some(5), Some(4)]);
+        assert_eq!(
+            m,
+            vec![Some(2), Some(3), Some(0), Some(1), Some(5), Some(4)]
+        );
     }
 
     #[test]
@@ -837,7 +865,16 @@ mod tests {
         let m = max_weight_matching(&g, false);
         assert_eq!(
             m,
-            vec![Some(1), Some(0), Some(3), Some(2), Some(5), Some(4), Some(7), Some(6)]
+            vec![
+                Some(1),
+                Some(0),
+                Some(3),
+                Some(2),
+                Some(5),
+                Some(4),
+                Some(7),
+                Some(6)
+            ]
         );
     }
 
@@ -859,7 +896,16 @@ mod tests {
         let m = max_weight_matching(&g, false);
         assert_eq!(
             m,
-            vec![Some(1), Some(0), Some(4), Some(5), Some(2), Some(3), Some(7), Some(6)]
+            vec![
+                Some(1),
+                Some(0),
+                Some(4),
+                Some(5),
+                Some(2),
+                Some(3),
+                Some(7),
+                Some(6)
+            ]
         );
     }
 
@@ -879,7 +925,16 @@ mod tests {
         let m = max_weight_matching(&g, false);
         assert_eq!(
             m,
-            vec![Some(5), Some(2), Some(1), Some(7), Some(6), Some(0), Some(4), Some(3)]
+            vec![
+                Some(5),
+                Some(2),
+                Some(1),
+                Some(7),
+                Some(6),
+                Some(0),
+                Some(4),
+                Some(3)
+            ]
         );
     }
 

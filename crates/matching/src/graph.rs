@@ -39,7 +39,10 @@ pub struct Graph {
 impl Graph {
     /// Empty graph with `n` vertices.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Builds a graph from raw edges, growing the vertex count as needed.
@@ -69,7 +72,10 @@ impl Graph {
     /// Adds an undirected edge. Panics on self-loops. If the pair
     /// already exists, keeps the maximum weight.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: i64) {
-        assert_ne!(u, v, "self-loops are not allowed (token paired with itself)");
+        assert_ne!(
+            u, v,
+            "self-loops are not allowed (token paired with itself)"
+        );
         self.n = self.n.max(u + 1).max(v + 1);
         if let Some(e) = self
             .edges

@@ -112,7 +112,10 @@ impl Lstm {
             h_prev = h_new;
             c_prev = c;
         }
-        LstmTrace { steps, hidden_states }
+        LstmTrace {
+            steps,
+            hidden_states,
+        }
     }
 
     /// Backpropagation through time. `dh_out[t]` is the loss gradient
@@ -191,19 +194,16 @@ mod tests {
         assert_eq!(trace.hidden_states.len(), 4);
         assert!(trace.hidden_states.iter().all(|h| h.len() == 5));
         // Hidden values bounded by tanh × sigmoid.
-        assert!(trace
-            .hidden_states
-            .iter()
-            .flatten()
-            .all(|v| v.abs() <= 1.0));
+        assert!(trace.hidden_states.iter().flatten().all(|v| v.abs() <= 1.0));
     }
 
     #[test]
     fn gradient_check_weights() {
         let mut rng = StdRng::seed_from_u64(2);
         let mut lstm = Lstm::new(2, 3, &mut rng);
-        let inputs: Vec<Vec<f64>> =
-            (0..3).map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let inputs: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let trace = lstm.forward(&inputs);
         let mut grads = lstm.zero_grads();
         lstm.backward(&trace, &dh_for_sum_loss(3, 3), &mut grads);
@@ -258,8 +258,9 @@ mod tests {
     fn gradient_check_inputs() {
         let mut rng = StdRng::seed_from_u64(3);
         let lstm = Lstm::new(2, 4, &mut rng);
-        let mut inputs: Vec<Vec<f64>> =
-            (0..3).map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut inputs: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let trace = lstm.forward(&inputs);
         let mut grads = lstm.zero_grads();
         let dx = lstm.backward(&trace, &dh_for_sum_loss(3, 4), &mut grads);

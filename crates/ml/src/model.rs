@@ -16,7 +16,11 @@ pub struct ModelConfig {
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        ModelConfig { vocab: 64, embedding: 16, hidden: 32 }
+        ModelConfig {
+            vocab: 64,
+            embedding: 16,
+            hidden: 32,
+        }
     }
 }
 
@@ -145,7 +149,8 @@ impl NextTokenModel {
         {
             *g *= scale;
         }
-        self.opt_embedding.step(&mut self.embedding.data, &g_embedding.data);
+        self.opt_embedding
+            .step(&mut self.embedding.data, &g_embedding.data);
         self.opt_lstm_w.step(&mut self.lstm.w.data, &g_lstm.w.data);
         self.opt_lstm_u.step(&mut self.lstm.u.data, &g_lstm.u.data);
         self.opt_lstm_b.step(&mut self.lstm.b, &g_lstm.b);
@@ -163,7 +168,15 @@ mod tests {
 
     fn tiny_model(seed: u64) -> NextTokenModel {
         let mut rng = StdRng::seed_from_u64(seed);
-        NextTokenModel::new(ModelConfig { vocab: 5, embedding: 4, hidden: 8 }, 0.01, &mut rng)
+        NextTokenModel::new(
+            ModelConfig {
+                vocab: 5,
+                embedding: 4,
+                hidden: 8,
+            },
+            0.01,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -188,7 +201,10 @@ mod tests {
         for _ in 0..400 {
             last_loss = m.train_batch(&batch);
         }
-        assert!(last_loss < first_loss * 0.2, "loss {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.2,
+            "loss {first_loss} -> {last_loss}"
+        );
         for x in 0..5usize {
             assert_eq!(m.predict(&[x]), (x + 1) % 5, "after {x}");
         }

@@ -14,13 +14,19 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Xavier/Glorot-uniform initialisation.
     pub fn xavier<R: RngCore>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let limit = (6.0 / (rows + cols) as f64).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -112,7 +118,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(len: usize, lr: f64) -> Self {
-        Adam { m: vec![0.0; len], v: vec![0.0; len], t: 0, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Adam {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// One update step: `params -= lr · m̂ / (√v̂ + ε)`.
@@ -184,7 +198,11 @@ mod tests {
             let (lp, _) = softmax_cross_entropy(&plus, 2);
             let (lm, _) = softmax_cross_entropy(&minus, 2);
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - grad[i]).abs() < 1e-6, "dim {i}: fd {fd} vs {}", grad[i]);
+            assert!(
+                (fd - grad[i]).abs() < 1e-6,
+                "dim {i}: fd {fd} vs {}",
+                grad[i]
+            );
         }
     }
 

@@ -81,7 +81,11 @@ pub fn train_and_evaluate(sequence: &[Token], cfg: &TrainConfig) -> TrainReport 
     assert!(!train.is_empty(), "not enough data to train");
 
     let mut model = NextTokenModel::new(
-        ModelConfig { vocab: vocab.len(), embedding: cfg.embedding, hidden: cfg.hidden },
+        ModelConfig {
+            vocab: vocab.len(),
+            embedding: cfg.embedding,
+            hidden: cfg.hidden,
+        },
         cfg.learning_rate,
         &mut rng,
     );
@@ -92,8 +96,7 @@ pub fn train_and_evaluate(sequence: &[Token], cfg: &TrainConfig) -> TrainReport 
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
-            let batch: Vec<(Vec<usize>, usize)> =
-                chunk.iter().map(|&i| train[i].clone()).collect();
+            let batch: Vec<(Vec<usize>, usize)> = chunk.iter().map(|&i| train[i].clone()).collect();
             epoch_loss += model.train_batch(&batch);
             batches += 1;
         }
@@ -132,7 +135,9 @@ mod tests {
     }
 
     fn periodic_sequence(n: usize, period: usize) -> Vec<Token> {
-        (0..n).map(|i| Token::new(format!("u{}", i % period))).collect()
+        (0..n)
+            .map(|i| Token::new(format!("u{}", i % period)))
+            .collect()
     }
 
     #[test]
@@ -166,7 +171,13 @@ mod tests {
         let seq: Vec<Token> = (0..3_000)
             .map(|_| {
                 let r: f64 = rng.gen();
-                let id = if r < 0.5 { 0 } else if r < 0.75 { 1 } else { rng.gen_range(2..10) };
+                let id = if r < 0.5 {
+                    0
+                } else if r < 0.75 {
+                    1
+                } else {
+                    rng.gen_range(2..10)
+                };
                 Token::new(format!("u{id}"))
             })
             .collect();

@@ -21,7 +21,10 @@ impl Vocab {
     /// Builds a vocabulary from the `max_size − 1` most frequent tokens
     /// of `hist` (id 0 is UNK).
     pub fn build(hist: &Histogram, max_size: usize) -> Self {
-        assert!(max_size >= 2, "vocabulary needs UNK plus at least one token");
+        assert!(
+            max_size >= 2,
+            "vocabulary needs UNK plus at least one token"
+        );
         let mut tokens = vec![Token::new("<UNK>")];
         let mut ids = HashMap::new();
         for (t, _) in hist.entries().iter().take(max_size - 1) {

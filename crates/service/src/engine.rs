@@ -1,0 +1,556 @@
+//! The multi-tenant watermarking engine: bounded job queue + worker
+//! pool over the registry, PRF cache and metrics.
+//!
+//! ```
+//! use freqywm_service::engine::{Engine, EngineConfig};
+//! use freqywm_service::job::{JobData, JobPayload, JobSpec, JobState, JobOutput};
+//! use freqywm_core::params::{DetectionParams, GenerationParams};
+//! use freqywm_crypto::prf::Secret;
+//! use freqywm_data::histogram::Histogram;
+//! use freqywm_data::synthetic::{power_law_counts, PowerLawConfig};
+//!
+//! let engine = Engine::start(EngineConfig::default());
+//! engine.register_tenant("acme", Secret::from_label("doc-demo")).unwrap();
+//! let hist = Histogram::from_counts(power_law_counts(&PowerLawConfig {
+//!     distinct_tokens: 150, sample_size: 150_000, alpha: 0.6,
+//! }));
+//! let embed = engine.run(JobSpec::new(JobPayload::Embed {
+//!     tenant: "acme".into(),
+//!     data: JobData::Histogram(hist),
+//!     params: GenerationParams::default().with_z(101),
+//! }));
+//! let JobState::Completed(JobOutput::Embed(out)) = embed else { panic!() };
+//! let detect = engine.run(JobSpec::new(JobPayload::Detect {
+//!     tenant: "acme".into(),
+//!     data: JobData::Histogram(out.watermarked),
+//!     params: DetectionParams::default().with_t(0).with_k(1),
+//! }));
+//! let JobState::Completed(JobOutput::Detect(d)) = detect else { panic!() };
+//! assert!(d.outcome.accepted);
+//! engine.shutdown();
+//! ```
+
+use crate::error::{Result, ServiceError};
+use crate::job::{
+    DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
+    MaintainOutcome,
+};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::prf_cache::{PrfCache, PrfCacheConfig};
+use crate::registry::KeyRegistry;
+use crate::shard::sharded_histogram;
+use freqywm_core::detect::detect_histogram_with;
+use freqywm_core::generate::Watermarker;
+use freqywm_core::incremental::IncrementalWatermarker;
+use freqywm_core::judge::{judge_dispute_with, Claim, Ruling, Verdict};
+use freqywm_core::params::DetectionParams;
+use freqywm_crypto::prf::Secret;
+use freqywm_data::histogram::Histogram;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads servicing the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submits are
+    /// rejected with [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Default queue-wait deadline for jobs without an explicit one.
+    pub default_timeout: Duration,
+    /// PRF cache geometry (use [`PrfCacheConfig::disabled`] to bypass).
+    pub cache: PrfCacheConfig,
+    /// Threads for sharded histogram construction inside one job.
+    pub shard_threads: usize,
+    /// HMAC key for the registration ledger.
+    pub ledger_key: Vec<u8>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            default_timeout: Duration::from_secs(30),
+            cache: PrfCacheConfig::default(),
+            shard_threads: 4,
+            ledger_key: b"freqywm-service-ledger".to_vec(),
+        }
+    }
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
+
+struct QueuedJob {
+    id: JobId,
+    payload: JobPayload,
+    deadline: Instant,
+}
+
+struct Shared {
+    config: EngineConfig,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<JobId, JobState>>,
+    jobs_cv: Condvar,
+    registry: RwLock<KeyRegistry>,
+    cache: PrfCache,
+    metrics: Metrics,
+    /// Logical clock for registration ordering (strictly monotonic, so
+    /// ledger chronology is deterministic under test).
+    clock: AtomicU64,
+    state: AtomicU8,
+}
+
+/// Outcome of an engine-level dispute, combining the paper's four-run
+/// protocol with the registration-ledger tiebreak.
+#[derive(Debug, Clone)]
+pub struct DisputeOutcome {
+    /// The Sec. V-D four-run protocol result.
+    pub ruling: Ruling,
+    /// Ledger chronology of the two watermarks (`Less` = `a` earlier).
+    pub ledger_order: std::cmp::Ordering,
+    /// Tenant id the engine awards ownership to: the protocol winner,
+    /// or on an inconclusive protocol the earlier registrant.
+    pub winner: String,
+    /// True when the protocol alone was decisive.
+    pub decisive_protocol: bool,
+}
+
+/// The engine. Submit jobs from any thread; call [`Engine::shutdown`]
+/// (or drop) to stop.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Starts the worker pool and returns the running engine.
+    pub fn start(config: EngineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cache: PrfCache::new(config.cache),
+            registry: RwLock::new(KeyRegistry::new(&config.ledger_key)),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            jobs_cv: Condvar::new(),
+            metrics: Metrics::default(),
+            clock: AtomicU64::new(1),
+            state: AtomicU8::new(STATE_RUNNING),
+        });
+        let worker_count = shared.config.workers.max(1);
+        let mut workers = Vec::with_capacity(worker_count);
+        for _ in 0..worker_count {
+            let shared = Arc::clone(&shared);
+            workers.push(std::thread::spawn(move || worker_loop(shared)));
+        }
+        Engine {
+            shared,
+            workers: Mutex::new(workers),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.shared.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a tenant's secret; returns the onboarding ledger index.
+    pub fn register_tenant(&self, tenant: &str, secret: Secret) -> Result<u64> {
+        let now = self.tick();
+        self.shared
+            .registry
+            .write()
+            .expect("registry lock poisoned")
+            .register_tenant(tenant, secret, now)
+    }
+
+    /// Removes a tenant (its secret is zeroized on drop).
+    pub fn remove_tenant(&self, tenant: &str) -> bool {
+        self.shared
+            .registry
+            .write()
+            .expect("registry lock poisoned")
+            .remove_tenant(tenant)
+    }
+
+    /// Read access to the registry (claims inspection, ledger audits).
+    pub fn registry(&self) -> std::sync::RwLockReadGuard<'_, KeyRegistry> {
+        self.shared.registry.read().expect("registry lock poisoned")
+    }
+
+    /// Enqueues a job. Non-blocking: rejects when full or draining.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId> {
+        let timeout = spec.timeout.unwrap_or(self.shared.config.default_timeout);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Record the job as Queued BEFORE it becomes poppable: a fast
+        // worker may reach a terminal state the instant the queue lock
+        // drops, and that write must never be overwritten by this one.
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .insert(id, JobState::Queued);
+        let reject = |err: ServiceError| {
+            self.shared
+                .jobs
+                .lock()
+                .expect("jobs lock poisoned")
+                .remove(&id);
+            self.shared.metrics.job_rejected();
+            Err(err)
+        };
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            // The state check lives under the queue lock: workers only
+            // exit while holding this lock with an empty queue and a
+            // non-running state, so a push observed here under
+            // STATE_RUNNING is guaranteed to have live workers (or
+            // workers that will pop it while draining).
+            if self.shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
+                drop(queue);
+                return reject(ServiceError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.config.queue_capacity {
+                drop(queue);
+                return reject(ServiceError::QueueFull {
+                    capacity: self.shared.config.queue_capacity,
+                });
+            }
+            queue.push_back(QueuedJob {
+                id,
+                payload: spec.payload,
+                deadline: Instant::now() + timeout,
+            });
+        }
+        self.shared.metrics.job_submitted();
+        self.shared.queue_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Current state of a job (clone), if the id is known.
+    pub fn status(&self, id: JobId) -> Option<JobState> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until the job reaches a terminal state, removes it from
+    /// the result table, and returns it.
+    ///
+    /// Each result is delivered exactly once — a second `wait` on the
+    /// same id reports an unknown job. Consuming here keeps a
+    /// long-running engine's memory flat: results of jobs nobody waits
+    /// on are the only ones retained (and are dropped with the engine).
+    pub fn wait(&self, id: JobId) -> JobState {
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        loop {
+            match jobs.get(&id) {
+                None => {
+                    return JobState::Failed(ServiceError::BadRequest(format!(
+                        "unknown job id {id}"
+                    )))
+                }
+                Some(state) if state.is_terminal() => {
+                    return jobs.remove(&id).expect("entry checked above");
+                }
+                Some(_) => {
+                    jobs = self.shared.jobs_cv.wait(jobs).expect("jobs lock poisoned");
+                }
+            }
+        }
+    }
+
+    /// Submit + wait.
+    pub fn run(&self, spec: JobSpec) -> JobState {
+        match self.submit(spec) {
+            Ok(id) => self.wait(id),
+            Err(e) => JobState::Failed(e),
+        }
+    }
+
+    /// Arbitrates ownership of between two tenants' latest watermarks:
+    /// the four-run protocol through the PRF cache, with the
+    /// registration ledger as chronological tiebreak.
+    pub fn dispute(
+        &self,
+        tenant_a: &str,
+        tenant_b: &str,
+        params: &DetectionParams,
+    ) -> Result<DisputeOutcome> {
+        self.shared.metrics.disputes.fetch_add(1, Ordering::Relaxed);
+        let registry = self.shared.registry.read().expect("registry lock poisoned");
+        let wa = registry.require_watermark(tenant_a)?;
+        let wb = registry.require_watermark(tenant_b)?;
+        let claim_a = Claim {
+            histogram: wa.watermarked.clone(),
+            secrets: wa.secrets.clone(),
+        };
+        let claim_b = Claim {
+            histogram: wb.watermarked.clone(),
+            secrets: wb.secrets.clone(),
+        };
+        let tag_a = registry.cache_tag(tenant_a)?;
+        let tag_b = registry.cache_tag(tenant_b)?;
+        let ledger_order = registry.earlier_watermark(tenant_a, tenant_b)?;
+        drop(registry);
+        let ruling = judge_dispute_with(
+            &claim_a,
+            &claim_b,
+            params,
+            &self.shared.cache.for_tag(tag_a),
+            &self.shared.cache.for_tag(tag_b),
+        );
+        let (winner, decisive) = match ruling.verdict {
+            Verdict::FirstParty => (tenant_a.to_string(), true),
+            Verdict::SecondParty => (tenant_b.to_string(), true),
+            Verdict::Inconclusive => {
+                // Fall back to registration chronology: the hash chain
+                // fixes who committed to a watermark first.
+                let earlier = if ledger_order == std::cmp::Ordering::Greater {
+                    tenant_b
+                } else {
+                    tenant_a
+                };
+                (earlier.to_string(), false)
+            }
+        };
+        Ok(DisputeOutcome {
+            ruling,
+            ledger_order,
+            winner,
+            decisive_protocol: decisive,
+        })
+    }
+
+    /// Counters, latency histogram, cache hit-rate, queue depth.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
+        let tenants = self
+            .shared
+            .registry
+            .read()
+            .expect("registry lock poisoned")
+            .len();
+        self.shared
+            .metrics
+            .snapshot(self.shared.cache.stats(), queue_depth, tenants)
+    }
+
+    /// Graceful shutdown: stop accepting submits, let workers drain the
+    /// queue, then join them. Idempotent.
+    pub fn shutdown(&self) {
+        let _ = self.shared.state.compare_exchange(
+            STATE_RUNNING,
+            STATE_DRAINING,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        self.shared.queue_cv.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+        self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
+    }
+
+    /// Immediate shutdown: queued jobs are cancelled, running jobs
+    /// finish, workers join.
+    pub fn shutdown_now(&self) {
+        self.shared.state.store(STATE_DRAINING, Ordering::SeqCst);
+        let cancelled: Vec<JobId> = {
+            let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
+            queue.drain(..).map(|j| j.id).collect()
+        };
+        if !cancelled.is_empty() {
+            let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+            for id in cancelled {
+                jobs.insert(id, JobState::Cancelled);
+                self.shared.metrics.job_cancelled();
+            }
+            self.shared.jobs_cv.notify_all();
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        let QueuedJob {
+            id,
+            payload,
+            deadline,
+        } = job;
+        if Instant::now() > deadline {
+            shared.metrics.job_timed_out();
+            finish(
+                &shared,
+                id,
+                JobState::Failed(ServiceError::DeadlineExceeded),
+            );
+            continue;
+        }
+        set_state(&shared, id, JobState::Running);
+        let kind = payload.kind();
+        let started = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_payload(&shared, payload)
+        }));
+        let took = started.elapsed();
+        let state = match result {
+            Ok(Ok(output)) => {
+                shared.metrics.job_completed(took);
+                let counter = match kind {
+                    JobKind::Embed => &shared.metrics.embed_jobs,
+                    JobKind::Detect => &shared.metrics.detect_jobs,
+                    JobKind::Maintain => &shared.metrics.maintain_jobs,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                JobState::Completed(output)
+            }
+            Ok(Err(e)) => {
+                shared.metrics.job_failed();
+                JobState::Failed(e)
+            }
+            Err(panic) => {
+                shared.metrics.job_failed();
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_string());
+                JobState::Failed(ServiceError::Internal(msg))
+            }
+        };
+        finish(&shared, id, state);
+    }
+}
+
+fn set_state(shared: &Shared, id: JobId, state: JobState) {
+    shared
+        .jobs
+        .lock()
+        .expect("jobs lock poisoned")
+        .insert(id, state);
+}
+
+fn finish(shared: &Shared, id: JobId, state: JobState) {
+    set_state(shared, id, state);
+    shared.jobs_cv.notify_all();
+}
+
+fn materialize(shared: &Shared, data: JobData) -> Histogram {
+    match data {
+        JobData::Histogram(h) => h,
+        JobData::Tokens(tokens) => sharded_histogram(&tokens, shared.config.shard_threads),
+    }
+}
+
+fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
+    match payload {
+        JobPayload::Embed {
+            tenant,
+            data,
+            params,
+        } => {
+            let secret = {
+                let registry = shared.registry.read().expect("registry lock poisoned");
+                registry.secret(&tenant)?.clone()
+            };
+            let hist = materialize(shared, data);
+            let out = Watermarker::new(params).generate_histogram(&hist, secret)?;
+            let now = shared.clock.fetch_add(1, Ordering::Relaxed);
+            let ledger_index = shared
+                .registry
+                .write()
+                .expect("registry lock poisoned")
+                .record_watermark(&tenant, out.secrets.clone(), out.watermarked.clone(), now)?;
+            Ok(JobOutput::Embed(EmbedOutcome {
+                tenant,
+                report: out.report,
+                watermarked: out.watermarked,
+                ledger_index,
+            }))
+        }
+        JobPayload::Detect {
+            tenant,
+            data,
+            params,
+        } => {
+            let (secrets, tag) = {
+                let registry = shared.registry.read().expect("registry lock poisoned");
+                let wm = registry.require_watermark(&tenant)?;
+                (wm.secrets.clone(), registry.cache_tag(&tenant)?)
+            };
+            let hist = materialize(shared, data);
+            let outcome =
+                detect_histogram_with(&hist, &secrets, &params, &shared.cache.for_tag(tag));
+            Ok(JobOutput::Detect(DetectOutcome { tenant, outcome }))
+        }
+        JobPayload::Maintain {
+            tenant,
+            updates,
+            replenish,
+        } => {
+            // Snapshot the watermark, run maintenance outside the lock,
+            // then write back. Maintenance is per-tenant serialised by
+            // construction only if callers do not race maintain jobs
+            // for the same tenant; concurrent tenants never contend.
+            let (secrets, hist, params) = {
+                let registry = shared.registry.read().expect("registry lock poisoned");
+                let wm = registry.require_watermark(&tenant)?;
+                (
+                    wm.secrets.clone(),
+                    wm.watermarked.clone(),
+                    freqywm_core::params::GenerationParams::default().with_z(wm.secrets.z),
+                )
+            };
+            let mut maintainer = IncrementalWatermarker::new(params, secrets, hist);
+            let report = maintainer.apply_updates(&updates, replenish)?;
+            let now = shared.clock.fetch_add(1, Ordering::Relaxed);
+            let ledger_index = shared
+                .registry
+                .write()
+                .expect("registry lock poisoned")
+                .replace_latest_watermark(
+                    &tenant,
+                    maintainer.secrets().clone(),
+                    maintainer.histogram().clone(),
+                    now,
+                )?;
+            Ok(JobOutput::Maintain(MaintainOutcome {
+                tenant,
+                report,
+                ledger_index,
+            }))
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Service-level errors.
+
+use std::fmt;
+
+/// Everything that can go wrong between a request entering the engine
+/// and its job reaching a terminal state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The tenant id is not in the key registry.
+    UnknownTenant(String),
+    /// A tenant with this id is already registered.
+    DuplicateTenant(String),
+    /// The tenant exists but has never completed an embed job, so there
+    /// is no secret list to detect or maintain against.
+    NoWatermark(String),
+    /// The bounded job queue is at capacity — backpressure, try later.
+    QueueFull { capacity: usize },
+    /// The engine is draining or stopped and accepts no new jobs.
+    ShuttingDown,
+    /// The job spent longer than its timeout waiting in the queue.
+    DeadlineExceeded,
+    /// A malformed request (protocol layer).
+    BadRequest(String),
+    /// The underlying watermarking pipeline failed.
+    Core(freqywm_core::Error),
+    /// A job panicked inside a worker; the worker survived.
+    Internal(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServiceError::DuplicateTenant(t) => write!(f, "tenant {t:?} already registered"),
+            ServiceError::NoWatermark(t) => {
+                write!(
+                    f,
+                    "tenant {t:?} has no registered watermark (run embed first)"
+                )
+            }
+            ServiceError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
+            ServiceError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServiceError::DeadlineExceeded => write!(f, "job deadline exceeded in queue"),
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Core(e) => write!(f, "watermarking error: {e}"),
+            ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<freqywm_core::Error> for ServiceError {
+    fn from(e: freqywm_core::Error) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ServiceError>;

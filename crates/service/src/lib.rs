@@ -1,0 +1,43 @@
+//! FreqyWM as a service: an embeddable multi-tenant watermarking
+//! engine.
+//!
+//! The paper's algorithms are single-shot; a data-marketplace
+//! deployment (the "new data economy" scenario motivating FreqyWM)
+//! needs many owners, many datasets, concurrent embed/detect traffic
+//! and an authoritative registration ledger for disputes. This crate
+//! provides that layer:
+//!
+//! * [`registry`] — tenant ids → zeroize-on-drop secrets and their
+//!   embedded watermarks, every registration committed to the
+//!   hash-chained ledger so chronology is tamper-evident;
+//! * [`engine`] — a bounded-queue worker pool (std threads) running
+//!   embed / detect / maintain jobs concurrently with per-job queue
+//!   deadlines, plus ledger-tiebroken dispute arbitration;
+//! * [`prf_cache`] — a sharded LRU memoizing the pair PRF
+//!   `H(tk_i ‖ H(R ‖ tk_j)) mod z` across repeat detections, with
+//!   hit/miss counters;
+//! * [`shard`] — parallel histogram construction for large token
+//!   streams;
+//! * [`metrics`] — job/latency/cache counters and JSON snapshots;
+//! * [`proto`] — the JSON-lines request/response protocol behind
+//!   `freqywm serve` and `freqywm batch`.
+
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod metrics;
+pub mod prf_cache;
+pub mod proto;
+pub mod registry;
+pub mod shard;
+
+pub use engine::{DisputeOutcome, Engine, EngineConfig};
+pub use error::ServiceError;
+pub use job::{
+    DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
+    MaintainOutcome,
+};
+pub use metrics::MetricsSnapshot;
+pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
+pub use registry::{KeyRegistry, StoredWatermark};
+pub use shard::sharded_histogram;

@@ -1,0 +1,267 @@
+//! Engine metrics and audit counters.
+//!
+//! Lock-free (`AtomicU64`) counters updated by workers on every job
+//! transition, plus a power-of-two latency histogram. A
+//! [`MetricsSnapshot`] is a plain value — cheap to take, serialisable
+//! to JSON for the `metrics` protocol op.
+
+use crate::prf_cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket `i` holds jobs whose run time in
+/// microseconds is in `[2^(i-1), 2^i)` (bucket 0: `< 1 µs`), with the
+/// last bucket open-ended (≥ ~34 s).
+pub const LATENCY_BUCKETS: usize = 26;
+
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    total_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencySnapshot {
+            buckets,
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of the latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySnapshot {
+    pub buckets: Vec<u64>,
+    pub total_micros: u64,
+    pub count: u64,
+}
+
+impl LatencySnapshot {
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (in µs) of the bucket containing quantile `q`.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
+    }
+}
+
+/// All engine counters.
+#[derive(Default)]
+pub struct Metrics {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub rejected: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub embed_jobs: AtomicU64,
+    pub detect_jobs: AtomicU64,
+    pub maintain_jobs: AtomicU64,
+    pub disputes: AtomicU64,
+    pub latency: LatencyHistogram,
+}
+
+macro_rules! bump {
+    ($self:ident . $field:ident) => {
+        $self.$field.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+impl Metrics {
+    pub fn job_submitted(&self) {
+        bump!(self.submitted);
+    }
+    pub fn job_completed(&self, took: Duration) {
+        bump!(self.completed);
+        self.latency.record(took);
+    }
+    pub fn job_failed(&self) {
+        bump!(self.failed);
+    }
+    pub fn job_timed_out(&self) {
+        bump!(self.timed_out);
+    }
+    pub fn job_rejected(&self) {
+        bump!(self.rejected);
+    }
+    pub fn job_cancelled(&self) {
+        bump!(self.cancelled);
+    }
+
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        queue_depth: usize,
+        tenants: usize,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            embed_jobs: self.embed_jobs.load(Ordering::Relaxed),
+            detect_jobs: self.detect_jobs.load(Ordering::Relaxed),
+            maintain_jobs: self.maintain_jobs.load(Ordering::Relaxed),
+            disputes: self.disputes.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            cache,
+            queue_depth: queue_depth as u64,
+            tenants: tenants as u64,
+        }
+    }
+}
+
+/// Plain-value snapshot of every counter, for audits and the protocol.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub timed_out: u64,
+    pub rejected: u64,
+    pub cancelled: u64,
+    pub embed_jobs: u64,
+    pub detect_jobs: u64,
+    pub maintain_jobs: u64,
+    pub disputes: u64,
+    pub latency: LatencySnapshot,
+    pub cache: CacheStats,
+    pub queue_depth: u64,
+    pub tenants: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a single JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.latency.buckets.iter().map(|b| b.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
+                "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
+                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},",
+                "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
+                "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
+                "\"prf_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
+                "\"hit_rate\":{:.4}}}}}"
+            ),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.timed_out,
+            self.rejected,
+            self.cancelled,
+            self.embed_jobs,
+            self.detect_jobs,
+            self.maintain_jobs,
+            self.disputes,
+            self.queue_depth,
+            self.tenants,
+            self.latency.count,
+            self.latency.mean_micros(),
+            self.latency.quantile_upper_micros(0.50),
+            self.latency.quantile_upper_micros(0.95),
+            self.latency.quantile_upper_micros(0.99),
+            buckets.join(","),
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            self.cache.hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1000));
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1); // 0 µs
+        assert_eq!(s.buckets[1], 1); // 1 µs
+        assert_eq!(s.buckets[2], 1); // 2-3 µs
+        assert_eq!(s.buckets[10], 1); // 512-1023 µs
+    }
+
+    #[test]
+    fn quantiles_move_with_mass() {
+        let h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.quantile_upper_micros(0.5), 16);
+        assert!(s.quantile_upper_micros(0.999) >= 65_536);
+    }
+
+    #[test]
+    fn counters_and_json() {
+        let m = Metrics::default();
+        m.job_submitted();
+        m.job_submitted();
+        m.job_completed(Duration::from_micros(50));
+        m.job_failed();
+        let snap = m.snapshot(
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                entries: 4,
+            },
+            7,
+            2,
+        );
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.queue_depth, 7);
+        let json = snap.to_json();
+        assert!(json.contains("\"submitted\":2"));
+        assert!(json.contains("\"hit_rate\":0.7500"));
+        assert!(json.contains("\"tenants\":2"));
+        // Must be a single well-formed object (rudimentary check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,952 @@
+//! JSON-lines request/response protocol.
+//!
+//! One request object per line in, one response object per line out —
+//! the transport `freqywm serve` (stdin/stdout) and `freqywm batch`
+//! (file) speak. Ops:
+//!
+//! | op | fields | response |
+//! |---|---|---|
+//! | `register` | `tenant`, `secret` (hex) \| `secret_label` | `ledger_index` |
+//! | `embed` | `tenant`, `counts` \| `tokens`, `budget?`, `z?`, `exclude_free_pairs?` | report fields |
+//! | `detect` | `tenant`, `counts` \| `tokens`, `t?`, `k?`, `scale?` | verdict fields |
+//! | `maintain` | `tenant`, `updates`, `replenish?` | maintenance report |
+//! | `dispute` | `a`, `b`, `t?`, `quorum?` | winner + protocol detail |
+//! | `metrics` | — | full metrics snapshot |
+//! | `shutdown` | — | ack (stops `serve`) |
+//!
+//! `counts` is `[["token", count], …]`, `tokens` is `["token", …]`,
+//! `updates` is `[["token", delta], …]`. Every response carries
+//! `"ok"`; requests may carry an `"id"` which is echoed back. No serde
+//! in the dependency whitelist, so [`json`] is a small hand-rolled
+//! parser/writer.
+
+use crate::engine::Engine;
+use crate::error::ServiceError;
+use crate::job::{JobData, JobOutput, JobPayload, JobSpec, JobState};
+use freqywm_core::params::{DetectionParams, GenerationParams};
+use freqywm_crypto::prf::Secret;
+use freqywm_data::token::Token;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+pub mod json {
+    //! Minimal JSON: parse into a [`Value`] tree, escape strings out.
+
+    /// A parsed JSON value. Numbers are `f64` (counts fit exactly up to
+    /// 2^53, far beyond any realistic token frequency).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Num(n) if n.fract() == 0.0 => Some(*n as i64),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    /// Escapes a string for embedding in JSON output.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at offset {}", b as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at offset {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+                self.pos += 1;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                                self.pos += 4;
+                                // Surrogate pairs unsupported (BMP only) —
+                                // tokens in this protocol are ordinary text.
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or("surrogate \\u escape unsupported")?,
+                                );
+                            }
+                            _ => return Err(format!("bad escape at offset {}", self.pos)),
+                        }
+                    }
+                    _ => {
+                        // Re-sync to char boundary for multi-byte UTF-8.
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = start + width;
+                        let chunk = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or("truncated UTF-8 sequence")?;
+                        let s =
+                            std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("bad number {text:?} at offset {start}"))
+        }
+    }
+
+    fn utf8_width(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+use json::{escape, Value};
+
+fn err_response(id: Option<&Value>, msg: &str) -> String {
+    let id_part = id_echo(id);
+    format!("{{\"ok\":false{id_part},\"error\":\"{}\"}}", escape(msg))
+}
+
+fn id_echo(id: Option<&Value>) -> String {
+    match id {
+        Some(Value::Num(n)) => format!(",\"id\":{n}"),
+        Some(Value::Str(s)) => format!(",\"id\":\"{}\"", escape(s)),
+        _ => String::new(),
+    }
+}
+
+fn parse_counts(v: &Value) -> Result<Vec<(Token, u64)>, String> {
+    let arr = v.as_arr().ok_or("counts must be an array")?;
+    let mut seen = std::collections::HashSet::with_capacity(arr.len());
+    arr.iter()
+        .map(|pair| {
+            let p = pair
+                .as_arr()
+                .ok_or("counts entries must be [token, count]")?;
+            match p {
+                [Value::Str(tok), n] => {
+                    let c = n.as_u64().ok_or("count must be a non-negative integer")?;
+                    // A duplicate token would put two rows into the
+                    // histogram and corrupt its rank invariants.
+                    if !seen.insert(tok.clone()) {
+                        return Err(format!("duplicate token {tok:?} in counts"));
+                    }
+                    Ok((Token::new(tok.clone()), c))
+                }
+                _ => Err("counts entries must be [token, count]".to_string()),
+            }
+        })
+        .collect()
+}
+
+fn parse_updates(v: &Value) -> Result<Vec<(Token, i64)>, String> {
+    let arr = v.as_arr().ok_or("updates must be an array")?;
+    arr.iter()
+        .map(|pair| {
+            let p = pair
+                .as_arr()
+                .ok_or("updates entries must be [token, delta]")?;
+            match p {
+                [Value::Str(tok), n] => {
+                    let d = n.as_i64().ok_or("delta must be an integer")?;
+                    Ok((Token::new(tok.clone()), d))
+                }
+                _ => Err("updates entries must be [token, delta]".to_string()),
+            }
+        })
+        .collect()
+}
+
+fn parse_data(req: &Value) -> Result<JobData, String> {
+    if let Some(counts) = req.get("counts") {
+        let counts = parse_counts(counts)?;
+        return Ok(JobData::Histogram(
+            freqywm_data::histogram::Histogram::from_counts(counts),
+        ));
+    }
+    if let Some(tokens) = req.get("tokens") {
+        let arr = tokens.as_arr().ok_or("tokens must be an array")?;
+        let tokens: Result<Vec<Token>, String> = arr
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(Token::new)
+                    .ok_or_else(|| "tokens entries must be strings".to_string())
+            })
+            .collect();
+        return Ok(JobData::Tokens(tokens?));
+    }
+    Err("request needs \"counts\" or \"tokens\"".to_string())
+}
+
+fn req_str<'a>(req: &'a Value, key: &str) -> Result<&'a str, String> {
+    req.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn job_timeout(req: &Value) -> Option<Duration> {
+    req.get("timeout_ms")
+        .and_then(Value::as_u64)
+        .map(Duration::from_millis)
+}
+
+fn render_job_state(state: JobState, id: Option<&Value>) -> String {
+    let id_part = id_echo(id);
+    match state {
+        JobState::Completed(JobOutput::Embed(e)) => {
+            let r = &e.report;
+            format!(
+                concat!(
+                    "{{\"ok\":true{},\"op\":\"embed\",\"tenant\":\"{}\",",
+                    "\"chosen_pairs\":{},\"eligible_pairs\":{},",
+                    "\"similarity_pct\":{:.6},\"total_change\":{},",
+                    "\"ranking_preserved\":{},\"ledger_index\":{}}}"
+                ),
+                id_part,
+                escape(&e.tenant),
+                r.chosen_pairs,
+                r.eligible_pairs,
+                r.similarity_pct,
+                r.total_change,
+                r.ranking_preserved,
+                e.ledger_index,
+            )
+        }
+        JobState::Completed(JobOutput::Detect(d)) => {
+            let o = &d.outcome;
+            format!(
+                concat!(
+                    "{{\"ok\":true{},\"op\":\"detect\",\"tenant\":\"{}\",",
+                    "\"accepted\":{},\"accepted_pairs\":{},\"present_pairs\":{},",
+                    "\"total_pairs\":{},\"accept_rate\":{:.6}}}"
+                ),
+                id_part,
+                escape(&d.tenant),
+                o.accepted,
+                o.accepted_pairs,
+                o.present_pairs,
+                o.total_pairs,
+                o.accept_rate(),
+            )
+        }
+        JobState::Completed(JobOutput::Maintain(m)) => {
+            let r = &m.report;
+            format!(
+                concat!(
+                    "{{\"ok\":true{},\"op\":\"maintain\",\"tenant\":\"{}\",",
+                    "\"intact\":{},\"repaired\":{},\"retired\":{},\"added\":{},",
+                    "\"total_change\":{},\"ledger_index\":{}}}"
+                ),
+                id_part,
+                escape(&m.tenant),
+                r.intact,
+                r.repaired,
+                r.retired,
+                r.added,
+                r.total_change,
+                m.ledger_index,
+            )
+        }
+        JobState::Failed(e) => err_response(id, &e.to_string()),
+        JobState::Cancelled => err_response(id, "job cancelled"),
+        JobState::Queued | JobState::Running => err_response(id, "internal: job not terminal"),
+    }
+}
+
+/// A parsed request: a job to schedule on the pool, a synchronous op
+/// executed via [`execute_op`], or shutdown. Parsing never touches the
+/// engine, so batch execution controls *when* ordered ops run.
+enum Planned {
+    Op(Value),
+    Job(JobSpec),
+    Shutdown,
+}
+
+fn plan(line: &str) -> (Option<Value>, Result<Planned, String>) {
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (None, Err(format!("bad json: {e}"))),
+    };
+    let id = req.get("id").cloned();
+    let planned = plan_request(req);
+    (id, planned)
+}
+
+fn plan_request(req: Value) -> Result<Planned, String> {
+    let op = req_str(&req, "op")?;
+    match op {
+        "register" | "dispute" | "metrics" => Ok(Planned::Op(req)),
+        "shutdown" => Ok(Planned::Shutdown),
+        "embed" | "detect" | "maintain" => plan_job(&req),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn plan_job(req: &Value) -> Result<Planned, String> {
+    let op = req_str(req, "op")?;
+    match op {
+        "embed" => {
+            let tenant = req_str(req, "tenant")?.to_string();
+            let data = parse_data(req)?;
+            let mut params = GenerationParams::default();
+            if let Some(b) = req.get("budget").and_then(Value::as_f64) {
+                params = params.with_budget(b);
+            }
+            if let Some(z) = req.get("z").and_then(Value::as_u64) {
+                params = params.with_z(z);
+            }
+            if let Some(x) = req.get("exclude_free_pairs").and_then(Value::as_bool) {
+                params = params.with_exclude_free_pairs(x);
+            }
+            let mut spec = JobSpec::new(JobPayload::Embed {
+                tenant,
+                data,
+                params,
+            });
+            if let Some(t) = job_timeout(req) {
+                spec = spec.with_timeout(t);
+            }
+            Ok(Planned::Job(spec))
+        }
+        "detect" => {
+            let tenant = req_str(req, "tenant")?.to_string();
+            let data = parse_data(req)?;
+            let mut params = DetectionParams::default();
+            if let Some(t) = req.get("t").and_then(Value::as_u64) {
+                params = params.with_t(t);
+            }
+            if let Some(k) = req.get("k").and_then(Value::as_u64) {
+                params = params.with_k(k as usize);
+            }
+            if let Some(s) = req.get("scale").and_then(Value::as_f64) {
+                params = params.with_scale(s);
+            }
+            let mut spec = JobSpec::new(JobPayload::Detect {
+                tenant,
+                data,
+                params,
+            });
+            if let Some(t) = job_timeout(req) {
+                spec = spec.with_timeout(t);
+            }
+            Ok(Planned::Job(spec))
+        }
+        "maintain" => {
+            let tenant = req_str(req, "tenant")?.to_string();
+            let updates = parse_updates(req.get("updates").ok_or("missing \"updates\"")?)?;
+            let replenish = req
+                .get("replenish")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            Ok(Planned::Job(JobSpec::new(JobPayload::Maintain {
+                tenant,
+                updates,
+                replenish,
+            })))
+        }
+        other => Err(format!("not a job op: {other:?}")),
+    }
+}
+
+/// Executes a synchronous (non-job) op: `register`, `dispute`,
+/// `metrics`.
+fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
+    let op = req_str(req, "op")?;
+    match op {
+        "register" => {
+            let tenant = req_str(req, "tenant")?;
+            let secret = if let Some(hex) = req.get("secret").and_then(Value::as_str) {
+                Secret::from_hex(hex).ok_or("secret must be 64 hex chars")?
+            } else if let Some(label) = req.get("secret_label").and_then(Value::as_str) {
+                // Deterministic; for tests and demos only.
+                Secret::from_label(label)
+            } else {
+                Secret::generate(&mut rand::rngs::OsRng)
+            };
+            let index = engine
+                .register_tenant(tenant, secret)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"register\",\"tenant\":\"{}\",\"ledger_index\":{}}}",
+                escape(tenant),
+                index
+            ))
+        }
+        "dispute" => {
+            let a = req_str(req, "a")?;
+            let b = req_str(req, "b")?;
+            let mut params = DetectionParams::default();
+            if let Some(t) = req.get("t").and_then(Value::as_u64) {
+                params = params.with_t(t);
+            }
+            let quorum = req.get("quorum").and_then(Value::as_f64).unwrap_or(0.25);
+            // Quorum: fraction of the smaller claimant's pair count.
+            {
+                let registry = engine.registry();
+                let pa = registry
+                    .require_watermark(a)
+                    .map_err(|e| e.to_string())?
+                    .secrets
+                    .len();
+                let pb = registry
+                    .require_watermark(b)
+                    .map_err(|e| e.to_string())?
+                    .secrets
+                    .len();
+                let k = ((pa.min(pb) as f64) * quorum).ceil().max(1.0) as usize;
+                params = params.with_k(k);
+            }
+            let outcome = engine.dispute(a, b, &params).map_err(|e| e.to_string())?;
+            let verdict = match outcome.ruling.verdict {
+                freqywm_core::judge::Verdict::FirstParty => "first_party",
+                freqywm_core::judge::Verdict::SecondParty => "second_party",
+                freqywm_core::judge::Verdict::Inconclusive => "inconclusive",
+            };
+            Ok(format!(
+                concat!(
+                    "{{\"ok\":true,\"op\":\"dispute\",\"a\":\"{}\",\"b\":\"{}\",",
+                    "\"protocol_verdict\":\"{}\",\"winner\":\"{}\",",
+                    "\"decisive_protocol\":{},\"a_on_b_accepted\":{},",
+                    "\"b_on_a_accepted\":{}}}"
+                ),
+                escape(a),
+                escape(b),
+                verdict,
+                escape(&outcome.winner),
+                outcome.decisive_protocol,
+                outcome.ruling.a_on_b.accepted,
+                outcome.ruling.b_on_a.accepted,
+            ))
+        }
+        "metrics" => Ok(format!(
+            "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{}}}",
+            engine.metrics().to_json()
+        )),
+        other => Err(format!("not a synchronous op: {other:?}")),
+    }
+}
+
+fn run_op(engine: &Engine, req: &Value, id: Option<&Value>) -> String {
+    match execute_op(engine, req) {
+        Ok(resp) => inject_id(resp, id),
+        Err(e) => err_response(id, &e),
+    }
+}
+
+/// Executes one parsed request synchronously; returns `(response,
+/// stop)` where `stop` is set only by the `shutdown` op.
+fn respond(
+    engine: &Engine,
+    id: Option<&Value>,
+    planned: Result<Planned, String>,
+) -> (String, bool) {
+    match planned {
+        Err(e) => (err_response(id, &e), false),
+        Ok(Planned::Op(req)) => (run_op(engine, &req, id), false),
+        Ok(Planned::Shutdown) => (
+            inject_id("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), id),
+            true,
+        ),
+        Ok(Planned::Job(spec)) => (render_job_state(engine.run(spec), id), false),
+    }
+}
+
+/// Executes one request line synchronously; returns the response line.
+pub fn handle_line(engine: &Engine, line: &str) -> String {
+    let (id, planned) = plan(line);
+    respond(engine, id.as_ref(), planned).0
+}
+
+fn inject_id(resp: String, id: Option<&Value>) -> String {
+    let echo = id_echo(id);
+    if echo.is_empty() {
+        resp
+    } else {
+        resp.replacen("{\"ok\":true", &format!("{{\"ok\":true{echo}"), 1)
+    }
+}
+
+/// Serves JSON-lines over arbitrary reader/writer until EOF or a
+/// `shutdown` op. Blank lines and `#` comments are skipped.
+pub fn serve<R: BufRead, W: Write>(
+    engine: &Engine,
+    reader: R,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id, planned) = plan(line);
+        let (resp, stop) = respond(engine, id.as_ref(), planned);
+        writeln!(writer, "{resp}")?;
+        writer.flush()?;
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Batch execution with pipelined reads: consecutive `detect` requests
+/// are submitted together and awaited in order, so a file of N detect
+/// requests saturates the worker pool instead of running serially.
+/// State-changing requests (`register`, `embed`, `maintain`,
+/// `dispute`, `metrics`) are barriers — every in-flight job completes
+/// before they run, so a detect after an embed always sees the new
+/// watermark. Responses come back in request order.
+pub fn run_batch(engine: &Engine, lines: &[String]) -> Vec<String> {
+    enum Slot {
+        Ready(String),
+        Pending { id: Option<Value> },
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+    let mut pending: Vec<(usize, Result<crate::job::JobId, ServiceError>)> = Vec::new();
+
+    let flush = |pending: &mut Vec<(usize, Result<crate::job::JobId, ServiceError>)>,
+                 slots: &mut Vec<Slot>| {
+        for (slot_idx, submitted) in pending.drain(..) {
+            let Slot::Pending { id } = &slots[slot_idx] else {
+                continue;
+            };
+            let id = id.clone();
+            let resp = match submitted {
+                Ok(job_id) => render_job_state(engine.wait(job_id), id.as_ref()),
+                Err(e) => err_response(id.as_ref(), &e.to_string()),
+            };
+            slots[slot_idx] = Slot::Ready(resp);
+        }
+    };
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id, planned) = plan(line);
+        match planned {
+            Ok(Planned::Job(spec)) if matches!(spec.payload, JobPayload::Detect { .. }) => {
+                let idx = slots.len();
+                slots.push(Slot::Pending { id });
+                let submitted = engine.submit(spec);
+                pending.push((idx, submitted));
+            }
+            Ok(Planned::Job(spec)) => {
+                // Embed/maintain mutate the tenant's registry state that
+                // later jobs read; run them as barriers.
+                flush(&mut pending, &mut slots);
+                slots.push(Slot::Ready(render_job_state(engine.run(spec), id.as_ref())));
+            }
+            other => {
+                // Ordered ops (register/dispute/metrics) act as
+                // barriers: all in-flight jobs complete first.
+                flush(&mut pending, &mut slots);
+                let resp = match other {
+                    Err(e) => err_response(id.as_ref(), &e),
+                    Ok(Planned::Op(req)) => run_op(engine, &req, id.as_ref()),
+                    Ok(Planned::Shutdown) => {
+                        inject_id("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), id.as_ref())
+                    }
+                    Ok(Planned::Job(_)) => unreachable!(),
+                };
+                slots.push(Slot::Ready(resp));
+            }
+        }
+    }
+    flush(&mut pending, &mut slots);
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Slot::Ready(r) => r,
+            Slot::Pending { id } => err_response(id.as_ref(), "internal: unflushed job"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::{parse, Value};
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+
+    #[test]
+    fn json_round_trip_basics() {
+        let v = parse(r#"{"op":"detect","t":3,"scale":2.5,"ok":true,"x":null,"arr":[["a",1]]}"#)
+            .unwrap();
+        assert_eq!(v.get("op").unwrap().as_str(), Some("detect"));
+        assert_eq!(v.get("t").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("scale").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("x"), Some(&Value::Null));
+        let arr = v.get("arr").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_arr().unwrap()[0].as_str(), Some("a"));
+    }
+
+    #[test]
+    fn json_strings_with_escapes_and_unicode() {
+        let v = parse(r#"{"s":"a\"b\\c\ndAé"}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndAé"));
+        assert_eq!(super::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+    }
+
+    fn test_engine() -> Engine {
+        Engine::start(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn counts_json(n: usize) -> String {
+        // A power-law-ish profile with enough spread to embed.
+        let entries: Vec<String> = (0..n)
+            .map(|i| format!("[\"tk{i:03}\",{}]", 4_000 / (i + 1) + 7 * (n - i)))
+            .collect();
+        format!("[{}]", entries.join(","))
+    }
+
+    #[test]
+    fn protocol_register_embed_detect_metrics() {
+        let engine = test_engine();
+        let r = handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"acme","secret_label":"proto-test","id":1}"#,
+        );
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"id\":1"), "{r}");
+        let embed = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"acme","z":101,"counts":{}}}"#,
+                counts_json(80)
+            ),
+        );
+        assert!(embed.contains("\"ok\":true"), "{embed}");
+        assert!(embed.contains("\"chosen_pairs\":"), "{embed}");
+        // Detect the registry-stored watermarked version of the data:
+        // re-detection of the watermarked histogram must fully verify.
+        let wm = engine
+            .registry()
+            .require_watermark("acme")
+            .unwrap()
+            .watermarked
+            .clone();
+        let counts: Vec<String> = wm
+            .entries()
+            .iter()
+            .map(|(t, c)| format!("[\"{}\",{}]", t.as_str(), c))
+            .collect();
+        let detect = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"detect","tenant":"acme","t":0,"k":1,"counts":[{}]}}"#,
+                counts.join(",")
+            ),
+        );
+        assert!(detect.contains("\"accepted\":true"), "{detect}");
+        let metrics = handle_line(&engine, r#"{"op":"metrics"}"#);
+        assert!(metrics.contains("\"completed\":2"), "{metrics}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn duplicate_tokens_in_counts_rejected() {
+        let engine = test_engine();
+        handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"d","secret_label":"dup"}"#,
+        );
+        let r = handle_line(
+            &engine,
+            r#"{"op":"embed","tenant":"d","counts":[["a",500],["a",300],["b",100]]}"#,
+        );
+        assert!(r.contains("duplicate token"), "{r}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn protocol_errors() {
+        let engine = test_engine();
+        assert!(handle_line(&engine, "not json").contains("\"ok\":false"));
+        assert!(handle_line(&engine, r#"{"op":"fly"}"#).contains("unknown op"));
+        assert!(
+            handle_line(&engine, r#"{"op":"embed","tenant":"ghost","counts":[]}"#)
+                .contains("\"ok\":false")
+        );
+        let r = handle_line(
+            &engine,
+            r#"{"op":"detect","tenant":"ghost","counts":[["a",1]],"id":"x7"}"#,
+        );
+        assert!(r.contains("unknown tenant"), "{r}");
+        assert!(r.contains("\"id\":\"x7\""), "{r}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_loop_and_shutdown_op() {
+        let engine = test_engine();
+        let input = concat!(
+            "# comment line\n",
+            "\n",
+            "{\"op\":\"register\",\"tenant\":\"t\",\"secret_label\":\"s\"}\n",
+            "{\"op\":\"metrics\"}\n",
+            "{\"op\":\"shutdown\"}\n",
+            "{\"op\":\"metrics\"}\n", // after shutdown: never processed
+        );
+        let mut out = Vec::new();
+        serve(&engine, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("register"));
+        assert!(lines[2].contains("shutdown"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_pipelines_jobs_and_preserves_order() {
+        let engine = test_engine();
+        let mut lines = vec![
+            r#"{"op":"register","tenant":"t","secret_label":"b"}"#.to_string(),
+            format!(
+                r#"{{"op":"embed","tenant":"t","z":101,"counts":{}}}"#,
+                counts_json(80)
+            ),
+        ];
+        // A wave of detects over the original data (partial verification).
+        for i in 0..6 {
+            lines.push(format!(
+                r#"{{"op":"detect","tenant":"t","t":2,"k":1,"id":{i},"counts":{}}}"#,
+                counts_json(80)
+            ));
+        }
+        lines.push(r#"{"op":"metrics"}"#.to_string());
+        let out = run_batch(&engine, &lines);
+        assert_eq!(out.len(), lines.len());
+        assert!(out[0].contains("register"));
+        assert!(out[1].contains("chosen_pairs"));
+        for (i, resp) in out[2..8].iter().enumerate() {
+            assert!(resp.contains(&format!("\"id\":{i}")), "order lost: {resp}");
+        }
+        assert!(out[8].contains("\"completed\":7"), "{}", out[8]);
+        engine.shutdown();
+    }
+}

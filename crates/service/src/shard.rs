@@ -1,0 +1,94 @@
+//! Sharded histogram construction.
+//!
+//! Embedding and detection both start by counting tokens. For
+//! marketplace-scale datasets (tens of millions of instances) a single
+//! counting thread leaves cores idle, so the engine splits the token
+//! stream into chunks, counts each chunk on a scoped thread, and merges
+//! the per-chunk maps. The result is bit-identical to
+//! [`Histogram::from_tokens`] — `from_counts` canonicalises ordering.
+
+use freqywm_data::histogram::Histogram;
+use freqywm_data::token::Token;
+use std::collections::HashMap;
+
+/// Below this many tokens the spawn/merge overhead outweighs the win.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// Counts `tokens` into a [`Histogram`] using up to `threads` scoped
+/// worker threads (1 = sequential).
+pub fn sharded_histogram(tokens: &[Token], threads: usize) -> Histogram {
+    let threads = threads.max(1).min(tokens.len().max(1));
+    if threads == 1 || tokens.len() < PARALLEL_THRESHOLD {
+        return Histogram::from_tokens(tokens.iter().cloned());
+    }
+    let chunk_len = tokens.len().div_ceil(threads);
+    let mut maps: Vec<HashMap<&Token, u64>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tokens
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut m: HashMap<&Token, u64> = HashMap::new();
+                    for t in chunk {
+                        *m.entry(t).or_insert(0) += 1;
+                    }
+                    m
+                })
+            })
+            .collect();
+        for h in handles {
+            maps.push(h.join().expect("histogram shard worker panicked"));
+        }
+    });
+    let mut merged: HashMap<Token, u64> = HashMap::new();
+    for m in maps {
+        for (t, c) in m {
+            *merged.entry(t.clone()).or_insert(0) += c;
+        }
+    }
+    Histogram::from_counts(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freqywm_data::dataset::Dataset;
+    use freqywm_data::synthetic::{power_law_dataset, PowerLawConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(7);
+        power_law_dataset(
+            &PowerLawConfig {
+                distinct_tokens: 500,
+                sample_size: n,
+                alpha: 0.6,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn matches_sequential_exactly_above_threshold() {
+        let d = dataset(PARALLEL_THRESHOLD + 10_000);
+        let expected = d.histogram();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(sharded_histogram(d.tokens(), threads), expected);
+        }
+    }
+
+    #[test]
+    fn small_inputs_take_the_sequential_path() {
+        let d = dataset(10_000);
+        assert_eq!(sharded_histogram(d.tokens(), 8), d.histogram());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(sharded_histogram(&[], 4).is_empty());
+        let one = [Token::new("only")];
+        let h = sharded_histogram(&one, 4);
+        assert_eq!(h.count(&one[0]), Some(1));
+    }
+}

@@ -122,7 +122,12 @@ pub fn decompose_additive(series: &[f64], period: usize) -> Decomposition {
         .map(|((y, t), s)| y - t - s)
         .collect();
 
-    Decomposition { trend, seasonal, residual, period }
+    Decomposition {
+        trend,
+        seasonal,
+        residual,
+        period,
+    }
 }
 
 /// Maximum absolute difference between two equally long series —
@@ -167,7 +172,10 @@ mod tests {
         let s = vec![5.0; 20];
         for period in [1, 2, 3, 7] {
             let ma = centered_moving_average(&s, period);
-            assert!(ma.iter().all(|&x| (x - 5.0).abs() < 1e-12), "period {period}");
+            assert!(
+                ma.iter().all(|&x| (x - 5.0).abs() < 1e-12),
+                "period {period}"
+            );
         }
     }
 
@@ -220,7 +228,9 @@ mod tests {
 
     #[test]
     fn seasonal_sums_to_zero_over_period() {
-        let s: Vec<f64> = (0..40).map(|i| (i as f64 * 0.4).sin() * 3.0 + i as f64).collect();
+        let s: Vec<f64> = (0..40)
+            .map(|i| (i as f64 * 0.4).sin() * 3.0 + i as f64)
+            .collect();
         let d = decompose_additive(&s, 8);
         let sum: f64 = d.seasonal[..8].iter().sum();
         assert!(sum.abs() < 1e-9);

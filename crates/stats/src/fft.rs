@@ -29,11 +29,17 @@ impl Complex {
 
     /// `e^{iθ}`.
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     pub fn norm(self) -> f64 {
@@ -41,21 +47,30 @@ impl Complex {
     }
 
     pub fn scale(self, k: f64) -> Self {
-        Complex { re: self.re * k, im: self.im * k }
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -72,7 +87,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -80,7 +98,10 @@ impl Neg for Complex {
 /// `inverse` selects the inverse transform (including the 1/n scaling).
 pub fn fft_pow2(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft_pow2 requires power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft_pow2 requires power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -225,11 +246,7 @@ mod tests {
         assert!(close(i.conj(), Complex::new(0.0, -1.0), 1e-15));
         assert!((Complex::new(3.0, 4.0).norm() - 5.0).abs() < 1e-15);
         assert!(close(-i, Complex::new(0.0, -1.0), 1e-15));
-        assert!(close(
-            Complex::cis(std::f64::consts::PI / 2.0),
-            i,
-            1e-12
-        ));
+        assert!(close(Complex::cis(std::f64::consts::PI / 2.0), i, 1e-12));
     }
 
     proptest! {

@@ -41,8 +41,20 @@ pub fn moments(sample: &[f64]) -> Option<Moments> {
     m2 /= n;
     m3 /= n;
     let std_dev = m2.sqrt();
-    let skewness = if std_dev > 0.0 { m3 / std_dev.powi(3) } else { 0.0 };
-    Some(Moments { n: sample.len(), mean, variance: m2, std_dev, min, max, skewness })
+    let skewness = if std_dev > 0.0 {
+        m3 / std_dev.powi(3)
+    } else {
+        0.0
+    };
+    Some(Moments {
+        n: sample.len(),
+        mean,
+        variance: m2,
+        std_dev,
+        min,
+        max,
+        skewness,
+    })
 }
 
 /// Per-position signed changes `after[i] − before[i]` as f64.
@@ -70,7 +82,11 @@ pub fn median(sample: &[f64]) -> Option<f64> {
     let mut v = sample.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in sample"));
     let n = v.len();
-    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
 }
 
 /// Empirical quantile via linear interpolation, `q ∈ [0, 1]`.

@@ -99,11 +99,7 @@ fn normalise(v: &[u64]) -> Vec<f64> {
 pub fn total_variation(a: &[u64], b: &[u64]) -> f64 {
     assert_paired(a, b);
     let (p, q) = (normalise(a), normalise(b));
-    0.5 * p
-        .iter()
-        .zip(&q)
-        .map(|(&x, &y)| (x - y).abs())
-        .sum::<f64>()
+    0.5 * p.iter().zip(&q).map(|(&x, &y)| (x - y).abs()).sum::<f64>()
 }
 
 /// `1 − ‖a−b‖₂ / (‖a‖₂ + ‖b‖₂)`: a Euclidean similarity bounded in `[0, 1]`.

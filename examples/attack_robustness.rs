@@ -57,10 +57,16 @@ fn main() {
     let t4 = DetectionParams::default().with_t(4).with_k(1);
     let weak = destroy_percentage(&out.watermarked, 1.0, &mut rng);
     let dw = detect_histogram(&weak, secrets, &t4);
-    println!("  ±1% of boundaries (no re-ordering): {:>5.1}% verified", dw.accept_rate() * 100.0);
+    println!(
+        "  ±1% of boundaries (no re-ordering): {:>5.1}% verified",
+        dw.accept_rate() * 100.0
+    );
     let strong = destroy_within_boundaries(&out.watermarked, &mut rng);
     let ds = detect_histogram(&strong, secrets, &t4);
-    println!("  random within boundaries          : {:>5.1}% verified", ds.accept_rate() * 100.0);
+    println!(
+        "  random within boundaries          : {:>5.1}% verified",
+        ds.accept_rate() * 100.0
+    );
     for pct in [10.0, 50.0, 90.0] {
         let re = destroy_with_reordering(&out.watermarked, pct, &mut rng);
         let dr = detect_histogram(&re, secrets, &t4);
@@ -86,7 +92,10 @@ fn main() {
     );
     println!(
         "  {} attempts, {} successes (best attempt verified {}/{} pairs, needed {k})",
-        report.attempts, report.successes, report.best_accepted_pairs, secrets.len()
+        report.attempts,
+        report.successes,
+        report.best_accepted_pairs,
+        secrets.len()
     );
     assert_eq!(report.successes, 0);
 
@@ -103,14 +112,26 @@ fn main() {
         alpha: 0.7,
     }));
     for t in [0u64, 4, 10] {
-        let d = detect_histogram(&other, secrets, &DetectionParams::default().with_t(t).with_k(1));
-        println!("  t = {t:>2}: {:>5.1}% of pairs falsely verified", d.accept_rate() * 100.0);
+        let d = detect_histogram(
+            &other,
+            secrets,
+            &DetectionParams::default().with_t(t).with_k(1),
+        );
+        println!(
+            "  t = {t:>2}: {:>5.1}% of pairs falsely verified",
+            d.accept_rate() * 100.0
+        );
     }
     let mut s_values: Vec<u64> = secrets
         .pairs
         .iter()
         .map(|(a, b)| {
-            freqywm_crypto::prf::pair_modulus(&secrets.secret, a.as_bytes(), b.as_bytes(), secrets.z)
+            freqywm_crypto::prf::pair_modulus(
+                &secrets.secret,
+                a.as_bytes(),
+                b.as_bytes(),
+                secrets.z,
+            )
         })
         .collect();
     s_values.sort_unstable();

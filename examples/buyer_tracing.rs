@@ -49,7 +49,10 @@ fn main() {
         copies.push((buyer, out));
     }
     ledger.verify_chain().expect("ledger intact");
-    println!("ledger verified: {} entries, hash chain intact\n", ledger.len());
+    println!(
+        "ledger verified: {} entries, hash chain intact\n",
+        ledger.len()
+    );
 
     // A copy leaks. Which buyer leaked it?
     let leaked = copies[1].1.watermarked.clone(); // globex's copy
@@ -62,7 +65,11 @@ fn main() {
             "  {buyer:<16} {:>3}/{:<3} pairs exact {}",
             d.accepted_pairs,
             d.total_pairs,
-            if exact { "<== full watermark: the leaker" } else { "" }
+            if exact {
+                "<== full watermark: the leaker"
+            } else {
+                ""
+            }
         );
     }
 

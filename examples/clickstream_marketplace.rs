@@ -75,19 +75,29 @@ fn main() {
     // the paper's Sec. V-B sampling results live in the 1M-sample
     // synthetic regime; see `exp_sampling`.)
     let pirated = watermarked_log.urls();
-    println!("\npirate re-lists the full watermarked log: {} events", pirated.len());
+    println!(
+        "\npirate re-lists the full watermarked log: {} events",
+        pirated.len()
+    );
     let detection = DetectionParams::default()
         .with_t(0)
         .with_k((out.secrets.len() / 2).max(1));
     let verdict = detect_dataset(&pirated, &out.secrets, &detection);
     println!(
         "marketplace detection on the pirated copy: {} ({}/{} pairs exact, k = {})",
-        if verdict.accepted { "ACCEPT — pirated copy identified" } else { "REJECT" },
+        if verdict.accepted {
+            "ACCEPT — pirated copy identified"
+        } else {
+            "REJECT"
+        },
         verdict.accepted_pairs,
         verdict.total_pairs,
         detection.k
     );
-    assert!(verdict.accepted, "a verbatim copy must carry the full watermark");
+    assert!(
+        verdict.accepted,
+        "a verbatim copy must carry the full watermark"
+    );
 
     // An innocent third-party click-stream (different popularity law)
     // does not trigger detection.
@@ -95,7 +105,11 @@ fn main() {
     let innocent_check = detect_dataset(&innocent.urls(), &out.secrets, &detection);
     println!(
         "detection on an unrelated click-stream   : {} ({}/{} pairs exact)",
-        if innocent_check.accepted { "ACCEPT (!)" } else { "REJECT — no false claim" },
+        if innocent_check.accepted {
+            "ACCEPT (!)"
+        } else {
+            "REJECT — no false claim"
+        },
         innocent_check.accepted_pairs,
         innocent_check.total_pairs
     );

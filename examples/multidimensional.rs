@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
     let table = adult(32_561, &mut rng);
-    println!("census table: {} rows, columns {:?}", table.len(), table.columns());
+    println!(
+        "census table: {} rows, columns {:?}",
+        table.len(),
+        table.columns()
+    );
 
     let params = GenerationParams::default().with_z(131).with_budget(2.0);
     let watermarker = Watermarker::new(params);
@@ -35,7 +39,11 @@ fn main() {
 
     // --- Composite token: [age, workclass] (Sec. IV-C) ---
     let (wtable, secrets, report) = watermarker
-        .watermark_table(&table, &["age", "workclass"], Secret::from_label("adult-multi"))
+        .watermark_table(
+            &table,
+            &["age", "workclass"],
+            Secret::from_label("adult-multi"),
+        )
         .expect("composite histogram is skewed");
     let multi_hist = table.tokens_over(&["age", "workclass"]).histogram();
     println!(
@@ -48,7 +56,10 @@ fn main() {
 
     // Added rows duplicate carrier rows, so every row still has a full
     // attribute set (the paper's semantic-consistency discussion).
-    assert!(wtable.rows().iter().all(|r| r.len() == table.columns().len()));
+    assert!(wtable
+        .rows()
+        .iter()
+        .all(|r| r.len() == table.columns().len()));
     println!(
         "transformed table: {} rows ({}), all rows semantically complete",
         wtable.len(),

@@ -16,7 +16,11 @@ fn main() {
     //    click-stream a data marketplace actually trades.
     let mut rng = StdRng::seed_from_u64(2024);
     let dataset = power_law_dataset(
-        &PowerLawConfig { distinct_tokens: 500, sample_size: 200_000, alpha: 0.6 },
+        &PowerLawConfig {
+            distinct_tokens: 500,
+            sample_size: 200_000,
+            alpha: 0.6,
+        },
         &mut rng,
     );
     println!(
@@ -48,7 +52,11 @@ fn main() {
     let on_watermarked = detect_dataset(&watermarked, &secrets, &strict);
     println!(
         "\ndetection on the watermarked copy : {} ({}/{} pairs exact)",
-        if on_watermarked.accepted { "ACCEPT" } else { "REJECT" },
+        if on_watermarked.accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         on_watermarked.accepted_pairs,
         on_watermarked.total_pairs
     );
@@ -56,7 +64,11 @@ fn main() {
     let on_original = detect_dataset(&dataset, &secrets, &strict);
     println!(
         "detection on the original data    : {} ({}/{} pairs exact)",
-        if on_original.accepted { "ACCEPT" } else { "REJECT" },
+        if on_original.accepted {
+            "ACCEPT"
+        } else {
+            "REJECT"
+        },
         on_original.accepted_pairs,
         on_original.total_pairs
     );

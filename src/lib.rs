@@ -51,6 +51,7 @@
 //! | [`baselines`] | WM-OBT and WM-RVS comparators |
 //! | [`ml`] | from-scratch LSTM for the accuracy experiment |
 //! | [`ledger`] | hash-chained buyer-fingerprint ledger |
+//! | [`service`] | multi-tenant engine: key registry, worker pool, PRF cache, JSON-lines protocol |
 
 pub use freqywm_attacks as attacks;
 pub use freqywm_baselines as baselines;
@@ -60,6 +61,7 @@ pub use freqywm_data as data;
 pub use freqywm_ledger as ledger;
 pub use freqywm_matching as matching;
 pub use freqywm_ml as ml;
+pub use freqywm_service as service;
 pub use freqywm_stats as stats;
 
 /// The most common imports in one place.
@@ -76,4 +78,7 @@ pub mod prelude {
     pub use freqywm_data::dataset::{Dataset, Table};
     pub use freqywm_data::histogram::Histogram;
     pub use freqywm_data::token::Token;
+    pub use freqywm_service::{
+        Engine, EngineConfig, JobData, JobOutput, JobPayload, JobSpec, JobState,
+    };
 }

@@ -38,13 +38,16 @@ fn generate_serialise_detect_round_trip() {
 fn dataset_level_pipeline_survives_attack_chain() {
     // Generate on raw tokens, then sample 40% and add ±1% noise — the
     // watermark must still be detectable with sane thresholds.
-    let cfg = PowerLawConfig { distinct_tokens: 200, sample_size: 150_000, alpha: 0.6 };
+    let cfg = PowerLawConfig {
+        distinct_tokens: 200,
+        sample_size: 150_000,
+        alpha: 0.6,
+    };
     let mut rng = StdRng::seed_from_u64(11);
     let data = power_law_dataset(&cfg, &mut rng);
-    let (wdata, secrets, report) =
-        Watermarker::new(GenerationParams::default().with_z(131))
-            .watermark_dataset(&data, Secret::from_label("e2e-attacks"))
-            .unwrap();
+    let (wdata, secrets, report) = Watermarker::new(GenerationParams::default().with_z(131))
+        .watermark_dataset(&data, Secret::from_label("e2e-attacks"))
+        .unwrap();
     assert!(report.ranking_preserved);
 
     // Attack 1: subsample 40% with scaled detection.
@@ -66,9 +69,15 @@ fn dataset_level_pipeline_survives_attack_chain() {
     let d = detect_histogram(
         &attacked,
         &secrets,
-        &DetectionParams::default().with_t(4).with_k(secrets.len() / 2),
+        &DetectionParams::default()
+            .with_t(4)
+            .with_k(secrets.len() / 2),
     );
-    assert!(d.accepted, "±1% noise, t=4: {}/{}", d.accepted_pairs, d.total_pairs);
+    assert!(
+        d.accepted,
+        "±1% noise, t=4: {}/{}",
+        d.accepted_pairs, d.total_pairs
+    );
 }
 
 #[test]
@@ -84,7 +93,11 @@ fn buyer_fingerprints_are_distinguishable_and_ledgered() {
             let out = wm
                 .generate_histogram(&hist, Secret::from_label(&format!("buyer-{i}")))
                 .unwrap();
-            ledger.register(1_000 + i, &format!("buyer-{i}"), out.secrets.to_text().as_bytes());
+            ledger.register(
+                1_000 + i,
+                &format!("buyer-{i}"),
+                out.secrets.to_text().as_bytes(),
+            );
             out
         })
         .collect();
@@ -96,7 +109,9 @@ fn buyer_fingerprints_are_distinguishable_and_ledgered() {
             let d = detect_histogram(
                 &leak.watermarked,
                 &candidate.secrets,
-                &DetectionParams::default().with_t(0).with_k(candidate.secrets.len()),
+                &DetectionParams::default()
+                    .with_t(0)
+                    .with_k(candidate.secrets.len()),
             );
             assert_eq!(
                 d.accepted,
@@ -118,7 +133,9 @@ fn buyer_fingerprints_are_distinguishable_and_ledgered() {
 fn dispute_pipeline_owner_wins() {
     let hist = zipf_hist(0.5, 400, 800_000);
     let wm = Watermarker::new(
-        GenerationParams::default().with_z(131).with_exclude_free_pairs(true),
+        GenerationParams::default()
+            .with_z(131)
+            .with_exclude_free_pairs(true),
     );
     let owner_out = wm
         .generate_histogram(&hist, Secret::from_label("e2e-owner"))
@@ -178,9 +195,7 @@ fn multiwatermark_then_ml_parity() {
 fn uniform_data_fails_loudly_everywhere() {
     // The paper's unsupported regime must be a clean error, not a
     // silent no-op watermark.
-    let uniform = Histogram::from_counts(
-        (0..100).map(|i| (Token::new(format!("t{i}")), 1_000u64)),
-    );
+    let uniform = Histogram::from_counts((0..100).map(|i| (Token::new(format!("t{i}")), 1_000u64)));
     let err = Watermarker::default()
         .generate_histogram(&uniform, Secret::from_label("e2e-uniform"))
         .unwrap_err();
@@ -198,7 +213,11 @@ fn csv_to_watermarked_table_pipeline() {
     }
     let parsed = freqywm_data::csv::parse_table(&csv_text).unwrap();
     let (wtable, secrets, _) = Watermarker::new(GenerationParams::default().with_z(31))
-        .watermark_table(&parsed, &["age", "workclass"], Secret::from_label("e2e-csv"))
+        .watermark_table(
+            &parsed,
+            &["age", "workclass"],
+            Secret::from_label("e2e-csv"),
+        )
         .unwrap();
     let out_text = freqywm_data::csv::write_table(&wtable);
     let reparsed = freqywm_data::csv::parse_table(&out_text).unwrap();

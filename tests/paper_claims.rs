@@ -30,7 +30,10 @@ fn fig2a_shape_interior_peak() {
         .iter()
         .map(|&a| chosen_pairs(&zipf_hist(a, 300, 300_000), params, "fig2a-shape"))
         .collect();
-    assert!(counts[0] < counts[1] / 4, "near-uniform data yields few pairs: {counts:?}");
+    assert!(
+        counts[0] < counts[1] / 4,
+        "near-uniform data yields few pairs: {counts:?}"
+    );
     assert!(counts[2] >= counts[1], "growth toward the peak: {counts:?}");
     assert!(counts[3] <= counts[2], "decline after the peak: {counts:?}");
 }
@@ -131,9 +134,15 @@ fn destroy_90pct_watermark_outlives_data() {
     let d = detect_histogram(
         &attacked,
         &out.secrets,
-        &DetectionParams::default().with_t(4).with_k(out.secrets.len() / 2),
+        &DetectionParams::default()
+            .with_t(4)
+            .with_k(out.secrets.len() / 2),
     );
-    assert!(d.accepted, "watermark survives: {}/{}", d.accepted_pairs, d.total_pairs);
+    assert!(
+        d.accepted,
+        "watermark survives: {}/{}",
+        d.accepted_pairs, d.total_pairs
+    );
     let (a, b) = out.watermarked.paired_counts(&attacked);
     assert!(
         rank_churn(&a, &b) > a.len() * 8 / 10,
@@ -163,8 +172,10 @@ fn false_positive_limits() {
     use freqywm::stats::poisson_binomial::{pair_false_positive_prob, PoissonBinomial};
     let s_values: Vec<u64> = (0..50).map(|i| 2 + (i * 37) % 129).collect();
     let tail = |t: u64, k: usize| {
-        let probs: Vec<f64> =
-            s_values.iter().map(|&s| pair_false_positive_prob(t, s)).collect();
+        let probs: Vec<f64> = s_values
+            .iter()
+            .map(|&s| pair_false_positive_prob(t, s))
+            .collect();
         PoissonBinomial::new(probs).survival(k)
     };
     // In k: monotone collapse to ~0 at k = n.

@@ -1,0 +1,175 @@
+//! Offline shim for the `bytes` crate (API subset).
+//!
+//! Implements `Bytes`, `BytesMut` and `BufMut` on top of `Vec<u8>` —
+//! just the surface the `freqywm-ledger` encoding uses. No refcounted
+//! zero-copy slicing; `freeze` simply transfers ownership.
+
+use std::ops::{Deref, DerefMut};
+
+/// Write-side buffer abstraction.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u64(&mut self, v: u64);
+    fn put_u32(&mut self, v: u32);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: src.to_vec() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_freeze_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u64(0x0102_0304_0506_0708);
+        b.put_slice(b"abc");
+        b.put_u8(0xFF);
+        let frozen = b.freeze();
+        assert_eq!(
+            &frozen[..],
+            &[1, 2, 3, 4, 5, 6, 7, 8, b'a', b'b', b'c', 0xFF]
+        );
+        let again = BytesMut::from(&frozen[..]);
+        assert_eq!(&again[..], &frozen[..]);
+    }
+
+    #[test]
+    fn big_endian_u64() {
+        let mut b = BytesMut::new();
+        b.put_u64(1);
+        assert_eq!(&b[..], &[0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline shim for the `criterion` crate (API subset).
+//!
+//! Implements the benchmarking surface the `freqywm-bench` crate uses —
+//! `Criterion`, benchmark groups, `Bencher::iter`, `black_box`,
+//! `BenchmarkId`, `Throughput` and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately light measurement
+//! loop (median of short timed batches, one line of output per
+//! benchmark). No plots, no statistics engine, no saved baselines;
+//! the goal is that `cargo bench` runs and prints sane numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark (printed alongside timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    /// (total elapsed, iterations) accumulated by `iter`.
+    measurement: Option<(Duration, u64)>,
+    target_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f` adaptively: ramps the batch size until the batch takes
+    /// long enough to trust the clock, then records the best batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find a batch size lasting ≥ ~1ms.
+        let mut batch: u64 = 1;
+        let calibration_floor = Duration::from_millis(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= calibration_floor || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: repeat batches until the time budget is spent,
+        // keep the fastest batch (least scheduler noise).
+        let deadline = Instant::now() + self.target_time;
+        let mut best: Option<Duration> = None;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            total += took;
+            iters += batch;
+            best = Some(match best {
+                Some(b) if b <= took => b,
+                _ => took,
+            });
+        }
+        if let Some(best) = best {
+            // Report the fastest batch, scaled to per-iteration.
+            self.measurement = Some((best, batch));
+        } else {
+            self.measurement = Some((total.max(Duration::from_nanos(1)), iters.max(1)));
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some((elapsed, iters)) = bencher.measurement else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let time = if per_iter < 1e-6 {
+        format!("{:.1} ns", per_iter * 1e9)
+    } else if per_iter < 1e-3 {
+        format!("{:.2} µs", per_iter * 1e6)
+    } else {
+        format!("{:.3} ms", per_iter * 1e3)
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(e)) => format!("  {:.0} elem/s", e as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("{name:<40} {time:>12}/iter{rate}");
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            target_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            measurement: None,
+            target_time: self.target_time,
+        };
+        f(&mut b);
+        report(&name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's adaptive loop ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.target_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            measurement: None,
+            target_time: self.criterion.target_time,
+        };
+        f(&mut b);
+        report(&label, &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        let mut b = Bencher {
+            measurement: None,
+            target_time: self.criterion.target_time,
+        };
+        f(&mut b, input);
+        report(&label, &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            target_time: Duration::from_millis(10),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Bytes(64));
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline shim for the `proptest` crate (API subset).
+//!
+//! Supports the slice of proptest this workspace uses: the
+//! [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!` / `prop_assert_eq!`, numeric range strategies,
+//! [`collection::vec`], [`sample::select`], tuple strategies and a
+//! single-character-class regex string strategy (`"[abc]{m,n}"`).
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * no shrinking — a failing case panics with the sampled inputs
+//!   reproducible from the deterministic per-test seed;
+//! * default case count is 64 (upstream: 256) to keep debug-profile
+//!   test runs fast; tests that need a specific count already set it
+//!   via `ProptestConfig::with_cases`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for a property test, seeded from the test path so
+/// every run replays the same cases.
+pub fn test_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a `proptest!` test body usually needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    /// Alias matching `proptest::prelude::prop`.
+    pub use crate::{collection, sample};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                // Bodies are Result-valued as in upstream proptest, so
+                // `return Ok(())` / `prop_assume!` work unchanged.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = __outcome {
+                    panic!("property {} failed: {:?}", stringify!($name), e);
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+/// (Upstream rejects-and-resamples; skipping is equivalent for
+/// deterministic non-shrinking execution.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Error type carried by a property body's `Result` (never constructed
+/// by the shim's own macros; present so bodies can be `Result`-valued).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Used by the string strategy; public for the strategy module.
+pub(crate) fn sample_usize_inclusive(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+pub(crate) fn rng_index(rng: &mut StdRng, len: usize) -> usize {
+    debug_assert!(len > 0);
+    (rng.next_u64() % len as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u64..100, y in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Vec strategies respect both element and length bounds.
+        #[test]
+        fn vec_strategy_bounds(v in crate::collection::vec(1u64..10, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| (1..10).contains(&e)));
+        }
+
+        #[test]
+        fn exact_len_vec(v in crate::collection::vec(-1.0f64..1.0, 8)) {
+            prop_assert_eq!(v.len(), 8);
+        }
+
+        #[test]
+        fn tuple_vec(v in crate::collection::vec((0usize..9, 1i64..50), 0..14)) {
+            prop_assert!(v.len() < 14);
+            for (a, b) in v {
+                prop_assert!(a < 9);
+                prop_assert!((1..50).contains(&b));
+            }
+        }
+
+        #[test]
+        fn select_picks_from_list(z in crate::sample::select(vec![7u64, 31, 131])) {
+            prop_assert!([7u64, 31, 131].contains(&z));
+        }
+
+        #[test]
+        fn string_regex_class(s in "[a-c0-1\\\\]{1,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 20);
+            prop_assert!(s.chars().all(|c| "abc01\\".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        let mut a = crate::test_rng("x::y");
+        let mut b = crate::test_rng("x::y");
+        let mut c = crate::test_rng("x::z");
+        use rand::RngCore;
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

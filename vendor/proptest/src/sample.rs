@@ -1,0 +1,24 @@
+//! Sampling strategies: `select`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy drawing uniformly from a fixed list of options.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.options[crate::rng_index(rng, self.options.len())].clone()
+    }
+}
+
+/// `proptest::sample::select(vec![...])`.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}

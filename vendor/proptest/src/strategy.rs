@@ -1,0 +1,170 @@
+//! The `Strategy` trait and the built-in strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values for property tests.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy simply samples a value from the deterministic test RNG.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// String strategy from a simplified regex: a single character class
+/// with an optional `{m}` / `{m,n}` quantifier, e.g. `"[a-z0-9]{1,20}"`.
+/// Escapes `\n`, `\t`, `\r`, `\\`, `\"`, `\-`, `\]` are honoured inside
+/// the class. Anything fancier panics — extend the parser when a test
+/// needs more.
+impl Strategy for str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (chars, lo, hi) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+        let len = crate::sample_usize_inclusive(rng, lo, hi);
+        (0..len)
+            .map(|_| chars[crate::rng_index(rng, chars.len())])
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let mut it = pattern.chars().peekable();
+    if it.next()? != '[' {
+        return None;
+    }
+    let mut chars: Vec<char> = Vec::new();
+    loop {
+        let c = it.next()?;
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = it.next()?;
+                chars.push(match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            _ => {
+                // Range `a-z` when a dash follows and the class continues.
+                if it.peek() == Some(&'-') {
+                    let mut ahead = it.clone();
+                    ahead.next(); // consume '-'
+                    match ahead.peek() {
+                        Some(&end) if end != ']' => {
+                            it = ahead;
+                            let end = it.next()?;
+                            if (c as u32) > (end as u32) {
+                                return None;
+                            }
+                            for v in (c as u32)..=(end as u32) {
+                                chars.push(char::from_u32(v)?);
+                            }
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                chars.push(c);
+            }
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let rest: String = it.collect();
+    if rest.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n: usize = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classes_ranges_and_escapes() {
+        let (chars, lo, hi) = parse_class_pattern("[a-c,=\\n\"\\\\ ]{1,20}").unwrap();
+        assert_eq!(lo, 1);
+        assert_eq!(hi, 20);
+        for c in ['a', 'b', 'c', ',', '=', '\n', '"', '\\', ' '] {
+            assert!(chars.contains(&c), "missing {c:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_class_pattern("abc").is_none());
+        assert!(parse_class_pattern("[]").is_none());
+        assert!(parse_class_pattern("[a]{2,1}").is_none());
+    }
+
+    #[test]
+    fn no_quantifier_is_single_char() {
+        let (_, lo, hi) = parse_class_pattern("[xy]").unwrap();
+        assert_eq!((lo, hi), (1, 1));
+    }
+}

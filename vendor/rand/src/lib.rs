@@ -1,0 +1,321 @@
+//! Offline shim for the `rand` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements exactly the slice of the `rand` 0.8 API the
+//! workspace uses: [`RngCore`] / [`CryptoRng`] / [`SeedableRng`], the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`),
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64),
+//! [`rngs::OsRng`] (reads `/dev/urandom`), [`seq::SliceRandom`]
+//! (`shuffle`, `choose`) and [`distributions`] (`Distribution`,
+//! `Uniform`, `Standard`).
+//!
+//! Stream values differ from upstream `rand` (a different StdRng
+//! algorithm), which is fine: every consumer in this workspace only
+//! relies on determinism-under-seed and statistical uniformity, both of
+//! which xoshiro256++ provides.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Error type for fallible RNG operations (never produced by the
+/// generators in this shim, but part of the `RngCore` contract).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG interface.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Marker for cryptographically secure generators.
+pub trait CryptoRng {}
+
+impl<R: CryptoRng + ?Sized> CryptoRng for &mut R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64-expand the u64 into the full seed, as upstream does.
+        let mut sm = crate::rngs::SplitMix64::new(state);
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let v = uniform_u128_below(rng, span);
+                ((lo as i128) + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: any value works.
+                    let mut b = [0u8; 16];
+                    rng.fill_bytes(&mut b);
+                    return i128::from_le_bytes(b) as $t;
+                }
+                let v = uniform_u128_below(rng, span);
+                ((lo as i128) + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let u = unit_f64(rng) as $t;
+                let v = lo + u * (hi - lo);
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                let u = unit_f64(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Uniform value in `[0, bound)` without modulo bias (widening multiply).
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, bound: u128) -> u128 {
+    debug_assert!(bound > 0);
+    if bound <= u64::MAX as u128 {
+        let bound = bound as u64;
+        // Lemire's multiply-shift rejection method on 64 bits.
+        let mut x = rng.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let t = bound.wrapping_neg() % bound;
+            while lo < t {
+                x = rng.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        m >> 64
+    } else {
+        // Rare (>64-bit spans): simple rejection on the top bits.
+        loop {
+            let mut b = [0u8; 16];
+            rng.fill_bytes(&mut b);
+            let v = u128::from_le_bytes(b);
+            // bound > 2^64 here, so masking to 2^127 keeps acceptance ~50%+.
+            let v = v >> 1;
+            if v < bound {
+                return v;
+            }
+        }
+    }
+}
+
+/// Uniform f64 in [0, 1) with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self) < p
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::{OsRng, StdRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{CryptoRng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn std_rng_is_deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..2_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g: f64 = r.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_floats_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_in_range() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        assert_ne!(v, orig, "100-element shuffle left the slice untouched");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        for _ in 0..50 {
+            assert!(orig.contains(v.choose(&mut r).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn uniform_distribution_matches_range() {
+        use crate::distributions::{Distribution, Uniform};
+        let mut r = StdRng::seed_from_u64(5);
+        let u = Uniform::new(0.0f64, 10.0);
+        for _ in 0..1_000 {
+            let v = u.sample(&mut r);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn os_rng_produces_entropy() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        OsRng.fill_bytes(&mut a);
+        OsRng.fill_bytes(&mut b);
+        assert_ne!(a, b);
+        assert_ne!(a, [0u8; 32]);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+}

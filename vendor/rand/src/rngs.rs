@@ -1,0 +1,138 @@
+//! Generators: the seedable [`StdRng`] and the OS entropy source
+//! [`OsRng`].
+
+use crate::{CryptoRng, RngCore, SeedableRng};
+use std::io::Read;
+
+/// SplitMix64 — used for seed expansion and as the `seed_from_u64`
+/// stream initialiser. Small state, passes BigCrush when used for seeding.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The standard seedable generator: xoshiro256++.
+///
+/// Not the same algorithm as upstream `rand`'s ChaCha12-based `StdRng`,
+/// but deterministic under seed and statistically strong, which is all
+/// the workspace relies on.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_state(s: [u64; 4]) -> Self {
+        // All-zero state is a fixed point; nudge it.
+        if s == [0, 0, 0, 0] {
+            StdRng {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            }
+        } else {
+            StdRng { s }
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_u64(self, dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        StdRng::from_state(s)
+    }
+}
+
+pub(crate) fn fill_bytes_via_u64<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+    let mut iter = dest.chunks_exact_mut(8);
+    for chunk in &mut iter {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rem = iter.into_remainder();
+    if !rem.is_empty() {
+        let bytes = rng.next_u64().to_le_bytes();
+        let n = rem.len();
+        rem.copy_from_slice(&bytes[..n]);
+    }
+}
+
+/// Operating-system entropy (reads `/dev/urandom`).
+///
+/// `OsRng` advertises `CryptoRng`, so there is deliberately **no**
+/// deterministic fallback: if the OS entropy source cannot be read
+/// (non-Unix platform, locked-down sandbox), `fill_bytes` panics
+/// rather than silently handing out predictable bytes that callers
+/// would use as watermarking secrets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OsRng;
+
+impl OsRng {
+    fn fill_from_os(dest: &mut [u8]) -> std::io::Result<()> {
+        std::fs::File::open("/dev/urandom")?.read_exact(dest)
+    }
+}
+
+impl RngCore for OsRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill_bytes(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        Self::fill_from_os(dest)
+            .expect("OsRng: no OS entropy source available (/dev/urandom unreadable)");
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), crate::Error> {
+        Self::fill_from_os(dest).map_err(|_| crate::Error)
+    }
+}
+
+impl CryptoRng for OsRng {}
