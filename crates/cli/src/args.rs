@@ -50,6 +50,12 @@ pub enum Command {
     Serve {
         engine: EngineOpts,
     },
+    /// Recovers a data-dir (snapshot + log replay) and verifies the
+    /// registration hash chain end to end.
+    LedgerVerify {
+        data_dir: String,
+        ledger_key: Option<String>,
+    },
     /// Processes a JSON-lines request file through the engine
     /// (detect waves run concurrently on the worker pool).
     Batch {
@@ -67,6 +73,12 @@ pub struct EngineOpts {
     pub cache_shards: usize,
     pub cache_capacity: usize,
     pub no_cache: bool,
+    /// Durable registry data-dir; `None` keeps state in memory.
+    pub data_dir: Option<String>,
+    /// Registry mutations between snapshot/compaction cycles.
+    pub snapshot_every: usize,
+    /// Ledger HMAC key override (UTF-8 bytes).
+    pub ledger_key: Option<String>,
 }
 
 impl Default for EngineOpts {
@@ -77,6 +89,9 @@ impl Default for EngineOpts {
             cache_shards: 8,
             cache_capacity: 8_192,
             no_cache: false,
+            data_dir: None,
+            snapshot_every: 256,
+            ledger_key: None,
         }
     }
 }
@@ -105,8 +120,11 @@ USAGE:
                    --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
   freqywm serve    [--workers 4] [--queue 1024] [--cache-shards 8]
                    [--cache-capacity 8192] [--no-cache]
+                   [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
                    [--cache-shards 8] [--cache-capacity 8192] [--no-cache]
+                   [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
+  freqywm ledger verify --data-dir <dir> [--ledger-key K]
   freqywm help
 
 Token files contain one token per line. `detect` exits 0 on accept,
@@ -115,7 +133,13 @@ Token files contain one token per line. `detect` exits 0 on accept,
 `serve` reads one JSON request per line on stdin and writes one JSON
 response per line on stdout (ops: register, embed, detect, maintain,
 dispute, metrics, shutdown). `batch` does the same over a file,
-running consecutive detect requests concurrently on the worker pool.";
+running consecutive detect requests concurrently on the worker pool.
+
+With `--data-dir` the registry and its hash-chained ledger live in an
+append-only, fsync'd, checksummed log (plus periodic snapshots), so
+registration chronology survives restarts and crashes; `ledger verify`
+recovers a data-dir read-only and re-proves the whole chain (exit 0
+verified / 1 corrupt or unrecoverable).";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -168,6 +192,9 @@ fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> 
         cache_shards: opt_parse(f, "cache-shards", defaults.cache_shards)?,
         cache_capacity: opt_parse(f, "cache-capacity", defaults.cache_capacity)?,
         no_cache: f.contains_key("no-cache"),
+        data_dir: f.get("data-dir").cloned(),
+        snapshot_every: opt_parse(f, "snapshot-every", defaults.snapshot_every)?,
+        ledger_key: f.get("ledger-key").cloned(),
     })
 }
 
@@ -252,6 +279,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Batch {
                 input: req(&f, "input")?,
                 engine: parse_engine_opts(&f)?,
+            })
+        }
+        "ledger" => {
+            let Some((sub, rest)) = rest.split_first() else {
+                return Err(format!("ledger needs a subcommand (verify)\n\n{USAGE}"));
+            };
+            if sub != "verify" {
+                return Err(format!("unknown ledger subcommand {sub:?}\n\n{USAGE}"));
+            }
+            let f = parse_flags(rest)?;
+            Ok(Command::LedgerVerify {
+                data_dir: req(&f, "data-dir")?,
+                ledger_key: f.get("ledger-key").cloned(),
             })
         }
         "judge" => {
@@ -472,6 +512,41 @@ mod tests {
         }
         assert!(parse_args(&v(&["batch"])).is_err(), "batch needs --input");
         assert!(parse_args(&v(&["serve", "--workers", "x"])).is_err());
+    }
+
+    #[test]
+    fn durability_flags_and_ledger_verify() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--data-dir",
+            "/var/lib/freqywm",
+            "--snapshot-every",
+            "16",
+            "--ledger-key",
+            "prod-key",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { engine } => {
+                assert_eq!(engine.data_dir.as_deref(), Some("/var/lib/freqywm"));
+                assert_eq!(engine.snapshot_every, 16);
+                assert_eq!(engine.ledger_key.as_deref(), Some("prod-key"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert_eq!(
+            parse_args(&v(&["ledger", "verify", "--data-dir", "d"])).unwrap(),
+            Command::LedgerVerify {
+                data_dir: "d".into(),
+                ledger_key: None,
+            }
+        );
+        assert!(parse_args(&v(&["ledger"])).is_err());
+        assert!(parse_args(&v(&["ledger", "burn"])).is_err());
+        assert!(
+            parse_args(&v(&["ledger", "verify"])).is_err(),
+            "needs --data-dir"
+        );
     }
 
     #[test]

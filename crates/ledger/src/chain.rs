@@ -92,12 +92,31 @@ impl Ledger {
         &self.entries
     }
 
+    /// Hash of the chain head (all-zero for an empty ledger) — the
+    /// value a recovered replica must reproduce.
+    pub fn head_hash(&self) -> Digest {
+        self.entries.last().map(|e| e.hash()).unwrap_or([0u8; 32])
+    }
+
+    /// Rebuilds a ledger from previously persisted entries, verifying
+    /// MACs and hash linkage while loading. This is the recovery path:
+    /// a snapshot or replayed log that fails here was tampered with or
+    /// corrupted on disk.
+    pub fn from_entries(key: &[u8], entries: Vec<Entry>) -> Result<Self, LedgerError> {
+        let ledger = Ledger {
+            key: key.to_vec(),
+            entries,
+        };
+        ledger.verify_chain()?;
+        Ok(ledger)
+    }
+
     /// Registers a fingerprint; returns the new entry's index.
     ///
     /// `secret_material` is hashed — typically the output of
     /// `SecretList::to_text()` — so the ledger never stores secrets.
     pub fn register(&mut self, timestamp: u64, subject: &str, secret_material: &[u8]) -> u64 {
-        let prev_hash = self.entries.last().map(|e| e.hash()).unwrap_or([0u8; 32]);
+        let prev_hash = self.head_hash();
         let mut entry = Entry {
             index: self.entries.len() as u64,
             timestamp,
@@ -250,6 +269,29 @@ mod tests {
         let forged_mac = hmac_sha256(b"wrong-key", &l.entries[1].encode_unmacced());
         l.entries[1].mac = forged_mac;
         assert!(l.verify_chain().is_err());
+    }
+
+    #[test]
+    fn from_entries_restores_and_verifies() {
+        let l = ledger_with(6);
+        let restored = Ledger::from_entries(b"marketplace-ledger-key", l.entries().to_vec())
+            .expect("clean entries restore");
+        assert_eq!(restored.head_hash(), l.head_hash());
+        assert_eq!(restored.len(), 6);
+        // Wrong key: every MAC fails.
+        assert!(Ledger::from_entries(b"wrong-key", l.entries().to_vec()).is_err());
+        // Tampered entry: rejected while loading.
+        let mut tampered = l.entries().to_vec();
+        tampered[3].timestamp += 1;
+        assert!(Ledger::from_entries(b"marketplace-ledger-key", tampered).is_err());
+    }
+
+    #[test]
+    fn head_hash_tracks_appends() {
+        let mut l = Ledger::new(b"k");
+        assert_eq!(l.head_hash(), [0u8; 32]);
+        l.register(1, "a", b"m");
+        assert_eq!(l.head_hash(), l.entries().last().unwrap().hash());
     }
 
     #[test]

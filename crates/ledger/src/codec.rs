@@ -1,0 +1,363 @@
+//! On-disk record framing and the ledger entry codec.
+//!
+//! The durable registry log is a sequence of *frames*:
+//!
+//! ```text
+//! ┌────────────┬─────────────┬─────────────────┬──────────────────────┐
+//! │ u32 BE len │ u32 BE !len │ payload (len B) │ SHA-256(payload) 32 B │
+//! └────────────┴─────────────┴─────────────────┴──────────────────────┘
+//! ```
+//!
+//! The checksum reuses the workspace SHA-256 so a flipped bit anywhere
+//! in a record is detected without new dependencies. A *torn* final
+//! frame — a crash mid-append left fewer bytes than the frame declares,
+//! or the trailing checksum was never completed — is tolerated and
+//! reported via [`FrameScan::torn_bytes`]; the same damage anywhere
+//! before the final frame is corruption and fails the scan.
+//!
+//! [`encode_entry`]/[`decode_entry`] give ledger [`Entry`] values a
+//! stable binary form for snapshots, and [`Reader`] is the shared
+//! little cursor other crates use to decode their own payloads.
+
+use crate::chain::Entry;
+use freqywm_crypto::sha256::sha256;
+use freqywm_crypto::Digest;
+use std::fmt;
+
+/// Codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A frame before the final one failed its checksum or structure.
+    Corrupt { offset: usize, reason: &'static str },
+    /// A payload ended before a declared field (decoder-level).
+    Truncated {
+        offset: usize,
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Corrupt { offset, reason } => {
+                write!(f, "corrupt record at byte {offset}: {reason}")
+            }
+            CodecError::Truncated { offset, expected } => {
+                write!(f, "truncated payload at byte {offset}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Frame overhead: length prefix + its complement + checksum.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 32;
+
+/// Wraps a payload in a length-prefixed, checksummed frame.
+///
+/// The header stores the length and its bitwise complement. A torn
+/// append can only ever leave a *prefix* of a frame, so a full header
+/// whose two words disagree is corruption, not truncation — without
+/// the complement, a bit flip in the length prefix could masquerade
+/// as a torn tail and silently write off every frame after it.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&(!len).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&sha256(payload));
+    out
+}
+
+/// Result of scanning a log image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// Every fully written, checksum-verified payload in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Bytes of a torn final frame that were dropped (0 = clean log).
+    pub torn_bytes: usize,
+}
+
+/// Scans a log image into frames.
+///
+/// A short or checksum-failed *final* frame is treated as a torn
+/// append (the crash the log is designed to survive) and dropped;
+/// damage anywhere earlier is corruption.
+pub fn scan_frames(bytes: &[u8]) -> Result<FrameScan, CodecError> {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        // The header itself may be torn (a crash wrote < 8 bytes)…
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            return Ok(FrameScan {
+                payloads,
+                torn_bytes: bytes.len() - start,
+            });
+        };
+        let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes"));
+        let check = u32::from_be_bytes(header[4..].try_into().expect("4 bytes"));
+        // …but a complete header that disagrees with itself was
+        // damaged in place: appends write the header first, so no
+        // torn write leaves 8 header bytes that fail this.
+        if check != !len {
+            return Err(CodecError::Corrupt {
+                offset: start,
+                reason: "length prefix damaged",
+            });
+        }
+        let len = len as usize;
+        let end = pos + 8 + len + 32;
+        let Some(rest) = bytes.get(pos + 8..end) else {
+            return Ok(FrameScan {
+                payloads,
+                torn_bytes: bytes.len() - start,
+            });
+        };
+        let (payload, checksum) = rest.split_at(len);
+        if sha256(payload) != checksum {
+            if end == bytes.len() {
+                // Final frame, full length but bad checksum: the crash
+                // hit mid-overwrite of the tail. Tolerate.
+                return Ok(FrameScan {
+                    payloads,
+                    torn_bytes: bytes.len() - start,
+                });
+            }
+            return Err(CodecError::Corrupt {
+                offset: start,
+                reason: "checksum mismatch",
+            });
+        }
+        payloads.push(payload.to_vec());
+        pos = end;
+    }
+    Ok(FrameScan {
+        payloads,
+        torn_bytes: 0,
+    })
+}
+
+// ---- payload encoding helpers ------------------------------------------
+
+/// Appends a u64 (big-endian).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(buf, bytes.len() as u64);
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Sequential payload reader shared by the snapshot/event decoders.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn short(&self, expected: &'static str) -> CodecError {
+        CodecError::Truncated {
+            offset: self.pos,
+            expected,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.short("u8"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| self.short("u64"))?;
+        self.pos += 8;
+        Ok(u64::from_be_bytes(chunk.try_into().expect("8 bytes")))
+    }
+
+    pub fn digest(&mut self) -> Result<Digest, CodecError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 32)
+            .ok_or_else(|| self.short("digest"))?;
+        self.pos += 32;
+        Ok(chunk.try_into().expect("32 bytes"))
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u64()? as usize;
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| self.short("byte string"))?;
+        self.pos += len;
+        Ok(chunk)
+    }
+
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let offset = self.pos;
+        std::str::from_utf8(self.bytes()?).map_err(|_| CodecError::Truncated {
+            offset,
+            expected: "utf-8 string",
+        })
+    }
+}
+
+// ---- ledger entry codec -------------------------------------------------
+
+/// Binary form of one chain [`Entry`] (snapshots, audits).
+pub fn encode_entry(e: &Entry) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + e.subject.len() + 96 + 8);
+    put_u64(&mut buf, e.index);
+    put_u64(&mut buf, e.timestamp);
+    put_str(&mut buf, &e.subject);
+    buf.extend_from_slice(&e.fingerprint);
+    buf.extend_from_slice(&e.prev_hash);
+    buf.extend_from_slice(&e.mac);
+    buf
+}
+
+/// Decodes an [`Entry`] from a [`Reader`] positioned at one.
+pub fn decode_entry(r: &mut Reader<'_>) -> Result<Entry, CodecError> {
+    Ok(Entry {
+        index: r.u64()?,
+        timestamp: r.u64()?,
+        subject: r.str()?.to_string(),
+        fingerprint: r.digest()?,
+        prev_hash: r.digest()?,
+        mac: r.digest()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Ledger;
+
+    fn frames(payloads: &[&[u8]]) -> Vec<u8> {
+        payloads.iter().flat_map(|p| frame(p)).collect()
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let image = frames(&[b"alpha", b"", b"gamma-gamma"]);
+        let scan = scan_frames(&image).unwrap();
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(
+            scan.payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma-gamma".to_vec()]
+        );
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let scan = scan_frames(&[]).unwrap();
+        assert!(scan.payloads.is_empty());
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn every_torn_prefix_recovers_preceding_frames() {
+        let image = frames(&[b"one", b"two", b"three"]);
+        let f1 = frame(b"one").len();
+        let f2 = f1 + frame(b"two").len();
+        for cut in 0..image.len() {
+            let scan = scan_frames(&image[..cut]).expect("torn tails are tolerated");
+            let want = if cut < f1 {
+                0
+            } else if cut < f2 {
+                1
+            } else {
+                2
+            };
+            assert_eq!(scan.payloads.len(), want, "cut at {cut}");
+            assert_eq!(scan.torn_bytes > 0, cut != 0 && cut != f1 && cut != f2);
+        }
+    }
+
+    #[test]
+    fn mid_stream_corruption_is_an_error() {
+        let mut image = frames(&[b"one", b"two"]);
+        // Flip a payload byte of the FIRST frame (payload starts at 8).
+        image[9] ^= 0xFF;
+        assert!(matches!(
+            scan_frames(&image),
+            Err(CodecError::Corrupt { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_an_error_not_a_torn_tail() {
+        // A bit flip inflating an early frame's length must NOT be
+        // written off as truncation — that would silently discard
+        // every committed frame after it.
+        let mut image = frames(&[b"one", b"two", b"three"]);
+        image[2] ^= 0x80; // length word of frame 0
+        let err = scan_frames(&image).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Corrupt {
+                offset: 0,
+                reason: "length prefix damaged"
+            }
+        );
+        // Same flip in the complement word: also caught.
+        let mut image = frames(&[b"one", b"two"]);
+        image[6] ^= 0x01;
+        assert!(scan_frames(&image).is_err());
+    }
+
+    #[test]
+    fn final_frame_bad_checksum_is_torn() {
+        let mut image = frames(&[b"one", b"two"]);
+        let last = image.len() - 1;
+        image[last] ^= 0xFF; // damage the trailing checksum
+        let scan = scan_frames(&image).unwrap();
+        assert_eq!(scan.payloads, vec![b"one".to_vec()]);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn entry_codec_round_trip() {
+        let mut l = Ledger::new(b"codec-key");
+        l.register(7, "alice", b"material-a");
+        l.register(8, "bob, esq.", b"material-b");
+        for e in l.entries() {
+            let buf = encode_entry(e);
+            let mut r = Reader::new(&buf);
+            let back = decode_entry(&mut r).unwrap();
+            assert!(r.is_empty());
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn reader_rejects_short_payloads() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert!(matches!(r.str(), Err(CodecError::Truncated { .. })));
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u64(), Err(CodecError::Truncated { .. })));
+    }
+}

@@ -13,6 +13,12 @@
 //! SHA-256 of the serialised secret list — so the ledger itself never
 //! holds watermark secrets.
 
+//!
+//! The [`codec`] module adds the on-disk side: length-prefixed,
+//! SHA-256-checksummed record frames with torn-tail tolerance, plus a
+//! stable binary codec for [`Entry`] so chains survive restarts.
+
 mod chain;
+pub mod codec;
 
 pub use chain::{Entry, Ledger, LedgerError};

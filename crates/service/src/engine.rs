@@ -36,9 +36,10 @@ use crate::job::{
     MaintainOutcome,
 };
 use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::persist::DurableRegistry;
 use crate::prf_cache::{PrfCache, PrfCacheConfig};
-use crate::registry::KeyRegistry;
 use crate::shard::sharded_histogram;
+use crate::storage::{NullStorage, Storage};
 use freqywm_core::detect::detect_histogram_with;
 use freqywm_core::generate::Watermarker;
 use freqywm_core::incremental::IncrementalWatermarker;
@@ -67,6 +68,9 @@ pub struct EngineConfig {
     pub shard_threads: usize,
     /// HMAC key for the registration ledger.
     pub ledger_key: Vec<u8>,
+    /// Registry mutations between automatic snapshot/compaction
+    /// cycles of the durable log (0 disables auto-snapshots).
+    pub snapshot_every: usize,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +82,7 @@ impl Default for EngineConfig {
             cache: PrfCacheConfig::default(),
             shard_threads: 4,
             ledger_key: b"freqywm-service-ledger".to_vec(),
+            snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -98,7 +103,7 @@ struct Shared {
     queue_cv: Condvar,
     jobs: Mutex<HashMap<JobId, JobState>>,
     jobs_cv: Condvar,
-    registry: RwLock<KeyRegistry>,
+    registry: RwLock<DurableRegistry>,
     cache: PrfCache,
     metrics: Metrics,
     /// Logical clock for registration ordering (strictly monotonic, so
@@ -131,18 +136,32 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Starts the worker pool and returns the running engine.
+    /// Starts the worker pool with volatile state (dies with the
+    /// engine). Registry mutations skip the write-ahead encoding
+    /// entirely — durability that nobody asked for costs nothing.
     pub fn start(config: EngineConfig) -> Self {
+        Self::open(config, Box::new(NullStorage)).expect("null storage cannot fail to open")
+    }
+
+    /// Opens the engine over a [`Storage`] backend, recovering and
+    /// verifying whatever registry state the backend holds: the latest
+    /// snapshot is restored, the log tail replayed (a torn final
+    /// record from a crash mid-append is dropped), the full hash chain
+    /// re-verified, and the logical clock resumed *above* every
+    /// persisted timestamp so recovered chronology stays monotonic.
+    pub fn open(config: EngineConfig, storage: Box<dyn Storage>) -> Result<Self> {
+        let registry = DurableRegistry::open(&config.ledger_key, storage, config.snapshot_every)?;
+        let clock_start = registry.clock_floor() + 1;
         let shared = Arc::new(Shared {
             cache: PrfCache::new(config.cache),
-            registry: RwLock::new(KeyRegistry::new(&config.ledger_key)),
+            registry: RwLock::new(registry),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             jobs: Mutex::new(HashMap::new()),
             jobs_cv: Condvar::new(),
             metrics: Metrics::default(),
-            clock: AtomicU64::new(1),
+            clock: AtomicU64::new(clock_start),
             state: AtomicU8::new(STATE_RUNNING),
         });
         let worker_count = shared.config.workers.max(1);
@@ -151,29 +170,31 @@ impl Engine {
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(shared)));
         }
-        Engine {
+        Ok(Engine {
             shared,
             workers: Mutex::new(workers),
             next_id: AtomicU64::new(1),
-        }
-    }
-
-    fn tick(&self) -> u64 {
-        self.shared.clock.fetch_add(1, Ordering::Relaxed)
+        })
     }
 
     /// Registers a tenant's secret; returns the onboarding ledger index.
     pub fn register_tenant(&self, tenant: &str, secret: Secret) -> Result<u64> {
-        let now = self.tick();
-        self.shared
+        let mut registry = self
+            .shared
             .registry
             .write()
-            .expect("registry lock poisoned")
-            .register_tenant(tenant, secret, now)
+            .expect("registry lock poisoned");
+        // Tick under the exclusive lock: ledger timestamps must be
+        // monotone in commit order, or a concurrent pair of
+        // registrations could durably record inverted chronology — the
+        // exact evidence disputes are decided on.
+        let now = self.shared.clock.fetch_add(1, Ordering::Relaxed);
+        registry.register_tenant(tenant, secret, now)
     }
 
-    /// Removes a tenant (its secret is zeroized on drop).
-    pub fn remove_tenant(&self, tenant: &str) -> bool {
+    /// Removes a tenant (its secret is zeroized on drop). The removal
+    /// is durably logged before it takes effect.
+    pub fn remove_tenant(&self, tenant: &str) -> Result<bool> {
         self.shared
             .registry
             .write()
@@ -182,8 +203,19 @@ impl Engine {
     }
 
     /// Read access to the registry (claims inspection, ledger audits).
-    pub fn registry(&self) -> std::sync::RwLockReadGuard<'_, KeyRegistry> {
+    /// The guard derefs to [`crate::registry::KeyRegistry`].
+    pub fn registry(&self) -> std::sync::RwLockReadGuard<'_, DurableRegistry> {
         self.shared.registry.read().expect("registry lock poisoned")
+    }
+
+    /// Forces a snapshot + log compaction now (e.g. on clean service
+    /// exit, so the next open replays nothing).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.shared
+            .registry
+            .write()
+            .expect("registry lock poisoned")
+            .snapshot_now()
     }
 
     /// Enqueues a job. Non-blocking: rejects when full or draining.
@@ -487,12 +519,18 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
             };
             let hist = materialize(shared, data);
             let out = Watermarker::new(params).generate_histogram(&hist, secret)?;
-            let now = shared.clock.fetch_add(1, Ordering::Relaxed);
-            let ledger_index = shared
-                .registry
-                .write()
-                .expect("registry lock poisoned")
-                .record_watermark(&tenant, out.secrets.clone(), out.watermarked.clone(), now)?;
+            let ledger_index = {
+                let mut registry = shared.registry.write().expect("registry lock poisoned");
+                // Tick under the lock so ledger chronology is monotone
+                // in commit order (see Engine::register_tenant).
+                let now = shared.clock.fetch_add(1, Ordering::Relaxed);
+                registry.record_watermark(
+                    &tenant,
+                    out.secrets.clone(),
+                    out.watermarked.clone(),
+                    now,
+                )?
+            };
             Ok(JobOutput::Embed(EmbedOutcome {
                 tenant,
                 report: out.report,
@@ -535,17 +573,16 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
             };
             let mut maintainer = IncrementalWatermarker::new(params, secrets, hist);
             let report = maintainer.apply_updates(&updates, replenish)?;
-            let now = shared.clock.fetch_add(1, Ordering::Relaxed);
-            let ledger_index = shared
-                .registry
-                .write()
-                .expect("registry lock poisoned")
-                .replace_latest_watermark(
+            let ledger_index = {
+                let mut registry = shared.registry.write().expect("registry lock poisoned");
+                let now = shared.clock.fetch_add(1, Ordering::Relaxed);
+                registry.replace_latest_watermark(
                     &tenant,
                     maintainer.secrets().clone(),
                     maintainer.histogram().clone(),
                     now,
-                )?;
+                )?
+            };
             Ok(JobOutput::Maintain(MaintainOutcome {
                 tenant,
                 report,

@@ -25,6 +25,9 @@ pub enum ServiceError {
     Core(freqywm_core::Error),
     /// A job panicked inside a worker; the worker survived.
     Internal(String),
+    /// The durable storage layer failed (append, snapshot or an
+    /// unrecoverable log/snapshot image at open).
+    Storage(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -46,6 +49,7 @@ impl fmt::Display for ServiceError {
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServiceError::Core(e) => write!(f, "watermarking error: {e}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
+            ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

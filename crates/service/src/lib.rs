@@ -20,16 +20,22 @@
 //!   streams;
 //! * [`metrics`] — job/latency/cache counters and JSON snapshots;
 //! * [`proto`] — the JSON-lines request/response protocol behind
-//!   `freqywm serve` and `freqywm batch`.
+//!   `freqywm serve` and `freqywm batch`;
+//! * [`storage`] + [`persist`] — the durability layer: a pluggable
+//!   [`Storage`] backend (in-memory, on-disk data-dir, fault
+//!   injection) under a write-ahead event log with snapshots,
+//!   compaction and crash-safe, chain-verifying replay.
 
 pub mod engine;
 pub mod error;
 pub mod job;
 pub mod metrics;
+pub mod persist;
 pub mod prf_cache;
 pub mod proto;
 pub mod registry;
 pub mod shard;
+pub mod storage;
 
 pub use engine::{DisputeOutcome, Engine, EngineConfig};
 pub use error::ServiceError;
@@ -38,6 +44,8 @@ pub use job::{
     MaintainOutcome,
 };
 pub use metrics::MetricsSnapshot;
+pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent};
 pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
-pub use registry::{KeyRegistry, StoredWatermark};
+pub use registry::{KeyRegistry, StoredWatermark, TenantSnapshot};
 pub use shard::sharded_histogram;
+pub use storage::{DiskLog, FaultyStorage, InMemoryStorage, NullStorage, Storage, StorageError};

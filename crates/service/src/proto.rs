@@ -729,12 +729,15 @@ pub fn run_batch(engine: &Engine, lines: &[String]) -> Vec<String> {
         }
     };
 
-    for line in lines {
+    for (lineno, line) in lines.iter().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let (id, planned) = plan(line);
+        // Batch inputs are files: name the offending 1-based line so a
+        // malformed request is findable (and the run exits nonzero).
+        let planned = planned.map_err(|e| format!("line {}: {e}", lineno + 1));
         match planned {
             Ok(Planned::Job(spec)) if matches!(spec.payload, JobPayload::Detect { .. }) => {
                 let idx = slots.len();
@@ -918,6 +921,25 @@ mod tests {
         assert_eq!(lines.len(), 3, "{lines:?}");
         assert!(lines[0].contains("register"));
         assert!(lines[2].contains("shutdown"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn batch_reports_line_numbers_for_malformed_requests() {
+        let engine = test_engine();
+        let lines = vec![
+            r#"{"op":"metrics"}"#.to_string(),
+            String::new(),           // skipped, but still counts for numbering
+            "# comment".to_string(), // likewise
+            "{not json".to_string(),
+            r#"{"op":"fly"}"#.to_string(),
+        ];
+        let out = run_batch(&engine, &lines);
+        assert_eq!(out.len(), 3);
+        assert!(out[1].contains("\"ok\":false"), "{}", out[1]);
+        assert!(out[1].contains("line 4"), "{}", out[1]);
+        assert!(out[1].contains("bad json"), "{}", out[1]);
+        assert!(out[2].contains("line 5"), "{}", out[2]);
         engine.shutdown();
     }
 

@@ -31,6 +31,18 @@ pub struct StoredWatermark {
     pub registered_at: u64,
 }
 
+/// Materialised per-tenant state, as written into (and restored from)
+/// durable snapshots. Holds the secret — snapshots are key material
+/// and the data-dir must be protected accordingly.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    pub tenant: String,
+    pub secret: Secret,
+    pub ledger_index: u64,
+    pub registered_at: u64,
+    pub watermarks: Vec<StoredWatermark>,
+}
+
 #[derive(Debug)]
 struct TenantRecord {
     secret: Secret,
@@ -88,6 +100,49 @@ impl KeyRegistry {
             },
         );
         Ok(ledger_index)
+    }
+
+    /// Rebuilds a registry from a verified ledger and tenant snapshots
+    /// (the recovery path). Cache tags are recomputed — they are
+    /// derived from the secret, so they come back identical across a
+    /// restart and recovered tenants keep hitting their old PRF-cache
+    /// entries only where the secret genuinely matches.
+    pub fn restore(ledger: Ledger, tenants: Vec<TenantSnapshot>) -> Self {
+        let tenants = tenants
+            .into_iter()
+            .map(|t| {
+                let cache_tag = t.secret.cache_tag();
+                (
+                    t.tenant,
+                    TenantRecord {
+                        secret: t.secret,
+                        cache_tag,
+                        ledger_index: t.ledger_index,
+                        registered_at: t.registered_at,
+                        watermarks: t.watermarks,
+                    },
+                )
+            })
+            .collect();
+        KeyRegistry { ledger, tenants }
+    }
+
+    /// Materialises every tenant for a snapshot, sorted by id so the
+    /// snapshot bytes are deterministic for a given state.
+    pub fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        let mut out: Vec<TenantSnapshot> = self
+            .tenants
+            .iter()
+            .map(|(tenant, r)| TenantSnapshot {
+                tenant: tenant.clone(),
+                secret: r.secret.clone(),
+                ledger_index: r.ledger_index,
+                registered_at: r.registered_at,
+                watermarks: r.watermarks.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
     }
 
     /// Removes a tenant; its `Secret` zeroizes on drop.

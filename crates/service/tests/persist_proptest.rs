@@ -1,0 +1,127 @@
+//! Property: any registration sequence, persisted and replayed,
+//! recovers to the identical ledger head hash — and every dispute
+//! chronology verdict the judge would hand down is unchanged.
+//!
+//! Ops are drawn as (kind, tenant, snapshot-cadence) tuples; invalid
+//! ops (duplicate registration, watermark for an unknown tenant, …)
+//! are *expected* along the way and must be rejected without touching
+//! the log, so the replayed history only contains committed mutations.
+
+use freqywm_core::secret::SecretList;
+use freqywm_crypto::prf::Secret;
+use freqywm_data::histogram::Histogram;
+use freqywm_data::token::Token;
+use freqywm_service::persist::DurableRegistry;
+use freqywm_service::storage::InMemoryStorage;
+use proptest::prelude::*;
+
+const KEY: &[u8] = b"proptest-ledger-key";
+
+fn tenant_name(t: u8) -> String {
+    format!("tenant-{t}")
+}
+
+fn wm_secrets(t: u8, step: usize) -> SecretList {
+    SecretList::new(
+        vec![(
+            Token::new(format!("tk-{t}-{step}")),
+            Token::new(format!("tk-{t}-{step}-b")),
+        )],
+        Secret::from_label(&format!("wm-{t}-{step}")),
+        31,
+    )
+}
+
+fn wm_hist(step: usize) -> Histogram {
+    Histogram::from_counts([
+        (Token::new(format!("h{step}")), 30 + step as u64),
+        (Token::new("common"), 9),
+    ])
+}
+
+/// Applies one drawn op; invalid ops are no-ops by construction.
+fn apply(reg: &mut DurableRegistry, kind: u8, t: u8, step: usize) {
+    let tenant = tenant_name(t);
+    let now = (step + 1) as u64;
+    let r = match kind {
+        0 => reg
+            .register_tenant(&tenant, Secret::from_label(&tenant), now)
+            .map(|_| ()),
+        1 => reg
+            .record_watermark(&tenant, wm_secrets(t, step), wm_hist(step), now)
+            .map(|_| ()),
+        2 => reg
+            .replace_latest_watermark(&tenant, wm_secrets(t, step), wm_hist(step), now)
+            .map(|_| ()),
+        _ => reg.remove_tenant(&tenant).map(|_| ()),
+    };
+    // Only validation errors are acceptable here; storage is pristine.
+    if let Err(e) = r {
+        assert!(
+            !matches!(e, freqywm_service::ServiceError::Storage(_)),
+            "unexpected storage failure: {e}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn persist_replay_round_trip(
+        ops in proptest::collection::vec((0u8..4, 0u8..5), 1..60),
+        snapshot_every in 0usize..5,
+    ) {
+        let storage = InMemoryStorage::new();
+        let mut live = DurableRegistry::open(KEY, Box::new(storage.clone()), snapshot_every)
+            .expect("open on pristine storage");
+        for (step, (kind, t)) in ops.iter().enumerate() {
+            apply(&mut live, *kind, *t, step);
+        }
+
+        // The process dies; a new one recovers from storage alone.
+        let recovered = DurableRegistry::open(KEY, Box::new(storage.clone()), 0)
+            .expect("replay must succeed");
+
+        // Identical chain: same head hash, same entries, verified.
+        prop_assert_eq!(recovered.ledger().head_hash(), live.ledger().head_hash());
+        prop_assert_eq!(recovered.ledger().entries(), live.ledger().entries());
+        prop_assert!(recovered.ledger().verify_chain().is_ok());
+        prop_assert_eq!(recovered.clock_floor(), live.clock_floor());
+
+        // Identical tenant set and watermark fingerprints.
+        let mut live_tenants: Vec<String> = live.tenant_ids().map(str::to_string).collect();
+        let mut rec_tenants: Vec<String> = recovered.tenant_ids().map(str::to_string).collect();
+        live_tenants.sort();
+        rec_tenants.sort();
+        prop_assert_eq!(&live_tenants, &rec_tenants);
+        for t in &live_tenants {
+            let a = live.latest_watermark(t).map(|w| w.secrets.to_text());
+            let b = recovered.latest_watermark(t).map(|w| w.secrets.to_text());
+            prop_assert_eq!(a, b);
+        }
+
+        // Identical dispute chronology: for every tenant pair with
+        // watermarks, the judge's ledger tiebreak is unchanged.
+        for a in &live_tenants {
+            for b in &live_tenants {
+                if a == b {
+                    continue;
+                }
+                match (live.earlier_watermark(a, b), recovered.earlier_watermark(a, b)) {
+                    (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "verdict changed for {} vs {}", a, b),
+                    (Err(_), Err(_)) => {}
+                    (x, y) => prop_assert!(false, "verdict availability diverged: {:?} vs {:?}", x, y),
+                }
+            }
+        }
+
+        // And a second generation (snapshot + reopen) still agrees.
+        let mut second = recovered;
+        second.snapshot_now().expect("snapshot");
+        drop(second);
+        let third = DurableRegistry::open(KEY, Box::new(storage.clone()), 0)
+            .expect("post-snapshot replay");
+        prop_assert_eq!(third.ledger().head_hash(), live.ledger().head_hash());
+        prop_assert!(third.recovery_report().snapshot_restored);
+        prop_assert_eq!(third.recovery_report().replayed_events, 0);
+    }
+}
