@@ -46,9 +46,11 @@ pub enum Command {
         /// Quorum as a fraction of each claimant's pair count.
         quorum: f64,
     },
-    /// Runs the multi-tenant engine over JSON-lines on stdin/stdout.
+    /// Runs the multi-tenant engine over JSON-lines — on stdin/stdout,
+    /// or over TCP via the epoll reactor when `--listen` is given.
     Serve {
         engine: EngineOpts,
+        net: ServeNetOpts,
     },
     /// Recovers a data-dir (snapshot + log replay) and verifies the
     /// registration hash chain end to end.
@@ -96,6 +98,31 @@ impl Default for EngineOpts {
     }
 }
 
+/// Network front-end flags (`serve` only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeNetOpts {
+    /// TCP listen address (e.g. `127.0.0.1:7700`, port 0 for
+    /// ephemeral); `None` serves stdin/stdout.
+    pub listen: Option<String>,
+    /// Concurrent connection cap.
+    pub max_conns: usize,
+    /// Idle connection timeout in seconds; 0 disables reaping.
+    pub idle_timeout_secs: u64,
+    /// Input frame-size cap in bytes (shared with the pipe transport).
+    pub max_frame: usize,
+}
+
+impl Default for ServeNetOpts {
+    fn default() -> Self {
+        ServeNetOpts {
+            listen: None,
+            max_conns: 1024,
+            idle_timeout_secs: 0,
+            max_frame: 1 << 20,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackKind {
     Sample,
@@ -118,7 +145,9 @@ USAGE:
                    --kind sample|destroy|reorder --param <x> [--seed N]
   freqywm judge    --a-input <a.txt> --a-secret <a.fwm>
                    --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
-  freqywm serve    [--workers 4] [--queue 1024] [--cache-shards 8]
+  freqywm serve    [--listen <addr>] [--max-conns 1024] [--idle-timeout SECS]
+                   [--max-frame BYTES]
+                   [--workers 4] [--queue 1024] [--cache-shards 8]
                    [--cache-capacity 8192] [--no-cache]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
@@ -132,8 +161,14 @@ Token files contain one token per line. `detect` exits 0 on accept,
 
 `serve` reads one JSON request per line on stdin and writes one JSON
 response per line on stdout (ops: register, embed, detect, maintain,
-dispute, metrics, shutdown). `batch` does the same over a file,
-running consecutive detect requests concurrently on the worker pool.
+dispute, metrics, shutdown). With `--listen <addr>` it instead serves
+the same protocol over TCP from a non-blocking epoll reactor: one
+reactor thread plus the worker pool handle every connection (the bound
+address is printed as `listening on <addr>` on startup; `--idle-timeout
+0` disables idle reaping; a `shutdown` op drains gracefully — stop
+accepting, flush in-flight responses, close). `batch` runs the protocol
+over a file, running consecutive detect requests concurrently on the
+worker pool.
 
 With `--data-dir` the registry and its hash-chained ledger live in an
 append-only, fsync'd, checksummed log (plus periodic snapshots), so
@@ -270,8 +305,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             let f = parse_flags(rest)?;
+            let net_defaults = ServeNetOpts::default();
             Ok(Command::Serve {
                 engine: parse_engine_opts(&f)?,
+                net: ServeNetOpts {
+                    listen: f.get("listen").cloned(),
+                    max_conns: opt_parse(&f, "max-conns", net_defaults.max_conns)?,
+                    idle_timeout_secs: opt_parse(
+                        &f,
+                        "idle-timeout",
+                        net_defaults.idle_timeout_secs,
+                    )?,
+                    max_frame: opt_parse(&f, "max-frame", net_defaults.max_frame)?,
+                },
             })
         }
         "batch" => {
@@ -471,7 +517,8 @@ mod tests {
         assert_eq!(
             parse_args(&v(&["serve"])).unwrap(),
             Command::Serve {
-                engine: EngineOpts::default()
+                engine: EngineOpts::default(),
+                net: ServeNetOpts::default(),
             }
         );
         let c = parse_args(&v(&[
@@ -484,10 +531,11 @@ mod tests {
         ]))
         .unwrap();
         match c {
-            Command::Serve { engine } => {
+            Command::Serve { engine, net } => {
                 assert_eq!(engine.workers, 8);
                 assert_eq!(engine.queue, 64);
                 assert!(engine.no_cache);
+                assert_eq!(net.listen, None);
             }
             _ => panic!("wrong command"),
         }
@@ -515,6 +563,33 @@ mod tests {
     }
 
     #[test]
+    fn serve_network_flags() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7700",
+            "--max-conns",
+            "2000",
+            "--idle-timeout",
+            "300",
+            "--max-frame",
+            "65536",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { net, .. } => {
+                assert_eq!(net.listen.as_deref(), Some("127.0.0.1:7700"));
+                assert_eq!(net.max_conns, 2000);
+                assert_eq!(net.idle_timeout_secs, 300);
+                assert_eq!(net.max_frame, 65536);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["serve", "--max-conns", "many"])).is_err());
+        assert!(parse_args(&v(&["serve", "--listen"])).is_err());
+    }
+
+    #[test]
     fn durability_flags_and_ledger_verify() {
         let c = parse_args(&v(&[
             "serve",
@@ -527,7 +602,7 @@ mod tests {
         ]))
         .unwrap();
         match c {
-            Command::Serve { engine } => {
+            Command::Serve { engine, .. } => {
                 assert_eq!(engine.data_dir.as_deref(), Some("/var/lib/freqywm"));
                 assert_eq!(engine.snapshot_every, 16);
                 assert_eq!(engine.ledger_key.as_deref(), Some("prod-key"));

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{AttackKind, Command, EngineOpts, USAGE};
+use crate::args::{AttackKind, Command, EngineOpts, ServeNetOpts, USAGE};
 use freqywm_attacks::destroy::{destroy_with_reordering, destroy_within_boundaries};
 use freqywm_core::detect::detect_dataset;
 use freqywm_core::eligible::{eligible_pairs, r_max};
@@ -67,6 +67,34 @@ fn stop_engine(engine: Engine, durable: bool) {
         let _ = engine.checkpoint();
     }
     engine.shutdown();
+}
+
+/// Binds the listen address and runs the epoll reactor until a
+/// `shutdown` op completes its graceful drain. The bound address is
+/// announced as `listening on <addr>` (port 0 requests an ephemeral
+/// port, so callers need the announcement to find it).
+fn serve_network(
+    engine: &Engine,
+    addr: &str,
+    net: &ServeNetOpts,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    writeln!(out, "listening on {local}").ok();
+    out.flush().ok();
+    let config = freqywm_net::NetConfig {
+        max_conns: net.max_conns.max(1),
+        idle_timeout: (net.idle_timeout_secs > 0)
+            .then(|| std::time::Duration::from_secs(net.idle_timeout_secs)),
+        max_frame: net.max_frame.max(1),
+        ..freqywm_net::NetConfig::default()
+    };
+    freqywm_net::serve_listener(engine, listener, config)
+        .map_err(|e| format!("network serve error: {e}"))
 }
 
 /// Runs a parsed command. Returns the process exit code.
@@ -249,11 +277,24 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             .ok();
             Ok(0)
         }
-        Command::Serve { engine: opts } => {
+        Command::Serve { engine: opts, net } => {
             let engine = start_engine(&opts)?;
-            let stdin = std::io::stdin();
-            proto::serve(&engine, stdin.lock(), &mut *out)
-                .map_err(|e| format!("serve I/O error: {e}"))?;
+            match &net.listen {
+                Some(addr) => serve_network(&engine, addr, &net, out)?,
+                None => {
+                    // stdin/stdout pipe: pipelined through the same
+                    // Session machinery as the socket path; EOF takes
+                    // the graceful-drain route (in-flight responses
+                    // flush before exit).
+                    proto::serve_with(
+                        &engine,
+                        std::io::BufReader::new(std::io::stdin()),
+                        &mut *out,
+                        net.max_frame.max(1),
+                    )
+                    .map_err(|e| format!("serve I/O error: {e}"))?;
+                }
+            }
             stop_engine(engine, opts.data_dir.is_some());
             Ok(0)
         }

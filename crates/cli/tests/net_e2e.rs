@@ -1,0 +1,131 @@
+//! Loopback end-to-end: spawn the real `freqywm serve --listen
+//! 127.0.0.1:0` binary, drive ~100 concurrent clients through
+//! register/embed/detect/dispute, and assert a clean drain on
+//! shutdown (this is the CI e2e job's test).
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const CLIENTS: usize = 100;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server closed mid-request");
+        resp.trim_end().to_string()
+    }
+}
+
+fn counts_json(n: usize) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("[\"tok{i:02}\",{}]", 2_000 / (i + 1) + 3 * (n - i)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn spawn_server() -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "4096",
+            "--max-conns",
+            "256",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm serve");
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    (child, addr)
+}
+
+#[test]
+fn loopback_e2e_hundred_clients_clean_drain() {
+    let (mut child, addr) = spawn_server();
+
+    // ~100 concurrent clients, each a full tenant lifecycle.
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let r = c.request(&format!(
+                    "{{\"op\":\"register\",\"tenant\":\"t{i:03}\",\"secret_label\":\"e2e-{i}\"}}"
+                ));
+                assert!(r.contains("\"ok\":true"), "register {i}: {r}");
+                let r = c.request(&format!(
+                    "{{\"op\":\"embed\",\"tenant\":\"t{i:03}\",\"z\":19,\"counts\":{}}}",
+                    counts_json(60)
+                ));
+                assert!(r.contains("chosen_pairs"), "embed {i}: {r}");
+                let r = c.request(&format!(
+                    "{{\"op\":\"detect\",\"tenant\":\"t{i:03}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+                    counts_json(60)
+                ));
+                assert!(r.contains("\"op\":\"detect\""), "detect {i}: {r}");
+                assert!(r.contains("\"ok\":true"), "detect {i}: {r}");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client lifecycle failed");
+    }
+
+    // Disputes across tenants embedded by different connections.
+    let mut c = Client::connect(addr);
+    let r = c.request(r#"{"op":"dispute","a":"t000","b":"t001"}"#);
+    assert!(r.contains("\"winner\":"), "{r}");
+    let metrics = c.request(r#"{"op":"metrics"}"#);
+    assert!(metrics.contains("\"accepted\":"), "{metrics}");
+    assert!(metrics.contains("\"failed\":0"), "{metrics}");
+
+    // Clean drain: shutdown acks, the connection closes, the process
+    // exits successfully.
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    let mut rest = String::new();
+    c.reader.read_to_string(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "data after shutdown ack: {rest}");
+    let status = child.wait().expect("server exit");
+    assert!(status.success(), "server exited with {status}");
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "port still open after drain"
+    );
+}

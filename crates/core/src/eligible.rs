@@ -15,7 +15,7 @@
 //! sweep costs one outer SHA-256 per surviving pair.
 
 use crate::params::WeightScheme;
-use freqywm_crypto::prf::Secret;
+use freqywm_crypto::prf::{PrfProvider, Secret};
 use freqywm_crypto::sha256::{sha256_concat, Sha256};
 use freqywm_data::histogram::Histogram;
 
@@ -110,24 +110,14 @@ pub fn eligible_pairs_with_min(
     min_s: u64,
 ) -> Vec<EligiblePair> {
     let min_s = min_s.max(2);
-    let counts = hist.counts();
-    let bounds = hist.boundaries();
-    let n = counts.len();
-    if n < 2 || z < 2 {
+    let Some(Sweep {
+        counts,
+        min_bound,
+        candidates,
+    }) = Sweep::prepare(hist, z)
+    else {
         return Vec::new();
-    }
-    // A token with min-boundary m can only participate with
-    // ceil(s/2) <= m, i.e. s <= 2m. m == 0 rules the token out entirely
-    // (s >= 2 always needs m >= 1).
-    let min_bound: Vec<u64> = bounds
-        .iter()
-        .zip(&counts)
-        .map(|(b, &c)| b.upper.min(b.lower.min(c.saturating_sub(1))))
-        .collect();
-    let candidates: Vec<usize> = (0..n).filter(|&i| min_bound[i] >= 1).collect();
-    if candidates.len() < 2 {
-        return Vec::new();
-    }
+    };
     let inner = inner_digests(hist, secret);
     let mut out = Vec::new();
     for (a, &i) in candidates.iter().enumerate() {
@@ -149,6 +139,44 @@ pub fn eligible_pairs_with_min(
     out
 }
 
+/// Candidate preparation shared by every sweep variant: rank counts,
+/// the per-token minimum boundary, and the indices that can
+/// participate in any pair at all.
+///
+/// A token with min-boundary `m` can only participate with
+/// `ceil(s/2) <= m`, i.e. `s <= 2m`; `m == 0` rules the token out
+/// entirely (`s >= 2` always needs `m >= 1`).
+struct Sweep {
+    counts: Vec<u64>,
+    min_bound: Vec<u64>,
+    candidates: Vec<usize>,
+}
+
+impl Sweep {
+    fn prepare(hist: &Histogram, z: u64) -> Option<Sweep> {
+        let counts = hist.counts();
+        let bounds = hist.boundaries();
+        let n = counts.len();
+        if n < 2 || z < 2 {
+            return None;
+        }
+        let min_bound: Vec<u64> = bounds
+            .iter()
+            .zip(&counts)
+            .map(|(b, &c)| b.upper.min(b.lower.min(c.saturating_sub(1))))
+            .collect();
+        let candidates: Vec<usize> = (0..n).filter(|&i| min_bound[i] >= 1).collect();
+        if candidates.len() < 2 {
+            return None;
+        }
+        Some(Sweep {
+            counts,
+            min_bound,
+            candidates,
+        })
+    }
+}
+
 /// Parallel variant of [`eligible_pairs_with_min`]: splits the
 /// candidate sweep across `threads` scoped threads. Results
 /// are identical to the sequential version (same `(i, j)` order) — the
@@ -163,21 +191,14 @@ pub fn eligible_pairs_parallel(
     threads: usize,
 ) -> Vec<EligiblePair> {
     let min_s = min_s.max(2);
-    let counts = hist.counts();
-    let bounds = hist.boundaries();
-    let n = counts.len();
-    if n < 2 || z < 2 {
+    let Some(Sweep {
+        counts,
+        min_bound,
+        candidates,
+    }) = Sweep::prepare(hist, z)
+    else {
         return Vec::new();
-    }
-    let min_bound: Vec<u64> = bounds
-        .iter()
-        .zip(&counts)
-        .map(|(b, &c)| b.upper.min(b.lower.min(c.saturating_sub(1))))
-        .collect();
-    let candidates: Vec<usize> = (0..n).filter(|&i| min_bound[i] >= 1).collect();
-    if candidates.len() < 2 {
-        return Vec::new();
-    }
+    };
     let threads = threads.max(1).min(candidates.len());
     let inner = inner_digests(hist, secret);
     let mut shards: Vec<Vec<EligiblePair>> = Vec::with_capacity(threads);
@@ -197,6 +218,117 @@ pub fn eligible_pairs_parallel(
                     for &j in &candidates[a + 1..] {
                         let cap = min_bound[i].min(min_bound[j]);
                         let s = s_from_cached(hist, inner, i, j, z);
+                        if s < min_s || s.div_ceil(2) > cap {
+                            continue;
+                        }
+                        let rm = (counts[i] - counts[j]) % s;
+                        out.push(EligiblePair { i, j, s, rm });
+                    }
+                    a += threads;
+                }
+                out
+            }));
+        }
+        for h in handles {
+            shards.push(h.join().expect("eligibility worker panicked"));
+        }
+    });
+    let mut out: Vec<EligiblePair> = shards.into_iter().flatten().collect();
+    out.sort_unstable_by_key(|p| (p.i, p.j));
+    out
+}
+
+/// [`eligible_pairs_with_min`] with the pair PRF routed through a
+/// [`PrfProvider`], so the sweep's `s_ij` draws hit whatever
+/// memoization layer the deployment interposes (the service crate's
+/// sharded LRU). This is the cache-aware embed path: a `WM_Generate`
+/// over a vocabulary that earlier embed or detect traffic already
+/// touched reuses those moduli instead of recomputing them, and the
+/// moduli it does compute pre-warm later detections of the chosen
+/// pairs.
+///
+/// Trade-off versus the direct sweep: the provider recomputes the
+/// inner digest `H(R ‖ tk_j)` per *pair* on a miss (the per-token
+/// inner-digest cache cannot reach through the provider interface), so
+/// a fully cold sweep pays roughly twice the hashing. Use this entry
+/// point when a shared cache exists; [`eligible_pairs_with_min`]
+/// otherwise.
+pub fn eligible_pairs_with_prf<P: PrfProvider + ?Sized>(
+    hist: &Histogram,
+    secret: &Secret,
+    z: u64,
+    min_s: u64,
+    prf: &P,
+) -> Vec<EligiblePair> {
+    let min_s = min_s.max(2);
+    let Some(Sweep {
+        counts,
+        min_bound,
+        candidates,
+    }) = Sweep::prepare(hist, z)
+    else {
+        return Vec::new();
+    };
+    let entries = hist.entries();
+    let mut out = Vec::new();
+    for (a, &i) in candidates.iter().enumerate() {
+        for &j in &candidates[a + 1..] {
+            let cap = min_bound[i].min(min_bound[j]);
+            let s = prf.pair_modulus(secret, entries[i].0.as_bytes(), entries[j].0.as_bytes(), z);
+            if s < min_s || s.div_ceil(2) > cap {
+                continue;
+            }
+            let rm = (counts[i] - counts[j]) % s;
+            out.push(EligiblePair { i, j, s, rm });
+        }
+    }
+    out
+}
+
+/// Parallel variant of [`eligible_pairs_with_prf`] (same strided split
+/// as [`eligible_pairs_parallel`], same `(i, j)` result order). The
+/// provider is shared across the worker threads, so it must tolerate
+/// concurrent lookups — the service cache shards its locks for exactly
+/// this access pattern.
+pub fn eligible_pairs_parallel_with_prf<P: PrfProvider + Sync + ?Sized>(
+    hist: &Histogram,
+    secret: &Secret,
+    z: u64,
+    min_s: u64,
+    threads: usize,
+    prf: &P,
+) -> Vec<EligiblePair> {
+    let min_s = min_s.max(2);
+    let Some(Sweep {
+        counts,
+        min_bound,
+        candidates,
+    }) = Sweep::prepare(hist, z)
+    else {
+        return Vec::new();
+    };
+    let threads = threads.max(1).min(candidates.len());
+    let entries = hist.entries();
+    let mut shards: Vec<Vec<EligiblePair>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let counts = &counts;
+            let min_bound = &min_bound;
+            let candidates = &candidates;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut a = t;
+                while a < candidates.len() {
+                    let i = candidates[a];
+                    for &j in &candidates[a + 1..] {
+                        let cap = min_bound[i].min(min_bound[j]);
+                        let s = prf.pair_modulus(
+                            secret,
+                            entries[i].0.as_bytes(),
+                            entries[j].0.as_bytes(),
+                            z,
+                        );
                         if s < min_s || s.div_ceil(2) > cap {
                             continue;
                         }
@@ -401,6 +533,35 @@ mod tests {
             for threads in [1usize, 2, 4, 7] {
                 let par = eligible_pairs_parallel(&h, &secret(), 257, min_s, threads);
                 assert_eq!(par, seq, "threads={threads} min_s={min_s}");
+            }
+        }
+    }
+
+    #[test]
+    fn provider_sweep_matches_direct() {
+        use freqywm_crypto::prf::DirectPrf;
+        let h = hist(&[
+            ("a", 10_000),
+            ("b", 8_000),
+            ("c", 6_000),
+            ("d", 4_000),
+            ("e", 2_500),
+            ("f", 1_200),
+        ]);
+        for min_s in [2u64, 8] {
+            let want = eligible_pairs_with_min(&h, &secret(), 257, min_s);
+            let got = eligible_pairs_with_prf(&h, &secret(), 257, min_s, &DirectPrf);
+            assert_eq!(got, want, "sequential provider sweep diverged");
+            for threads in [1usize, 3] {
+                let par = eligible_pairs_parallel_with_prf(
+                    &h,
+                    &secret(),
+                    257,
+                    min_s,
+                    threads,
+                    &DirectPrf,
+                );
+                assert_eq!(par, want, "parallel provider sweep diverged");
             }
         }
     }

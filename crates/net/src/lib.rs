@@ -1,0 +1,62 @@
+//! Non-blocking network front-end for the FreqyWM engine.
+//!
+//! `freqywm serve --listen <addr>` puts this reactor in front of
+//! [`freqywm_service::Engine`]: a hand-rolled, dependency-free epoll
+//! event loop (raw syscalls behind the small [`Poller`] abstraction,
+//! with a portable `poll(2)` fallback) that speaks the existing
+//! JSON-lines protocol over TCP. The split follows the
+//! core-engine-behind-a-thin-async-device-layer shape: the engine knows
+//! nothing about sockets, the reactor knows nothing about
+//! watermarking.
+//!
+//! Why a reactor: the marketplace scenario is many concurrent, mostly
+//! idle clients. A thread per connection pins a stack each; here a
+//! thousand idle connections cost one registered fd each and zero
+//! wakeups — total thread count stays `1 + worker pool` regardless of
+//! connection count.
+//!
+//! The full connection lifecycle is handled: non-blocking accept with
+//! a connection cap, partial reads/writes with per-connection buffers,
+//! an input frame-size cap (an oversized request costs one error
+//! response, not the connection), write backpressure with slow-client
+//! eviction, idle timeouts, and graceful drain on the `shutdown` op
+//! (stop accepting, flush in-flight responses, then close). Job
+//! completions travel from the worker pool back to the reactor via the
+//! engine's completion hook and a wakeup pipe, so the event loop never
+//! blocks on a job. Connection gauges land in the engine's
+//! `MetricsSnapshot` (`net.*`) and surface through the `metrics` op.
+//!
+//! The reactor is unix-only; on other platforms [`serve_listener`]
+//! returns [`std::io::ErrorKind::Unsupported`] and the stdin/stdout
+//! pipe transport remains available.
+
+mod config;
+
+pub use config::{Backend, NetConfig};
+
+#[cfg(unix)]
+mod conn;
+#[cfg(unix)]
+mod poller;
+#[cfg(unix)]
+mod server;
+#[cfg(unix)]
+mod sys;
+
+#[cfg(unix)]
+pub use poller::{Event, Interest, Poller};
+#[cfg(unix)]
+pub use server::serve_listener;
+
+#[cfg(not(unix))]
+pub fn serve_listener(
+    _engine: &freqywm_service::Engine,
+    _listener: std::net::TcpListener,
+    _config: NetConfig,
+) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the freqywm-net reactor requires a unix platform (epoll/poll); \
+         use the stdin/stdout pipe transport instead",
+    ))
+}

@@ -1,0 +1,67 @@
+//! Raw syscall bindings for the reactor.
+//!
+//! The dependency whitelist has no `libc` crate, so the two readiness
+//! syscalls the [`crate::poller`] backends need — `epoll` on Linux,
+//! POSIX `poll(2)` everywhere else — are declared here directly against
+//! the C library the binary already links. Everything else (sockets,
+//! non-blocking mode, the wakeup pipe, fd lifetimes) goes through
+//! `std`, including `OwnedFd` for closing the epoll instance.
+
+#![allow(clippy::upper_case_acronyms)]
+
+use std::os::raw::{c_int, c_ulong};
+
+/// `pollfd` as defined by POSIX.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    pub fn poll(fds: *mut PollFd, nfds: c_ulong, timeout_ms: c_int) -> c_int;
+}
+
+#[cfg(target_os = "linux")]
+pub mod epoll {
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86-64 (the
+    /// struct is 12 bytes there, naturally-aligned elsewhere).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+    }
+}

@@ -35,7 +35,7 @@ use crate::job::{
     DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
     MaintainOutcome,
 };
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, NetCounters};
 use crate::persist::DurableRegistry;
 use crate::prf_cache::{PrfCache, PrfCacheConfig};
 use crate::shard::sharded_histogram;
@@ -91,6 +91,9 @@ const STATE_RUNNING: u8 = 0;
 const STATE_DRAINING: u8 = 1;
 const STATE_STOPPED: u8 = 2;
 
+/// Callback fired once per job as it reaches a terminal state.
+type CompletionHook = Arc<dyn Fn(JobId) + Send + Sync>;
+
 struct QueuedJob {
     id: JobId,
     payload: JobPayload,
@@ -110,6 +113,10 @@ struct Shared {
     /// ledger chronology is deterministic under test).
     clock: AtomicU64,
     state: AtomicU8,
+    /// Optional completion notification hook (see
+    /// [`Engine::set_completion_hook`]). Fired outside every engine
+    /// lock, after the terminal state is observable.
+    completion_hook: RwLock<Option<CompletionHook>>,
 }
 
 /// Outcome of an engine-level dispute, combining the paper's four-run
@@ -163,6 +170,7 @@ impl Engine {
             metrics: Metrics::default(),
             clock: AtomicU64::new(clock_start),
             state: AtomicU8::new(STATE_RUNNING),
+            completion_hook: RwLock::new(None),
         });
         let worker_count = shared.config.workers.max(1);
         let mut workers = Vec::with_capacity(worker_count);
@@ -275,6 +283,54 @@ impl Engine {
             .expect("jobs lock poisoned")
             .get(&id)
             .cloned()
+    }
+
+    /// Non-blocking [`Engine::wait`]: consumes and returns the result
+    /// iff the job already reached a terminal state, `None` otherwise
+    /// (still queued/running, or already taken). Event-driven
+    /// front-ends pair this with [`Engine::set_completion_hook`] so
+    /// nothing ever blocks on a job.
+    pub fn try_take(&self, id: JobId) -> Option<JobState> {
+        let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+        match jobs.get(&id) {
+            Some(state) if state.is_terminal() => jobs.remove(&id),
+            _ => None,
+        }
+    }
+
+    /// Installs a hook fired once per job when it reaches a terminal
+    /// state (completed, failed, timed out or cancelled). One hook per
+    /// engine — installing replaces the previous one; only one serving
+    /// front-end drives an engine at a time.
+    ///
+    /// The hook runs on the worker thread that finished the job (or the
+    /// caller of [`Engine::shutdown_now`] for cancellations), with no
+    /// engine lock held. It must be cheap and must not call back into
+    /// blocking engine APIs; writing a byte to a wakeup pipe is the
+    /// intended use.
+    pub fn set_completion_hook<F: Fn(JobId) + Send + Sync + 'static>(&self, hook: F) {
+        *self
+            .shared
+            .completion_hook
+            .write()
+            .expect("hook lock poisoned") = Some(Arc::new(hook));
+    }
+
+    /// Removes the completion hook. In-flight invocations on worker
+    /// threads may still run; new completions no longer notify.
+    pub fn clear_completion_hook(&self) {
+        *self
+            .shared
+            .completion_hook
+            .write()
+            .expect("hook lock poisoned") = None;
+    }
+
+    /// Connection gauges/counters for whatever front-end serves this
+    /// engine. They live with the engine metrics so the `metrics`
+    /// protocol op reports them alongside job counters.
+    pub fn net_counters(&self) -> &NetCounters {
+        &self.shared.metrics.net
     }
 
     /// Blocks until the job reaches a terminal state, removes it from
@@ -405,12 +461,18 @@ impl Engine {
             queue.drain(..).map(|j| j.id).collect()
         };
         if !cancelled.is_empty() {
-            let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
-            for id in cancelled {
-                jobs.insert(id, JobState::Cancelled);
-                self.shared.metrics.job_cancelled();
+            {
+                let mut jobs = self.shared.jobs.lock().expect("jobs lock poisoned");
+                for &id in &cancelled {
+                    jobs.insert(id, JobState::Cancelled);
+                    self.shared.metrics.job_cancelled();
+                }
+                self.shared.jobs_cv.notify_all();
             }
-            self.shared.jobs_cv.notify_all();
+            // Cancellation is terminal too — notify outside the lock.
+            for id in cancelled {
+                fire_completion_hook(&self.shared, id);
+            }
         }
         self.shutdown();
     }
@@ -497,6 +559,22 @@ fn set_state(shared: &Shared, id: JobId, state: JobState) {
 fn finish(shared: &Shared, id: JobId, state: JobState) {
     set_state(shared, id, state);
     shared.jobs_cv.notify_all();
+    fire_completion_hook(shared, id);
+}
+
+/// Runs the completion hook (if any) with no lock held: the terminal
+/// state is already observable via `status`/`try_take`/`wait` when the
+/// hook fires, so a front-end reacting to the notification always finds
+/// the result.
+fn fire_completion_hook(shared: &Shared, id: JobId) {
+    let hook = shared
+        .completion_hook
+        .read()
+        .expect("hook lock poisoned")
+        .clone();
+    if let Some(hook) = hook {
+        hook(id);
+    }
 }
 
 fn materialize(shared: &Shared, data: JobData) -> Histogram {
@@ -513,12 +591,27 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
             data,
             params,
         } => {
-            let secret = {
+            let (secret, tag) = {
                 let registry = shared.registry.read().expect("registry lock poisoned");
-                registry.secret(&tenant)?.clone()
+                (
+                    registry.secret(&tenant)?.clone(),
+                    registry.cache_tag(&tenant)?,
+                )
             };
             let hist = materialize(shared, data);
-            let out = Watermarker::new(params).generate_histogram(&hist, secret)?;
+            // Embed sweeps through the tenant's PRF cache view: moduli
+            // already warmed by earlier embeds/detections over
+            // overlapping vocabularies are reused, and the sweep's own
+            // draws pre-warm detection of the chosen pairs. With the
+            // cache disabled the direct sweep is faster (it memoizes
+            // inner digests per token, which the provider interface
+            // cannot), so fall back to it.
+            let watermarker = Watermarker::new(params);
+            let out = if shared.cache.is_enabled() {
+                watermarker.generate_histogram_with(&hist, secret, &shared.cache.for_tag(tag))?
+            } else {
+                watermarker.generate_histogram(&hist, secret)?
+            };
             let ledger_index = {
                 let mut registry = shared.registry.write().expect("registry lock poisoned");
                 // Tick under the lock so ledger chronology is monotone

@@ -43,7 +43,7 @@ pub use job::{
     DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
     MaintainOutcome,
 };
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, NetCounters, NetSnapshot};
 pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent};
 pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
 pub use registry::{KeyRegistry, StoredWatermark, TenantSnapshot};

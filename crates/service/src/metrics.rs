@@ -78,6 +78,82 @@ impl LatencySnapshot {
     }
 }
 
+/// Connection-level gauges and counters, fed by whatever front-end is
+/// serving the engine (the `freqywm-net` reactor; the stdin pipe leaves
+/// them at zero). `active` is a gauge — incremented on accept,
+/// decremented on close — everything else counts monotonically.
+#[derive(Default)]
+pub struct NetCounters {
+    pub accepted: AtomicU64,
+    pub active: AtomicU64,
+    pub rejected: AtomicU64,
+    pub evicted_slow: AtomicU64,
+    pub timed_out_idle: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+}
+
+impl NetCounters {
+    pub fn conn_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes balance accepts; the gauge saturates at zero rather than
+    /// wrapping if a front-end miscounts.
+    pub fn conn_closed(&self) {
+        let _ = self
+            .active
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    pub fn conn_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn conn_evicted_slow(&self) {
+        self.evicted_slow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn conn_timed_out_idle(&self) {
+        self.timed_out_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_in(&self, n: u64) {
+        self.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
+            timed_out_idle: self.timed_out_idle.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of the connection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    pub accepted: u64,
+    pub active: u64,
+    pub rejected: u64,
+    pub evicted_slow: u64,
+    pub timed_out_idle: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+}
+
 /// All engine counters.
 #[derive(Default)]
 pub struct Metrics {
@@ -92,6 +168,7 @@ pub struct Metrics {
     pub maintain_jobs: AtomicU64,
     pub disputes: AtomicU64,
     pub latency: LatencyHistogram,
+    pub net: NetCounters,
 }
 
 macro_rules! bump {
@@ -140,6 +217,7 @@ impl Metrics {
             disputes: self.disputes.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             cache,
+            net: self.net.snapshot(),
             queue_depth: queue_depth as u64,
             tenants: tenants as u64,
         }
@@ -161,6 +239,7 @@ pub struct MetricsSnapshot {
     pub disputes: u64,
     pub latency: LatencySnapshot,
     pub cache: CacheStats,
+    pub net: NetSnapshot,
     pub queue_depth: u64,
     pub tenants: u64,
 }
@@ -178,7 +257,10 @@ impl MetricsSnapshot {
                 "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
                 "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
                 "\"prf_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
-                "\"hit_rate\":{:.4}}}}}"
+                "\"hit_rate\":{:.4}}},",
+                "\"net\":{{\"accepted\":{},\"active\":{},\"rejected\":{},",
+                "\"evicted_slow\":{},\"timed_out_idle\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{}}}}}"
             ),
             self.submitted,
             self.completed,
@@ -202,6 +284,13 @@ impl MetricsSnapshot {
             self.cache.misses,
             self.cache.entries,
             self.cache.hit_rate(),
+            self.net.accepted,
+            self.net.active,
+            self.net.rejected,
+            self.net.evicted_slow,
+            self.net.timed_out_idle,
+            self.net.bytes_in,
+            self.net.bytes_out,
         )
     }
 }
@@ -263,5 +352,36 @@ mod tests {
         assert!(json.contains("\"tenants\":2"));
         // Must be a single well-formed object (rudimentary check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn net_counters_gauge_and_json() {
+        let m = Metrics::default();
+        m.net.conn_accepted();
+        m.net.conn_accepted();
+        m.net.conn_closed();
+        m.net.conn_rejected();
+        m.net.conn_evicted_slow();
+        m.net.conn_timed_out_idle();
+        m.net.add_bytes_in(100);
+        m.net.add_bytes_out(250);
+        let snap = m.snapshot(CacheStats::default(), 0, 0);
+        assert_eq!(snap.net.accepted, 2);
+        assert_eq!(snap.net.active, 1);
+        assert_eq!(snap.net.rejected, 1);
+        assert_eq!(snap.net.evicted_slow, 1);
+        assert_eq!(snap.net.timed_out_idle, 1);
+        assert_eq!(snap.net.bytes_in, 100);
+        assert_eq!(snap.net.bytes_out, 250);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"net\":{\"accepted\":2,\"active\":1"),
+            "{json}"
+        );
+        assert!(json.contains("\"bytes_out\":250"), "{json}");
+        // The gauge saturates instead of wrapping.
+        m.net.conn_closed();
+        m.net.conn_closed();
+        assert_eq!(m.net.snapshot().active, 0);
     }
 }

@@ -22,12 +22,17 @@
 
 use crate::engine::Engine;
 use crate::error::ServiceError;
-use crate::job::{JobData, JobOutput, JobPayload, JobSpec, JobState};
+use crate::job::{JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState};
 use freqywm_core::params::{DetectionParams, GenerationParams};
 use freqywm_crypto::prf::Secret;
 use freqywm_data::token::Token;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
 use std::time::Duration;
+
+/// Default input frame-size cap shared by the pipe and socket
+/// transports: one JSON-lines request may not exceed this many bytes.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
 
 pub mod json {
     //! Minimal JSON: parse into a [`Value`] tree, escape strings out.
@@ -310,9 +315,17 @@ pub mod json {
 
 use json::{escape, Value};
 
-fn err_response(id: Option<&Value>, msg: &str) -> String {
+/// Renders the protocol's error response (with the request id echoed
+/// when one was parsed).
+pub fn err_response(id: Option<&Value>, msg: &str) -> String {
     let id_part = id_echo(id);
     format!("{{\"ok\":false{id_part},\"error\":\"{}\"}}", escape(msg))
+}
+
+/// The error response for a frame that exceeded the transport's size
+/// cap. No id echo — an oversized frame is never parsed.
+pub fn frame_too_large_response(max_frame: usize) -> String {
+    err_response(None, &format!("frame exceeds {max_frame} bytes"))
 }
 
 fn id_echo(id: Option<&Value>) -> String {
@@ -399,7 +412,8 @@ fn job_timeout(req: &Value) -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
-fn render_job_state(state: JobState, id: Option<&Value>) -> String {
+/// Renders a terminal [`JobState`] as the protocol response line.
+pub fn render_job_state(state: JobState, id: Option<&Value>) -> String {
     let id_part = id_echo(id);
     match state {
         JobState::Completed(JobOutput::Embed(e)) => {
@@ -464,14 +478,15 @@ fn render_job_state(state: JobState, id: Option<&Value>) -> String {
 
 /// A parsed request: a job to schedule on the pool, a synchronous op
 /// executed via [`execute_op`], or shutdown. Parsing never touches the
-/// engine, so batch execution controls *when* ordered ops run.
-enum Planned {
+/// engine, so the transport controls *when* ordered ops run.
+pub enum Planned {
     Op(Value),
     Job(JobSpec),
     Shutdown,
 }
 
-fn plan(line: &str) -> (Option<Value>, Result<Planned, String>) {
+/// Parses one request line into its echoed id and execution plan.
+pub fn plan(line: &str) -> (Option<Value>, Result<Planned, String>) {
     let req = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return (None, Err(format!("bad json: {e}"))),
@@ -635,7 +650,8 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
     }
 }
 
-fn run_op(engine: &Engine, req: &Value, id: Option<&Value>) -> String {
+/// Executes a synchronous op and renders its response line.
+pub fn run_op(engine: &Engine, req: &Value, id: Option<&Value>) -> String {
     match execute_op(engine, req) {
         Ok(resp) => inject_id(resp, id),
         Err(e) => err_response(id, &e),
@@ -675,28 +691,406 @@ fn inject_id(resp: String, id: Option<&Value>) -> String {
     }
 }
 
+fn shutdown_response(id: Option<&Value>) -> String {
+    inject_id("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), id)
+}
+
+/// One response slot, in request order.
+enum Slot {
+    /// Response rendered, waiting for the transport to take it.
+    Ready(String),
+    /// Still being produced (job in flight, or the request is deferred
+    /// behind one); holds the echoed request id for rendering later.
+    Pending { id: Option<Value> },
+}
+
+/// A transport-agnostic, order-preserving, pipelined protocol session.
+///
+/// Both front-ends — the stdin/stdout pipe of `freqywm serve` and each
+/// TCP connection of the `freqywm-net` reactor — feed request lines in
+/// and take response lines out, while jobs run on the engine's worker
+/// pool without the transport ever blocking on them. The session
+/// guarantees:
+///
+/// * **responses come back in request order**, whatever order jobs
+///   complete in;
+/// * **detect requests pipeline**: consecutive detects run concurrently
+///   on the pool;
+/// * **mutating requests are barriers**: an embed/maintain launches
+///   only once every earlier job finished, and register / dispute /
+///   metrics / shutdown ops execute only with no job in flight — so a
+///   pipelined `embed` → `detect` always detects against the new
+///   watermark, exactly like `freqywm batch`.
+///
+/// The driving transport must deliver [`Session::on_job_done`] for
+/// every id surfaced by [`Session::take_new_jobs`] (wired to
+/// [`Engine::set_completion_hook`]), and may call
+/// [`Session::drain_blocking`] to settle everything synchronously (EOF
+/// on a pipe, forced server drain).
+#[derive(Default)]
+pub struct Session {
+    /// Responses not yet taken, in request order; absolute sequence of
+    /// `slots[0]` is `base`.
+    slots: VecDeque<Slot>,
+    base: usize,
+    /// Requests planned but not yet launched, each pointing at its
+    /// reserved slot.
+    deferred: VecDeque<(usize, Option<Value>, Planned)>,
+    /// In-flight jobs: id → (slot seq, is-mutating).
+    pending: HashMap<JobId, (usize, bool)>,
+    pending_mutations: usize,
+    new_jobs: Vec<JobId>,
+    shutdown: bool,
+}
+
+impl Session {
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Feeds one request line. Blank lines and `#` comments are
+    /// ignored; everything else reserves exactly one response slot.
+    pub fn push_line(&mut self, engine: &Engine, line: &str) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return;
+        }
+        if self.shutdown {
+            // The transport normally stops feeding after shutdown; a
+            // pipelined straggler still gets an orderly refusal (with
+            // its id echoed, so pipelining clients can match it up).
+            let (id, _) = plan(line);
+            self.slots.push_back(Slot::Ready(err_response(
+                id.as_ref(),
+                "session shutting down",
+            )));
+            return;
+        }
+        let (id, planned) = plan(line);
+        let seq = self.base + self.slots.len();
+        match planned {
+            Err(e) => self
+                .slots
+                .push_back(Slot::Ready(err_response(id.as_ref(), &e))),
+            Ok(p) => {
+                self.slots.push_back(Slot::Pending { id: id.clone() });
+                self.deferred.push_back((seq, id, p));
+            }
+        }
+        self.launch(engine);
+    }
+
+    /// Queues a transport-level error response (oversized frame, …)
+    /// that occupies the next slot like any request would.
+    pub fn push_transport_error(&mut self, response: String) {
+        self.slots.push_back(Slot::Ready(response));
+    }
+
+    /// Notifies the session that a job completed. Returns `false` when
+    /// the id is not one of this session's in-flight jobs.
+    pub fn on_job_done(&mut self, engine: &Engine, id: JobId) -> bool {
+        let Some((seq, mutating)) = self.pending.remove(&id) else {
+            return false;
+        };
+        if mutating {
+            self.pending_mutations -= 1;
+        }
+        let state = engine.try_take(id).unwrap_or_else(|| {
+            JobState::Failed(ServiceError::Internal(format!(
+                "job {id} signalled completion but its result is gone"
+            )))
+        });
+        self.resolve(seq, state);
+        self.launch(engine);
+        true
+    }
+
+    /// Takes the maximal run of in-order ready responses.
+    pub fn take_ready(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while matches!(self.slots.front(), Some(Slot::Ready(_))) {
+            let Some(Slot::Ready(resp)) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.base += 1;
+            out.push(resp);
+        }
+        out
+    }
+
+    /// Job ids submitted since the last call — the transport maps these
+    /// back to this session for completion routing.
+    pub fn take_new_jobs(&mut self) -> Vec<JobId> {
+        std::mem::take(&mut self.new_jobs)
+    }
+
+    /// Ids of this session's in-flight jobs (for cleanup when a
+    /// connection dies with work outstanding).
+    pub fn pending_job_ids(&self) -> Vec<JobId> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// True once a `shutdown` op has been answered.
+    pub fn wants_shutdown(&self) -> bool {
+        self.shutdown
+    }
+
+    /// No jobs in flight and no deferred requests.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.deferred.is_empty()
+    }
+
+    /// Idle *and* every response has been taken — nothing left to do.
+    pub fn is_settled(&self) -> bool {
+        self.is_idle() && self.slots.is_empty()
+    }
+
+    /// Synchronously settles the session: waits for every in-flight
+    /// job, launching deferred requests as their barriers clear, until
+    /// nothing is pending. This is the graceful-drain path for pipe EOF
+    /// and forced server shutdown — no in-flight response is dropped.
+    pub fn drain_blocking(&mut self, engine: &Engine) {
+        loop {
+            self.launch(engine);
+            let Some(&id) = self.pending.keys().next() else {
+                if self.deferred.is_empty() || self.shutdown {
+                    return;
+                }
+                continue;
+            };
+            let (seq, mutating) = self.pending.remove(&id).expect("key taken from map");
+            if mutating {
+                self.pending_mutations -= 1;
+            }
+            let state = engine.wait(id);
+            self.resolve(seq, state);
+        }
+    }
+
+    fn resolve(&mut self, seq: usize, state: JobState) {
+        let idx = seq - self.base;
+        let id = match &self.slots[idx] {
+            Slot::Pending { id } => id.clone(),
+            Slot::Ready(_) => None,
+        };
+        self.slots[idx] = Slot::Ready(render_job_state(state, id.as_ref()));
+    }
+
+    /// Launches deferred requests from the front while their barrier
+    /// conditions hold (see the type docs for the rules).
+    fn launch(&mut self, engine: &Engine) {
+        while !self.shutdown {
+            let launchable = match self.deferred.front() {
+                None => break,
+                Some((_, _, Planned::Job(spec))) => match spec.payload.kind() {
+                    JobKind::Detect => self.pending_mutations == 0,
+                    JobKind::Embed | JobKind::Maintain => self.pending.is_empty(),
+                },
+                Some((_, _, Planned::Op(_) | Planned::Shutdown)) => self.pending.is_empty(),
+            };
+            if !launchable {
+                break;
+            }
+            let (seq, id, planned) = self.deferred.pop_front().expect("front checked above");
+            match planned {
+                Planned::Job(spec) => {
+                    let mutating = !matches!(spec.payload.kind(), JobKind::Detect);
+                    match engine.submit(spec) {
+                        Ok(job_id) => {
+                            self.pending.insert(job_id, (seq, mutating));
+                            if mutating {
+                                self.pending_mutations += 1;
+                            }
+                            self.new_jobs.push(job_id);
+                        }
+                        Err(e) => self.resolve(seq, JobState::Failed(e)),
+                    }
+                }
+                Planned::Op(req) => {
+                    let resp = run_op(engine, &req, id.as_ref());
+                    let idx = seq - self.base;
+                    self.slots[idx] = Slot::Ready(resp);
+                }
+                Planned::Shutdown => {
+                    let idx = seq - self.base;
+                    self.slots[idx] = Slot::Ready(shutdown_response(id.as_ref()));
+                    self.shutdown = true;
+                    // Requests pipelined behind the shutdown op will
+                    // never launch; refuse them now so their reserved
+                    // slots resolve and the session can settle —
+                    // otherwise a drain would stall on Pending slots
+                    // until its deadline.
+                    while let Some((seq, id, _)) = self.deferred.pop_front() {
+                        let idx = seq - self.base;
+                        self.slots[idx] =
+                            Slot::Ready(err_response(id.as_ref(), "session shutting down"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One framing unit read from a byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// A line longer than the cap; its bytes were discarded through the
+    /// terminating newline (or EOF).
+    Oversized,
+    /// End of stream.
+    Eof,
+}
+
+/// Newline-delimited framing with a size cap, for blocking readers (the
+/// pipe transport; the reactor does its own non-blocking equivalent).
+/// An oversized line is consumed and reported as [`Frame::Oversized`]
+/// instead of aborting the stream, so one bad frame costs one error
+/// response, not the connection.
+pub struct FrameReader<R: BufRead> {
+    inner: R,
+    max_frame: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    pub fn new(inner: R, max_frame: usize) -> Self {
+        FrameReader { inner, max_frame }
+    }
+
+    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut skipping = false;
+        loop {
+            let chunk = self.inner.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(if skipping {
+                    Frame::Oversized
+                } else if buf.is_empty() {
+                    Frame::Eof
+                } else {
+                    // Final line without a trailing newline.
+                    Frame::Line(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if skipping {
+                        self.inner.consume(pos + 1);
+                        return Ok(Frame::Oversized);
+                    }
+                    buf.extend_from_slice(&chunk[..pos]);
+                    self.inner.consume(pos + 1);
+                    if buf.len() > self.max_frame {
+                        return Ok(Frame::Oversized);
+                    }
+                    return Ok(Frame::Line(String::from_utf8_lossy(&buf).into_owned()));
+                }
+                None => {
+                    let len = chunk.len();
+                    if !skipping {
+                        buf.extend_from_slice(chunk);
+                        if buf.len() > self.max_frame {
+                            skipping = true;
+                            buf.clear();
+                        }
+                    }
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+}
+
+enum ServeEvent {
+    Frame(Frame),
+    JobDone(JobId),
+}
+
 /// Serves JSON-lines over arbitrary reader/writer until EOF or a
-/// `shutdown` op. Blank lines and `#` comments are skipped.
-pub fn serve<R: BufRead, W: Write>(
+/// `shutdown` op, with [`DEFAULT_MAX_FRAME`] as the input frame cap.
+/// Blank lines and `#` comments are skipped.
+pub fn serve<R, W>(engine: &Engine, reader: R, writer: W) -> std::io::Result<()>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    serve_with(engine, reader, writer, DEFAULT_MAX_FRAME)
+}
+
+/// [`serve`] with an explicit input frame-size cap.
+///
+/// Requests are pipelined through a [`Session`]: jobs run on the worker
+/// pool while the reader keeps feeding, responses stream back in
+/// request order as they complete (not once per input line), and EOF
+/// takes the graceful-drain path — every in-flight and deferred request
+/// still produces its response before `serve` returns. The reader runs
+/// on a helper thread so completions can be written while the transport
+/// is idle; the engine's completion hook is used for wakeups and is
+/// released on return.
+pub fn serve_with<R, W>(
     engine: &Engine,
     reader: R,
     mut writer: W,
-) -> std::io::Result<()> {
-    for line in reader.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    max_frame: usize,
+) -> std::io::Result<()>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let (tx, rx) = std::sync::mpsc::channel::<ServeEvent>();
+    let hook_tx = tx.clone();
+    engine.set_completion_hook(move |id| {
+        let _ = hook_tx.send(ServeEvent::JobDone(id));
+    });
+    std::thread::spawn(move || {
+        let mut frames = FrameReader::new(reader, max_frame);
+        loop {
+            match frames.next_frame() {
+                Ok(Frame::Eof) | Err(_) => {
+                    let _ = tx.send(ServeEvent::Frame(Frame::Eof));
+                    break;
+                }
+                Ok(frame) => {
+                    if tx.send(ServeEvent::Frame(frame)).is_err() {
+                        break;
+                    }
+                }
+            }
         }
-        let (id, planned) = plan(line);
-        let (resp, stop) = respond(engine, id.as_ref(), planned);
-        writeln!(writer, "{resp}")?;
-        writer.flush()?;
-        if stop {
-            break;
+    });
+
+    let mut session = Session::new();
+    let mut eof = false;
+    let result = (|| -> std::io::Result<()> {
+        loop {
+            let ready = session.take_ready();
+            if !ready.is_empty() {
+                for resp in ready {
+                    writeln!(writer, "{resp}")?;
+                }
+                writer.flush()?;
+            }
+            if session.wants_shutdown() || (eof && session.is_settled()) {
+                return Ok(());
+            }
+            // Job ids need no routing map here: one session owns them all.
+            session.take_new_jobs();
+            match rx.recv() {
+                Err(_) => return Ok(()),
+                Ok(ServeEvent::Frame(Frame::Line(line))) => session.push_line(engine, &line),
+                Ok(ServeEvent::Frame(Frame::Oversized)) => {
+                    session.push_transport_error(frame_too_large_response(max_frame))
+                }
+                Ok(ServeEvent::Frame(Frame::Eof)) => eof = true,
+                Ok(ServeEvent::JobDone(id)) => {
+                    session.on_job_done(engine, id);
+                }
+            }
         }
-    }
-    Ok(())
+    })();
+    engine.clear_completion_hook();
+    result
 }
 
 /// Batch execution with pipelined reads: consecutive `detect` requests
@@ -921,6 +1315,142 @@ mod tests {
         assert_eq!(lines.len(), 3, "{lines:?}");
         assert!(lines[0].contains("register"));
         assert!(lines[2].contains("shutdown"));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_flushes_in_flight_jobs_on_eof() {
+        // No shutdown op: the input just ends. Every request — the ops,
+        // the embed barrier and the pipelined detects — must still get
+        // its response, in request order, via the graceful-drain path.
+        let engine = test_engine();
+        let mut input = String::new();
+        input
+            .push_str("{\"op\":\"register\",\"tenant\":\"t\",\"secret_label\":\"eof\",\"id\":0}\n");
+        input.push_str(&format!(
+            "{{\"op\":\"embed\",\"tenant\":\"t\",\"z\":101,\"id\":1,\"counts\":{}}}\n",
+            counts_json(80)
+        ));
+        for i in 2..6 {
+            input.push_str(&format!(
+                "{{\"op\":\"detect\",\"tenant\":\"t\",\"t\":2,\"k\":1,\"id\":{i},\"counts\":{}}}\n",
+                counts_json(80)
+            ));
+        }
+        input.push_str("not json at all\n");
+        let mut out = Vec::new();
+        serve(&engine, std::io::Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 7, "{text}");
+        for (i, line) in lines[..6].iter().enumerate() {
+            assert!(line.contains(&format!("\"id\":{i}")), "order lost: {line}");
+        }
+        assert!(lines[1].contains("chosen_pairs"), "{}", lines[1]);
+        for line in &lines[2..6] {
+            assert!(line.contains("\"op\":\"detect\""), "{line}");
+        }
+        assert!(lines[6].contains("bad json"), "{}", lines[6]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_oversized_frame_but_connection_stays_usable() {
+        let engine = test_engine();
+        let big = format!("{{\"op\":\"metrics\",\"pad\":\"{}\"}}", "x".repeat(512));
+        let input = format!("{big}\n{{\"op\":\"metrics\"}}\n");
+        let mut out = Vec::new();
+        serve_with(&engine, std::io::Cursor::new(input), &mut out, 256).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("frame exceeds 256 bytes"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ok\":true"), "{}", lines[1]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn frame_reader_caps_and_recovers() {
+        let input = format!("short\n{}\nafter\nlast", "y".repeat(100));
+        let mut frames = FrameReader::new(std::io::Cursor::new(input), 16);
+        assert_eq!(frames.next_frame().unwrap(), Frame::Line("short".into()));
+        assert_eq!(frames.next_frame().unwrap(), Frame::Oversized);
+        assert_eq!(frames.next_frame().unwrap(), Frame::Line("after".into()));
+        assert_eq!(frames.next_frame().unwrap(), Frame::Line("last".into()));
+        assert_eq!(frames.next_frame().unwrap(), Frame::Eof);
+    }
+
+    #[test]
+    fn session_pipelines_with_barriers_and_preserves_order() {
+        let engine = test_engine();
+        let mut session = Session::new();
+        session.push_line(
+            &engine,
+            r#"{"op":"register","tenant":"s","secret_label":"sess"}"#,
+        );
+        assert_eq!(session.take_ready().len(), 1, "ops answer immediately");
+        // Embed is a mutation barrier: the detects pushed right behind
+        // it must not launch until it completes.
+        session.push_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"s","z":101,"id":"e","counts":{}}}"#,
+                counts_json(80)
+            ),
+        );
+        for i in 0..3 {
+            session.push_line(
+                &engine,
+                &format!(
+                    r#"{{"op":"detect","tenant":"s","t":2,"k":1,"id":{i},"counts":{}}}"#,
+                    counts_json(80)
+                ),
+            );
+        }
+        assert_eq!(session.take_new_jobs().len(), 1, "only the embed launched");
+        assert!(session.take_ready().is_empty(), "nothing terminal yet");
+        assert!(!session.is_idle());
+        session.drain_blocking(&engine);
+        assert!(session.is_idle());
+        let ready = session.take_ready();
+        assert_eq!(ready.len(), 4, "{ready:?}");
+        assert!(ready[0].contains("\"id\":\"e\""), "{}", ready[0]);
+        assert!(ready[0].contains("chosen_pairs"), "{}", ready[0]);
+        for (i, resp) in ready[1..].iter().enumerate() {
+            assert!(resp.contains(&format!("\"id\":{i}")), "order lost: {resp}");
+            assert!(resp.contains("\"op\":\"detect\""), "{resp}");
+        }
+        assert!(session.is_settled());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn session_refuses_requests_deferred_behind_shutdown() {
+        let engine = test_engine();
+        let mut session = Session::new();
+        session.push_line(
+            &engine,
+            r#"{"op":"register","tenant":"z","secret_label":"sd"}"#,
+        );
+        // detect (job) → shutdown → metrics, all before the job ends:
+        // shutdown and metrics both defer behind the in-flight detect.
+        session.push_line(
+            &engine,
+            r#"{"op":"detect","tenant":"z","counts":[["a",5],["b",3]],"id":0}"#,
+        );
+        session.push_line(&engine, r#"{"op":"shutdown","id":1}"#);
+        session.push_line(&engine, r#"{"op":"metrics","id":2}"#);
+        session.drain_blocking(&engine);
+        assert!(session.wants_shutdown());
+        // register + detect(error: no watermark) + shutdown + refusal.
+        let ready = session.take_ready();
+        assert_eq!(ready.len(), 4, "{ready:?}");
+        assert!(ready[2].contains("\"op\":\"shutdown\""), "{}", ready[2]);
+        assert!(ready[3].contains("session shutting down"), "{}", ready[3]);
+        assert!(
+            session.is_settled(),
+            "straggler slot left the session unsettled"
+        );
         engine.shutdown();
     }
 

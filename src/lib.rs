@@ -52,6 +52,7 @@
 //! | [`ml`] | from-scratch LSTM for the accuracy experiment |
 //! | [`ledger`] | hash-chained buyer-fingerprint ledger |
 //! | [`service`] | multi-tenant engine: key registry, worker pool, PRF cache, JSON-lines protocol |
+//! | [`net`] | non-blocking TCP front-end: hand-rolled epoll/poll reactor for `freqywm serve --listen` |
 
 pub use freqywm_attacks as attacks;
 pub use freqywm_baselines as baselines;
@@ -61,6 +62,7 @@ pub use freqywm_data as data;
 pub use freqywm_ledger as ledger;
 pub use freqywm_matching as matching;
 pub use freqywm_ml as ml;
+pub use freqywm_net as net;
 pub use freqywm_service as service;
 pub use freqywm_stats as stats;
 
