@@ -52,6 +52,15 @@ pub enum Command {
         engine: EngineOpts,
         net: ServeNetOpts,
     },
+    /// Runs the consistent-hash router tier: accepts the JSON-lines
+    /// protocol and forwards each request to one of N backend engine
+    /// shards by tenant-id hash.
+    Router {
+        listen: String,
+        /// Backend addresses in shard order (`--shard`, repeatable).
+        shards: Vec<String>,
+        opts: RouterOpts,
+    },
     /// Recovers a data-dir (snapshot + log replay) and verifies the
     /// registration hash chain end to end.
     LedgerVerify {
@@ -81,6 +90,9 @@ pub struct EngineOpts {
     pub snapshot_every: usize,
     /// Ledger HMAC key override (UTF-8 bytes).
     pub ledger_key: Option<String>,
+    /// `(i, n)` from `--shard-id i/n`: this engine serves only tenants
+    /// that jump-hash to shard `i` of `n` and refuses the rest.
+    pub shard_id: Option<(usize, usize)>,
 }
 
 impl Default for EngineOpts {
@@ -94,6 +106,7 @@ impl Default for EngineOpts {
             data_dir: None,
             snapshot_every: 256,
             ledger_key: None,
+            shard_id: None,
         }
     }
 }
@@ -110,6 +123,9 @@ pub struct ServeNetOpts {
     pub idle_timeout_secs: u64,
     /// Input frame-size cap in bytes (shared with the pipe transport).
     pub max_frame: usize,
+    /// Shared-secret front-end auth: connections must `hello` with
+    /// this token (or send it per-request as `"auth"`) first.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServeNetOpts {
@@ -119,8 +135,49 @@ impl Default for ServeNetOpts {
             max_conns: 1024,
             idle_timeout_secs: 0,
             max_frame: 1 << 20,
+            auth_token: None,
         }
     }
+}
+
+/// Router-tier flags (`freqywm router`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterOpts {
+    pub max_conns: usize,
+    pub max_frame: usize,
+    /// Client-side shared-secret auth (like `serve --auth-token`).
+    pub auth_token: Option<String>,
+    /// Token the router presents to backends (their `--auth-token`).
+    pub shard_auth_token: Option<String>,
+    /// Seconds between health probes of idle backends.
+    pub probe_interval_secs: u64,
+    /// Drain bound in seconds (shutdown op / SIGTERM).
+    pub drain_timeout_secs: u64,
+}
+
+impl Default for RouterOpts {
+    fn default() -> Self {
+        RouterOpts {
+            max_conns: 1024,
+            max_frame: 1 << 20,
+            auth_token: None,
+            shard_auth_token: None,
+            probe_interval_secs: 2,
+            drain_timeout_secs: 10,
+        }
+    }
+}
+
+/// Parses `--shard-id i/n` (e.g. `0/4`).
+pub fn parse_shard_id(s: &str) -> Result<(usize, usize), String> {
+    let err = || format!("bad value for --shard-id: {s:?} (expected i/n, e.g. 0/4)");
+    let (i, n) = s.split_once('/').ok_or_else(err)?;
+    let i: usize = i.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if n == 0 || i >= n {
+        return Err(format!("bad value for --shard-id: {s:?} (need 0 <= i < n)"));
+    }
+    Ok((i, n))
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,10 +203,14 @@ USAGE:
   freqywm judge    --a-input <a.txt> --a-secret <a.fwm>
                    --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
   freqywm serve    [--listen <addr>] [--max-conns 1024] [--idle-timeout SECS]
-                   [--max-frame BYTES]
+                   [--max-frame BYTES] [--auth-token T] [--shard-id i/N]
                    [--workers 4] [--queue 1024] [--cache-shards 8]
                    [--cache-capacity 8192] [--no-cache]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
+  freqywm router   --listen <addr> --shard <addr> [--shard <addr> ...]
+                   [--max-conns 1024] [--max-frame BYTES] [--auth-token T]
+                   [--shard-auth-token T] [--probe-interval 2]
+                   [--drain-timeout 10]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
                    [--cache-shards 8] [--cache-capacity 8192] [--no-cache]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
@@ -169,6 +230,17 @@ address is printed as `listening on <addr>` on startup; `--idle-timeout
 accepting, flush in-flight responses, close). `batch` runs the protocol
 over a file, running consecutive detect requests concurrently on the
 worker pool.
+
+`router` scales the same protocol across processes: each request is
+forwarded to one of N backend `serve --listen` shards by
+jump-consistent hash on the tenant id (`metrics` fans out to every
+shard and merges; `shutdown` drains the whole tier; SIGTERM drains the
+router only, leaving backends up). Give each backend `--shard-id i/N`
+(matching its position in the router's --shard list) so a misrouted
+tenant is refused, and its own --data-dir so durability stays per
+partition. `--auth-token` on serve or router locks the socket behind a
+hello handshake; the router presents `--shard-auth-token` to its
+backends.
 
 With `--data-dir` the registry and its hash-chained ledger live in an
 append-only, fsync'd, checksummed log (plus periodic snapshots), so
@@ -230,6 +302,7 @@ fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> 
         data_dir: f.get("data-dir").cloned(),
         snapshot_every: opt_parse(f, "snapshot-every", defaults.snapshot_every)?,
         ledger_key: f.get("ledger-key").cloned(),
+        shard_id: f.get("shard-id").map(|s| parse_shard_id(s)).transpose()?,
     })
 }
 
@@ -317,6 +390,61 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         net_defaults.idle_timeout_secs,
                     )?,
                     max_frame: opt_parse(&f, "max-frame", net_defaults.max_frame)?,
+                    auth_token: f.get("auth-token").cloned(),
+                },
+            })
+        }
+        "router" => {
+            // `--shard` repeats (once per backend, in shard order), so
+            // it is collected before the single-value flag parser runs.
+            let mut shards: Vec<String> = Vec::new();
+            let mut flag_args: Vec<String> = Vec::new();
+            let mut i = 0;
+            while i < rest.len() {
+                if rest[i] == "--shard" {
+                    let v = rest
+                        .get(i + 1)
+                        .ok_or_else(|| "flag --shard needs a value".to_string())?;
+                    for part in v.split(',') {
+                        let part = part.trim();
+                        // An empty entry would silently shift every
+                        // index in the shard map off its --shard-id.
+                        if part.is_empty() {
+                            return Err(format!("--shard contains an empty address: {v:?}"));
+                        }
+                        shards.push(part.to_string());
+                    }
+                    i += 2;
+                } else {
+                    flag_args.push(rest[i].clone());
+                    i += 1;
+                }
+            }
+            let f = parse_flags(&flag_args)?;
+            if shards.is_empty() {
+                return Err(format!(
+                    "router needs at least one --shard <addr>\n\n{USAGE}"
+                ));
+            }
+            let defaults = RouterOpts::default();
+            Ok(Command::Router {
+                listen: req(&f, "listen")?,
+                shards,
+                opts: RouterOpts {
+                    max_conns: opt_parse(&f, "max-conns", defaults.max_conns)?,
+                    max_frame: opt_parse(&f, "max-frame", defaults.max_frame)?,
+                    auth_token: f.get("auth-token").cloned(),
+                    shard_auth_token: f.get("shard-auth-token").cloned(),
+                    probe_interval_secs: opt_parse(
+                        &f,
+                        "probe-interval",
+                        defaults.probe_interval_secs,
+                    )?,
+                    drain_timeout_secs: opt_parse(
+                        &f,
+                        "drain-timeout",
+                        defaults.drain_timeout_secs,
+                    )?,
                 },
             })
         }
@@ -587,6 +715,89 @@ mod tests {
         }
         assert!(parse_args(&v(&["serve", "--max-conns", "many"])).is_err());
         assert!(parse_args(&v(&["serve", "--listen"])).is_err());
+    }
+
+    #[test]
+    fn router_flags_collect_repeated_shards() {
+        let c = parse_args(&v(&[
+            "router",
+            "--listen",
+            "127.0.0.1:7700",
+            "--shard",
+            "127.0.0.1:7701",
+            "--shard",
+            "127.0.0.1:7702,127.0.0.1:7703",
+            "--auth-token",
+            "front",
+            "--shard-auth-token",
+            "back",
+            "--probe-interval",
+            "5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Router {
+                listen,
+                shards,
+                opts,
+            } => {
+                assert_eq!(listen, "127.0.0.1:7700");
+                assert_eq!(
+                    shards,
+                    vec!["127.0.0.1:7701", "127.0.0.1:7702", "127.0.0.1:7703"]
+                );
+                assert_eq!(opts.auth_token.as_deref(), Some("front"));
+                assert_eq!(opts.shard_auth_token.as_deref(), Some("back"));
+                assert_eq!(opts.probe_interval_secs, 5);
+                assert_eq!(opts.drain_timeout_secs, 10);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(
+            parse_args(&v(&["router", "--listen", "x"])).is_err(),
+            "router needs --shard"
+        );
+        assert!(
+            parse_args(&v(&["router", "--shard", "a:1"])).is_err(),
+            "router needs --listen"
+        );
+        // An empty entry would shift every shard index off its
+        // backend's --shard-id.
+        assert!(
+            parse_args(&v(&["router", "--listen", "x", "--shard", "a:1,"])).is_err(),
+            "trailing comma must be rejected"
+        );
+        assert!(
+            parse_args(&v(&["router", "--listen", "x", "--shard", "a:1,,b:2"])).is_err(),
+            "empty segment must be rejected"
+        );
+    }
+
+    #[test]
+    fn serve_shard_id_and_auth() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--shard-id",
+            "1/4",
+            "--auth-token",
+            "secret",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { engine, net } => {
+                assert_eq!(engine.shard_id, Some((1, 4)));
+                assert_eq!(net.auth_token.as_deref(), Some("secret"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert_eq!(parse_shard_id("0/2"), Ok((0, 2)));
+        assert!(parse_shard_id("2/2").is_err(), "index out of range");
+        assert!(parse_shard_id("0/0").is_err());
+        assert!(parse_shard_id("x/2").is_err());
+        assert!(parse_shard_id("3").is_err());
+        assert!(parse_args(&v(&["serve", "--shard-id", "9/4"])).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{AttackKind, Command, EngineOpts, ServeNetOpts, USAGE};
+use crate::args::{AttackKind, Command, EngineOpts, RouterOpts, ServeNetOpts, USAGE};
 use freqywm_attacks::destroy::{destroy_with_reordering, destroy_within_boundaries};
 use freqywm_core::detect::detect_dataset;
 use freqywm_core::eligible::{eligible_pairs, r_max};
@@ -41,6 +41,11 @@ fn engine_config(opts: &EngineOpts) -> EngineConfig {
         },
         snapshot_every: opts.snapshot_every,
         ledger_key: ledger_key_bytes(&opts.ledger_key),
+        shard_gate: opts.shard_id.map(|(i, n)| {
+            freqywm_service::ShardGate::new(format!("{i}/{n}"), move |tenant| {
+                freqywm_shard::tenant_shard(tenant, n) == i
+            })
+        }),
         ..EngineConfig::default()
     }
 }
@@ -91,10 +96,48 @@ fn serve_network(
         idle_timeout: (net.idle_timeout_secs > 0)
             .then(|| std::time::Duration::from_secs(net.idle_timeout_secs)),
         max_frame: net.max_frame.max(1),
+        auth_token: net.auth_token.clone(),
         ..freqywm_net::NetConfig::default()
     };
     freqywm_net::serve_listener(engine, listener, config)
         .map_err(|e| format!("network serve error: {e}"))
+}
+
+/// Binds the router's listen address, announces it and the shard map,
+/// and runs the router reactor until a `shutdown` op drains the tier
+/// (or SIGTERM/SIGINT drains the router alone).
+fn run_router(
+    listen: &str,
+    shards: Vec<String>,
+    opts: &RouterOpts,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    let listener = std::net::TcpListener::bind(listen)
+        .map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    writeln!(out, "listening on {local}").ok();
+    // The shard map is the deployment contract — log it so operators
+    // can verify placement against each backend's --shard-id.
+    write!(
+        out,
+        "{}",
+        freqywm_shard::ShardMap::new(shards.clone()).describe()
+    )
+    .ok();
+    out.flush().ok();
+    let config = freqywm_shard::RouterConfig {
+        max_conns: opts.max_conns.max(1),
+        max_frame: opts.max_frame.max(1),
+        probe_interval: std::time::Duration::from_secs(opts.probe_interval_secs.max(1)),
+        drain_timeout: std::time::Duration::from_secs(opts.drain_timeout_secs.max(1)),
+        auth_token: opts.auth_token.clone(),
+        shard_auth_token: opts.shard_auth_token.clone(),
+        handle_signals: true,
+        ..freqywm_shard::RouterConfig::new(shards)
+    };
+    freqywm_shard::run_router(listener, config).map_err(|e| format!("router error: {e}"))
 }
 
 /// Runs a parsed command. Returns the process exit code.
@@ -286,16 +329,25 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
                     // Session machinery as the socket path; EOF takes
                     // the graceful-drain route (in-flight responses
                     // flush before exit).
-                    proto::serve_with(
+                    proto::serve_with_auth(
                         &engine,
                         std::io::BufReader::new(std::io::stdin()),
                         &mut *out,
                         net.max_frame.max(1),
+                        net.auth_token.clone(),
                     )
                     .map_err(|e| format!("serve I/O error: {e}"))?;
                 }
             }
             stop_engine(engine, opts.data_dir.is_some());
+            Ok(0)
+        }
+        Command::Router {
+            listen,
+            shards,
+            opts,
+        } => {
+            run_router(&listen, shards, &opts, out)?;
             Ok(0)
         }
         Command::Batch {

@@ -38,6 +38,12 @@ pub struct NetConfig {
     /// closed forcibly.
     pub drain_timeout: Duration,
     pub backend: Backend,
+    /// Shared-secret front-end auth. When set, every connection must
+    /// authenticate before its first op — a `hello` op carrying
+    /// `"token"` unlocks the connection, or an individual request may
+    /// carry a matching `"auth"` field. `None` leaves the socket open
+    /// (pre-router behaviour).
+    pub auth_token: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -49,6 +55,7 @@ impl Default for NetConfig {
             max_write_buffer: 4 << 20,
             drain_timeout: Duration::from_secs(10),
             backend: Backend::Auto,
+            auth_token: None,
         }
     }
 }

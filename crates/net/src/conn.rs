@@ -1,6 +1,7 @@
 //! Per-connection state: non-blocking framing in, ordered responses
 //! out, all protocol semantics delegated to [`Session`].
 
+use crate::framing::{LineEvent, LineFramer};
 use crate::poller::Interest;
 use freqywm_service::metrics::NetCounters;
 use freqywm_service::proto::{frame_too_large_response, Session};
@@ -32,26 +33,23 @@ pub(crate) struct Conn {
     pub last_activity: Instant,
     /// Interest currently registered with the poller.
     pub interest: Interest,
-    in_buf: Vec<u8>,
+    framer: LineFramer,
     out_buf: Vec<u8>,
     out_pos: usize,
-    /// Discarding an oversized frame until its terminating newline.
-    skipping: bool,
 }
 
 impl Conn {
-    pub fn new(stream: TcpStream) -> Self {
+    pub fn new(stream: TcpStream, max_frame: usize, auth_token: Option<String>) -> Self {
         Conn {
             stream,
-            session: Session::new(),
+            session: Session::with_auth(auth_token),
             eof: false,
             failed: false,
             last_activity: Instant::now(),
             interest: Interest::READ,
-            in_buf: Vec::new(),
+            framer: LineFramer::new(max_frame),
             out_buf: Vec::new(),
             out_pos: 0,
-            skipping: false,
         }
     }
 
@@ -67,22 +65,24 @@ impl Conn {
                     self.eof = true;
                     // Mirror FrameReader's EOF handling: a final frame
                     // without a trailing newline still gets processed.
-                    // (An oversized tail already got its error response
-                    // when ingest detected the overflow.)
-                    if self.skipping {
-                        self.skipping = false;
-                        self.in_buf.clear();
-                    } else if !self.in_buf.is_empty() {
-                        let tail = std::mem::take(&mut self.in_buf);
-                        let line = String::from_utf8_lossy(&tail);
-                        self.session.push_line(engine, &line);
-                    }
+                    let session = &mut self.session;
+                    self.framer.finish(|event| {
+                        if let LineEvent::Line(line) = event {
+                            session.push_line(engine, &line);
+                        }
+                    });
                     break;
                 }
                 Ok(n) => {
                     counters.add_bytes_in(n as u64);
                     self.last_activity = Instant::now();
-                    self.ingest(engine, &chunk[..n], max_frame);
+                    let session = &mut self.session;
+                    self.framer.push(&chunk[..n], |event| match event {
+                        LineEvent::Line(line) => session.push_line(engine, &line),
+                        LineEvent::Oversized => {
+                            session.push_transport_error(frame_too_large_response(max_frame))
+                        }
+                    });
                     budget = budget.saturating_sub(n);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -92,39 +92,6 @@ impl Conn {
                     break;
                 }
             }
-        }
-    }
-
-    /// Splits buffered input into newline frames, enforcing the frame
-    /// cap. An oversized frame costs one error response and is skipped
-    /// through its newline; the connection stays usable.
-    fn ingest(&mut self, engine: &Engine, bytes: &[u8], max_frame: usize) {
-        self.in_buf.extend_from_slice(bytes);
-        let mut start = 0;
-        while let Some(rel) = self.in_buf[start..].iter().position(|&b| b == b'\n') {
-            let end = start + rel;
-            if self.skipping {
-                // Tail of a frame whose prefix already overflowed.
-                self.skipping = false;
-            } else if end - start > max_frame {
-                self.session
-                    .push_transport_error(frame_too_large_response(max_frame));
-            } else {
-                let line = String::from_utf8_lossy(&self.in_buf[start..end]);
-                self.session.push_line(engine, &line);
-            }
-            start = end + 1;
-        }
-        if start > 0 {
-            self.in_buf.drain(..start);
-        }
-        if !self.skipping && self.in_buf.len() > max_frame {
-            // Overflow before any newline: reject now, discard until
-            // the frame eventually terminates.
-            self.session
-                .push_transport_error(frame_too_large_response(max_frame));
-            self.skipping = true;
-            self.in_buf.clear();
         }
     }
 

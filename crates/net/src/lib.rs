@@ -31,8 +31,10 @@
 //! pipe transport remains available.
 
 mod config;
+pub mod framing;
 
 pub use config::{Backend, NetConfig};
+pub use framing::{LineEvent, LineFramer};
 
 #[cfg(unix)]
 mod conn;

@@ -221,7 +221,14 @@ impl<'a> Reactor<'a> {
                         continue;
                     }
                     self.engine.net_counters().conn_accepted();
-                    self.conns.insert(fd, Conn::new(stream));
+                    self.conns.insert(
+                        fd,
+                        Conn::new(
+                            stream,
+                            self.config.max_frame,
+                            self.config.auth_token.clone(),
+                        ),
+                    );
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,

@@ -38,7 +38,7 @@ use crate::job::{
 use crate::metrics::{Metrics, MetricsSnapshot, NetCounters};
 use crate::persist::DurableRegistry;
 use crate::prf_cache::{PrfCache, PrfCacheConfig};
-use crate::shard::sharded_histogram;
+use crate::shard::{sharded_histogram_cancellable, Cancellation};
 use crate::storage::{NullStorage, Storage};
 use freqywm_core::detect::detect_histogram_with;
 use freqywm_core::generate::Watermarker;
@@ -52,6 +52,45 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+/// Tenant-ownership gate for sharded deployments (`freqywm serve
+/// --shard-id i/N`): the engine refuses requests for tenants that hash
+/// to a different shard, so a misconfigured router (or a client dialing
+/// a shard directly) cannot silently split one tenant's state across
+/// partitions. The hash itself lives with the router tier
+/// (`freqywm-shard`); the engine only evaluates the predicate.
+#[derive(Clone)]
+pub struct ShardGate {
+    label: String,
+    owns: Arc<dyn Fn(&str) -> bool + Send + Sync>,
+}
+
+impl ShardGate {
+    /// `label` identifies the shard in errors and metrics (e.g. `0/4`).
+    pub fn new(
+        label: impl Into<String>,
+        owns: impl Fn(&str) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        ShardGate {
+            label: label.into(),
+            owns: Arc::new(owns),
+        }
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    pub fn owns(&self, tenant: &str) -> bool {
+        (self.owns)(tenant)
+    }
+}
+
+impl std::fmt::Debug for ShardGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardGate({})", self.label)
+    }
+}
+
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -60,7 +99,10 @@ pub struct EngineConfig {
     /// Maximum queued (not yet running) jobs before submits are
     /// rejected with [`ServiceError::QueueFull`].
     pub queue_capacity: usize,
-    /// Default queue-wait deadline for jobs without an explicit one.
+    /// Default whole-lifetime deadline for jobs without an explicit
+    /// `timeout`: a job that has not *finished* by then fails with a
+    /// deadline error — reaped from the queue, or cancelled at the
+    /// next cooperative checkpoint if already running.
     pub default_timeout: Duration,
     /// PRF cache geometry (use [`PrfCacheConfig::disabled`] to bypass).
     pub cache: PrfCacheConfig,
@@ -71,6 +113,9 @@ pub struct EngineConfig {
     /// Registry mutations between automatic snapshot/compaction
     /// cycles of the durable log (0 disables auto-snapshots).
     pub snapshot_every: usize,
+    /// Tenant-ownership gate for sharded deployments; `None` serves
+    /// every tenant (single-process deployment).
+    pub shard_gate: Option<ShardGate>,
 }
 
 impl Default for EngineConfig {
@@ -83,6 +128,7 @@ impl Default for EngineConfig {
             shard_threads: 4,
             ledger_key: b"freqywm-service-ledger".to_vec(),
             snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
+            shard_gate: None,
         }
     }
 }
@@ -187,6 +233,7 @@ impl Engine {
 
     /// Registers a tenant's secret; returns the onboarding ledger index.
     pub fn register_tenant(&self, tenant: &str, secret: Secret) -> Result<u64> {
+        check_shard(&self.shared, tenant)?;
         let mut registry = self
             .shared
             .registry
@@ -376,6 +423,8 @@ impl Engine {
         tenant_b: &str,
         params: &DetectionParams,
     ) -> Result<DisputeOutcome> {
+        check_shard(&self.shared, tenant_a)?;
+        check_shard(&self.shared, tenant_b)?;
         self.shared.metrics.disputes.fetch_add(1, Ordering::Relaxed);
         let registry = self.shared.registry.read().expect("registry lock poisoned");
         let wa = registry.require_watermark(tenant_a)?;
@@ -421,6 +470,12 @@ impl Engine {
         })
     }
 
+    /// The shard label this engine serves (`freqywm serve --shard-id`),
+    /// if any.
+    pub fn shard_label(&self) -> Option<&str> {
+        self.shared.config.shard_gate.as_ref().map(ShardGate::label)
+    }
+
     /// Counters, latency histogram, cache hit-rate, queue depth.
     pub fn metrics(&self) -> MetricsSnapshot {
         let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
@@ -430,9 +485,12 @@ impl Engine {
             .read()
             .expect("registry lock poisoned")
             .len();
-        self.shared
-            .metrics
-            .snapshot(self.shared.cache.stats(), queue_depth, tenants)
+        let mut snapshot =
+            self.shared
+                .metrics
+                .snapshot(self.shared.cache.stats(), queue_depth, tenants);
+        snapshot.shard = self.shard_label().map(str::to_string);
+        snapshot
     }
 
     /// Graceful shutdown: stop accepting submits, let workers drain the
@@ -516,7 +574,7 @@ fn worker_loop(shared: Arc<Shared>) {
         let kind = payload.kind();
         let started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_payload(&shared, payload)
+            run_payload(&shared, payload, deadline)
         }));
         let took = started.elapsed();
         let state = match result {
@@ -529,6 +587,12 @@ fn worker_loop(shared: Arc<Shared>) {
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
                 JobState::Completed(output)
+            }
+            // Reaped at a cancellation checkpoint while running: a
+            // timeout, not a failure of the pipeline.
+            Ok(Err(ServiceError::DeadlineExceeded)) => {
+                shared.metrics.job_timed_out();
+                JobState::Failed(ServiceError::DeadlineExceeded)
             }
             Ok(Err(e)) => {
                 shared.metrics.job_failed();
@@ -577,14 +641,41 @@ fn fire_completion_hook(shared: &Shared, id: JobId) {
     }
 }
 
-fn materialize(shared: &Shared, data: JobData) -> Histogram {
-    match data {
-        JobData::Histogram(h) => h,
-        JobData::Tokens(tokens) => sharded_histogram(&tokens, shared.config.shard_threads),
+/// `Err(WrongShard)` when a shard gate is configured and disowns the
+/// tenant.
+fn check_shard(shared: &Shared, tenant: &str) -> Result<()> {
+    match &shared.config.shard_gate {
+        Some(gate) if !gate.owns(tenant) => Err(ServiceError::WrongShard {
+            tenant: tenant.to_string(),
+            shard: gate.label().to_string(),
+        }),
+        _ => Ok(()),
     }
 }
 
-fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
+/// `Err(DeadlineExceeded)` once the job's deadline has passed —
+/// called at stage boundaries so a running job is reaped cooperatively.
+fn check_deadline(cancel: &Cancellation) -> Result<()> {
+    if cancel.expired() {
+        Err(ServiceError::DeadlineExceeded)
+    } else {
+        Ok(())
+    }
+}
+
+fn materialize(shared: &Shared, data: JobData, cancel: &Cancellation) -> Result<Histogram> {
+    match data {
+        JobData::Histogram(h) => Ok(h),
+        JobData::Tokens(tokens) => {
+            sharded_histogram_cancellable(&tokens, shared.config.shard_threads, cancel)
+                .map_err(|_| ServiceError::DeadlineExceeded)
+        }
+    }
+}
+
+fn run_payload(shared: &Shared, payload: JobPayload, deadline: Instant) -> Result<JobOutput> {
+    check_shard(shared, payload.tenant())?;
+    let cancel = Cancellation::at_deadline(deadline);
     match payload {
         JobPayload::Embed {
             tenant,
@@ -598,7 +689,8 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
                     registry.cache_tag(&tenant)?,
                 )
             };
-            let hist = materialize(shared, data);
+            let hist = materialize(shared, data, &cancel)?;
+            check_deadline(&cancel)?;
             // Embed sweeps through the tenant's PRF cache view: moduli
             // already warmed by earlier embeds/detections over
             // overlapping vocabularies are reused, and the sweep's own
@@ -612,6 +704,9 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
             } else {
                 watermarker.generate_histogram(&hist, secret)?
             };
+            // Reap before recording: the caller sees a deadline error,
+            // so the registry must not keep a watermark they never got.
+            check_deadline(&cancel)?;
             let ledger_index = {
                 let mut registry = shared.registry.write().expect("registry lock poisoned");
                 // Tick under the lock so ledger chronology is monotone
@@ -641,7 +736,8 @@ fn run_payload(shared: &Shared, payload: JobPayload) -> Result<JobOutput> {
                 let wm = registry.require_watermark(&tenant)?;
                 (wm.secrets.clone(), registry.cache_tag(&tenant)?)
             };
-            let hist = materialize(shared, data);
+            let hist = materialize(shared, data, &cancel)?;
+            check_deadline(&cancel)?;
             let outcome =
                 detect_histogram_with(&hist, &secrets, &params, &shared.cache.for_tag(tag));
             Ok(JobOutput::Detect(DetectOutcome { tenant, outcome }))

@@ -17,8 +17,13 @@ pub enum ServiceError {
     QueueFull { capacity: usize },
     /// The engine is draining or stopped and accepts no new jobs.
     ShuttingDown,
-    /// The job spent longer than its timeout waiting in the queue.
+    /// The job missed its deadline — either waiting in the queue, or
+    /// while running (reaped at a cooperative cancellation checkpoint).
     DeadlineExceeded,
+    /// The tenant hashes to a different shard than the one this engine
+    /// serves (`freqywm serve --shard-id i/N`): the request was
+    /// misrouted or the shard map changed.
+    WrongShard { tenant: String, shard: String },
     /// A malformed request (protocol layer).
     BadRequest(String),
     /// The underlying watermarking pipeline failed.
@@ -45,7 +50,10 @@ impl fmt::Display for ServiceError {
                 write!(f, "job queue full (capacity {capacity})")
             }
             ServiceError::ShuttingDown => write!(f, "engine is shutting down"),
-            ServiceError::DeadlineExceeded => write!(f, "job deadline exceeded in queue"),
+            ServiceError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            ServiceError::WrongShard { tenant, shard } => {
+                write!(f, "tenant {tenant:?} is not owned by this shard ({shard})")
+            }
             ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServiceError::Core(e) => write!(f, "watermarking error: {e}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),

@@ -85,10 +85,11 @@ pub enum JobKind {
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     pub payload: JobPayload,
-    /// Maximum time the job may spend *queued*; a job that has not
-    /// started by its deadline is failed with
-    /// [`ServiceError::DeadlineExceeded`]. `None` uses the engine
-    /// default.
+    /// Whole-lifetime deadline: a job that has not *finished* by then
+    /// is failed with [`ServiceError::DeadlineExceeded`] — reaped from
+    /// the queue, or cancelled at the next cooperative checkpoint
+    /// (histogram-shard boundary, stage boundary) if it was already
+    /// running. `None` uses the engine default.
     pub timeout: Option<Duration>,
 }
 

@@ -37,15 +37,17 @@ pub mod registry;
 pub mod shard;
 pub mod storage;
 
-pub use engine::{DisputeOutcome, Engine, EngineConfig};
+pub use engine::{DisputeOutcome, Engine, EngineConfig, ShardGate};
 pub use error::ServiceError;
 pub use job::{
     DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
     MaintainOutcome,
 };
-pub use metrics::{MetricsSnapshot, NetCounters, NetSnapshot};
+pub use metrics::{
+    aggregate_shard_metrics, MetricsSnapshot, NetCounters, NetSnapshot, ShardMetricsPiece,
+};
 pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent};
 pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
 pub use registry::{KeyRegistry, StoredWatermark, TenantSnapshot};
-pub use shard::sharded_histogram;
+pub use shard::{sharded_histogram, sharded_histogram_cancellable, Cancellation, Cancelled};
 pub use storage::{DiskLog, FaultyStorage, InMemoryStorage, NullStorage, Storage, StorageError};

@@ -220,6 +220,7 @@ impl Metrics {
             net: self.net.snapshot(),
             queue_depth: queue_depth as u64,
             tenants: tenants as u64,
+            shard: None,
         }
     }
 }
@@ -242,18 +243,25 @@ pub struct MetricsSnapshot {
     pub net: NetSnapshot,
     pub queue_depth: u64,
     pub tenants: u64,
+    /// Shard label when this engine serves one partition of a sharded
+    /// deployment (`freqywm serve --shard-id i/N`).
+    pub shard: Option<String>,
 }
 
 impl MetricsSnapshot {
     /// Renders the snapshot as a single JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.latency.buckets.iter().map(|b| b.to_string()).collect();
+        let shard_part = match &self.shard {
+            Some(label) => format!("\"shard\":\"{}\",", crate::proto::json::escape(label)),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
                 "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
-                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},",
+                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},{}",
                 "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
                 "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
                 "\"prf_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
@@ -274,6 +282,7 @@ impl MetricsSnapshot {
             self.disputes,
             self.queue_depth,
             self.tenants,
+            shard_part,
             self.latency.count,
             self.latency.mean_micros(),
             self.latency.quantile_upper_micros(0.50),
@@ -293,6 +302,79 @@ impl MetricsSnapshot {
             self.net.bytes_out,
         )
     }
+}
+
+/// One shard's contribution to a router-tier `metrics` aggregation.
+#[derive(Debug, Clone)]
+pub struct ShardMetricsPiece {
+    /// Shard index in the consistent-hash map.
+    pub index: usize,
+    /// Backend address the router dials for this shard.
+    pub addr: String,
+    /// Whether the router currently holds a live connection.
+    pub up: bool,
+    /// The shard's `metrics` object as parsed JSON; `None` when the
+    /// shard was unreachable (its counters are simply absent from the
+    /// totals — aggregation degrades, it does not fail).
+    pub metrics: Option<crate::proto::json::Value>,
+}
+
+/// Counter keys summed across shards into the `totals` object. Gauges
+/// that sum meaningfully (`queue_depth`, `tenants`) are included;
+/// latencies and cache internals stay per-shard only.
+const AGGREGATE_KEYS: &[&str] = &[
+    "submitted",
+    "completed",
+    "failed",
+    "timed_out",
+    "rejected",
+    "cancelled",
+    "embed_jobs",
+    "detect_jobs",
+    "maintain_jobs",
+    "disputes",
+    "queue_depth",
+    "tenants",
+];
+
+/// Merges per-shard metrics into the router's fleet view: summed
+/// `totals` plus the untouched per-shard objects (so nothing is lost
+/// to the aggregation). Renders one JSON object.
+pub fn aggregate_shard_metrics(pieces: &[ShardMetricsPiece]) -> String {
+    use crate::proto::json;
+    let totals: Vec<String> = AGGREGATE_KEYS
+        .iter()
+        .map(|key| {
+            let sum: u64 = pieces
+                .iter()
+                .filter_map(|p| p.metrics.as_ref())
+                .filter_map(|m| m.get(key).and_then(json::Value::as_u64))
+                .sum();
+            format!("\"{key}\":{sum}")
+        })
+        .collect();
+    let shards_up = pieces.iter().filter(|p| p.up).count();
+    let per_shard: Vec<String> = pieces
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"shard\":{},\"addr\":\"{}\",\"up\":{},\"metrics\":{}}}",
+                p.index,
+                json::escape(&p.addr),
+                p.up,
+                p.metrics
+                    .as_ref()
+                    .map_or_else(|| "null".to_string(), json::write),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"shard_count\":{},\"shards_up\":{},\"totals\":{{{}}},\"per_shard\":[{}]}}",
+        pieces.len(),
+        shards_up,
+        totals.join(","),
+        per_shard.join(","),
+    )
 }
 
 #[cfg(test)]
@@ -383,5 +465,54 @@ mod tests {
         m.net.conn_closed();
         m.net.conn_closed();
         assert_eq!(m.net.snapshot().active, 0);
+    }
+
+    #[test]
+    fn shard_label_in_json() {
+        let m = Metrics::default();
+        m.job_submitted();
+        let mut snap = m.snapshot(CacheStats::default(), 0, 3);
+        assert!(!snap.to_json().contains("\"shard\""));
+        snap.shard = Some("1/4".into());
+        let json = snap.to_json();
+        assert!(json.contains("\"shard\":\"1/4\""), "{json}");
+        let v = crate::proto::json::parse(&json).expect("well-formed");
+        assert_eq!(v.get("shard").unwrap().as_str(), Some("1/4"));
+    }
+
+    #[test]
+    fn aggregation_sums_counters_and_keeps_per_shard() {
+        let piece = |i: usize, up: bool, metrics: Option<&str>| ShardMetricsPiece {
+            index: i,
+            addr: format!("127.0.0.1:770{i}"),
+            up,
+            metrics: metrics.map(|m| crate::proto::json::parse(m).unwrap()),
+        };
+        let agg = aggregate_shard_metrics(&[
+            piece(
+                0,
+                true,
+                Some(r#"{"completed":3,"tenants":2,"queue_depth":1}"#),
+            ),
+            piece(1, false, None),
+            piece(
+                2,
+                true,
+                Some(r#"{"completed":5,"tenants":4,"queue_depth":0}"#),
+            ),
+        ]);
+        let parsed = crate::proto::json::parse(&agg).expect("well-formed: {agg}");
+        assert_eq!(parsed.get("shard_count").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("shards_up").unwrap().as_u64(), Some(2));
+        let totals = parsed.get("totals").unwrap();
+        assert_eq!(totals.get("completed").unwrap().as_u64(), Some(8));
+        assert_eq!(totals.get("tenants").unwrap().as_u64(), Some(6));
+        let per = parsed.get("per_shard").unwrap().as_arr().unwrap();
+        assert_eq!(per.len(), 3);
+        assert_eq!(
+            per[1].get("metrics"),
+            Some(&crate::proto::json::Value::Null)
+        );
+        assert_eq!(per[2].get("up").unwrap().as_bool(), Some(true));
     }
 }

@@ -12,7 +12,13 @@
 //! | `maintain` | `tenant`, `updates`, `replenish?` | maintenance report |
 //! | `dispute` | `a`, `b`, `t?`, `quorum?` | winner + protocol detail |
 //! | `metrics` | — | full metrics snapshot |
+//! | `hello` | `token?` | handshake / auth / liveness ack |
 //! | `shutdown` | — | ack (stops `serve`) |
+//!
+//! With an auth token configured on the transport, a connection must
+//! present it before anything else runs: `{"op":"hello","token":"…"}`
+//! unlocks the session, or an individual request may carry a matching
+//! `"auth"` field (see [`Session::with_auth`]).
 //!
 //! `counts` is `[["token", count], …]`, `tokens` is `["token", …]`,
 //! `updates` is `[["token", delta], …]`. Every response carries
@@ -96,6 +102,29 @@ pub mod json {
             match self {
                 Value::Arr(a) => Some(a),
                 _ => None,
+            }
+        }
+    }
+
+    /// Renders a [`Value`] back to compact JSON. Integer-valued numbers
+    /// print without a fractional part (f64 `Display` already does
+    /// this), so counters survive a parse→write round trip unchanged.
+    pub fn write(value: &Value) -> String {
+        match value {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => format!("{n}"),
+            Value::Str(s) => format!("\"{}\"", escape(s)),
+            Value::Arr(items) => {
+                let parts: Vec<String> = items.iter().map(write).collect();
+                format!("[{}]", parts.join(","))
+            }
+            Value::Obj(fields) => {
+                let parts: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), write(v)))
+                    .collect();
+                format!("{{{}}}", parts.join(","))
             }
         }
     }
@@ -328,7 +357,10 @@ pub fn frame_too_large_response(max_frame: usize) -> String {
     err_response(None, &format!("frame exceeds {max_frame} bytes"))
 }
 
-fn id_echo(id: Option<&Value>) -> String {
+/// Renders the `,"id":…` echo fragment for a response (empty when the
+/// request carried no id). Public for front-end tiers (the shard
+/// router) that synthesise responses outside [`render_job_state`].
+pub fn id_echo(id: Option<&Value>) -> String {
     match id {
         Some(Value::Num(n)) => format!(",\"id\":{n}"),
         Some(Value::Str(s)) => format!(",\"id\":\"{}\"", escape(s)),
@@ -491,6 +523,13 @@ pub fn plan(line: &str) -> (Option<Value>, Result<Planned, String>) {
         Ok(v) => v,
         Err(e) => return (None, Err(format!("bad json: {e}"))),
     };
+    let (id, planned) = plan_value(req);
+    (id, planned)
+}
+
+/// [`plan`] over an already-parsed request (the auth gate and the
+/// router both parse before planning).
+pub fn plan_value(req: Value) -> (Option<Value>, Result<Planned, String>) {
     let id = req.get("id").cloned();
     let planned = plan_request(req);
     (id, planned)
@@ -499,10 +538,59 @@ pub fn plan(line: &str) -> (Option<Value>, Result<Planned, String>) {
 fn plan_request(req: Value) -> Result<Planned, String> {
     let op = req_str(&req, "op")?;
     match op {
-        "register" | "dispute" | "metrics" => Ok(Planned::Op(req)),
+        "register" | "dispute" | "metrics" | "hello" => Ok(Planned::Op(req)),
         "shutdown" => Ok(Planned::Shutdown),
         "embed" | "detect" | "maintain" => plan_job(&req),
         other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Where a request must execute, extracted without touching the engine
+/// — the routing metadata the shard router tier keys on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteInfo {
+    /// Keyed by one tenant id: hash it onto a shard.
+    Tenant(String),
+    /// Keyed by two tenant ids (`dispute`): routable only when both
+    /// hash to the same shard.
+    TenantPair(String, String),
+    /// Tenant-agnostic read (`metrics`): fan out to every shard and
+    /// merge.
+    Broadcast,
+    /// `shutdown`: fan out, then drain the tier.
+    Shutdown,
+    /// Handled by whatever tier received it (`hello`).
+    Local,
+    /// Cannot be routed; answer with this protocol error.
+    Unroutable(String),
+}
+
+/// Classifies a parsed request for routing. Mirrors [`plan_value`]'s op
+/// table — an op added there must be classified here, or the router
+/// will refuse it before a shard ever sees it.
+pub fn route_of(req: &Value) -> RouteInfo {
+    let Some(op) = req.get("op").and_then(Value::as_str) else {
+        return RouteInfo::Unroutable("missing string field \"op\"".to_string());
+    };
+    let tenant_field = |key: &str| -> Result<String, RouteInfo> {
+        req.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| RouteInfo::Unroutable(format!("missing string field {key:?}")))
+    };
+    match op {
+        "register" | "embed" | "detect" | "maintain" => match tenant_field("tenant") {
+            Ok(t) => RouteInfo::Tenant(t),
+            Err(e) => e,
+        },
+        "dispute" => match (tenant_field("a"), tenant_field("b")) {
+            (Ok(a), Ok(b)) => RouteInfo::TenantPair(a, b),
+            (Err(e), _) | (_, Err(e)) => e,
+        },
+        "metrics" => RouteInfo::Broadcast,
+        "shutdown" => RouteInfo::Shutdown,
+        "hello" => RouteInfo::Local,
+        other => RouteInfo::Unroutable(format!("unknown op {other:?}")),
     }
 }
 
@@ -646,6 +734,17 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
             "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{}}}",
             engine.metrics().to_json()
         )),
+        // Connection handshake / liveness probe. With an auth token
+        // configured the Session consumes `hello` itself (it carries
+        // the token); an open session answers here so clients can probe
+        // either way — and learn which shard they reached.
+        "hello" => {
+            let shard = engine
+                .shard_label()
+                .map(|s| format!(",\"shard\":\"{}\"", escape(s)))
+                .unwrap_or_default();
+            Ok(format!("{{\"ok\":true,\"op\":\"hello\"{shard}}}"))
+        }
         other => Err(format!("not a synchronous op: {other:?}")),
     }
 }
@@ -741,11 +840,34 @@ pub struct Session {
     pending_mutations: usize,
     new_jobs: Vec<JobId>,
     shutdown: bool,
+    /// Shared-secret gate: until a `hello` op (or a per-request `auth`
+    /// field) presents this token, every request is refused.
+    auth_token: Option<String>,
+    authed: bool,
+}
+
+/// Constant-time auth-token comparison (leaks length only). Public so
+/// every front-end tier (the engine serve, the shard router) gates on
+/// the same implementation.
+pub fn token_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    a.len() == b.len() && a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
 }
 
 impl Session {
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// A session gated on a shared secret: requests are refused until
+    /// the client authenticates with `{"op":"hello","token":"…"}` (the
+    /// connection stays unlocked afterwards) or carries a matching
+    /// per-request `"auth"` field. `None` behaves like [`Session::new`].
+    pub fn with_auth(auth_token: Option<String>) -> Self {
+        Session {
+            auth_token,
+            ..Session::default()
+        }
     }
 
     /// Feeds one request line. Blank lines and `#` comments are
@@ -766,7 +888,62 @@ impl Session {
             )));
             return;
         }
+        if let Some(token) = self.auth_token.clone() {
+            if !self.authed {
+                match json::parse(line) {
+                    Err(e) => {
+                        self.slots
+                            .push_back(Slot::Ready(err_response(None, &format!("bad json: {e}"))));
+                    }
+                    Ok(req) => self.push_locked(engine, req, &token),
+                }
+                return;
+            }
+        }
         let (id, planned) = plan(line);
+        self.push_planned(engine, id, planned);
+    }
+
+    /// One request on a locked session: a `hello` op with the right
+    /// token unlocks it, a matching per-request `auth` field admits
+    /// just this request, anything else is refused.
+    fn push_locked(&mut self, engine: &Engine, req: Value, token: &str) {
+        let id = req.get("id").cloned();
+        let is_hello = req.get("op").and_then(Value::as_str) == Some("hello");
+        if is_hello {
+            let presented = req.get("token").and_then(Value::as_str).unwrap_or("");
+            let resp = if token_eq(presented, token) {
+                self.authed = true;
+                inject_id(
+                    "{\"ok\":true,\"op\":\"hello\",\"authenticated\":true}".to_string(),
+                    id.as_ref(),
+                )
+            } else {
+                err_response(id.as_ref(), "hello: bad auth token")
+            };
+            self.slots.push_back(Slot::Ready(resp));
+            return;
+        }
+        let presented = req.get("auth").and_then(Value::as_str);
+        if presented.is_some_and(|p| token_eq(p, token)) {
+            // Stateless per-request auth: this request runs, the
+            // session stays locked.
+            let (id, planned) = plan_value(req);
+            self.push_planned(engine, id, planned);
+            return;
+        }
+        self.slots.push_back(Slot::Ready(err_response(
+            id.as_ref(),
+            "authentication required: send {\"op\":\"hello\",\"token\":…} first",
+        )));
+    }
+
+    fn push_planned(
+        &mut self,
+        engine: &Engine,
+        id: Option<Value>,
+        planned: Result<Planned, String>,
+    ) {
         let seq = self.base + self.slots.len();
         match planned {
             Err(e) => self
@@ -1031,8 +1208,24 @@ where
 pub fn serve_with<R, W>(
     engine: &Engine,
     reader: R,
+    writer: W,
+    max_frame: usize,
+) -> std::io::Result<()>
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    serve_with_auth(engine, reader, writer, max_frame, None)
+}
+
+/// [`serve_with`] behind the shared-secret auth gate (see
+/// [`Session::with_auth`]).
+pub fn serve_with_auth<R, W>(
+    engine: &Engine,
+    reader: R,
     mut writer: W,
     max_frame: usize,
+    auth_token: Option<String>,
 ) -> std::io::Result<()>
 where
     R: BufRead + Send + 'static,
@@ -1060,7 +1253,7 @@ where
         }
     });
 
-    let mut session = Session::new();
+    let mut session = Session::with_auth(auth_token);
     let mut eof = false;
     let result = (|| -> std::io::Result<()> {
         loop {
@@ -1451,6 +1644,106 @@ mod tests {
             session.is_settled(),
             "straggler slot left the session unsettled"
         );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn json_write_round_trips() {
+        let text =
+            r#"{"op":"metrics","n":3,"f":2.5,"ok":true,"x":null,"arr":[["a",1],{}],"s":"q\"e"}"#;
+        let v = parse(text).unwrap();
+        let rendered = super::json::write(&v);
+        assert_eq!(parse(&rendered).unwrap(), v, "{rendered}");
+        // Integer-valued numbers stay integers through the round trip.
+        assert!(rendered.contains("\"n\":3"), "{rendered}");
+        assert!(rendered.contains("\"f\":2.5"), "{rendered}");
+    }
+
+    #[test]
+    fn route_classification() {
+        let route = |line: &str| super::route_of(&parse(line).unwrap());
+        assert_eq!(
+            route(r#"{"op":"embed","tenant":"t1","counts":[]}"#),
+            RouteInfo::Tenant("t1".into())
+        );
+        assert_eq!(
+            route(r#"{"op":"register","tenant":"t2"}"#),
+            RouteInfo::Tenant("t2".into())
+        );
+        assert_eq!(
+            route(r#"{"op":"dispute","a":"x","b":"y"}"#),
+            RouteInfo::TenantPair("x".into(), "y".into())
+        );
+        assert_eq!(route(r#"{"op":"metrics"}"#), RouteInfo::Broadcast);
+        assert_eq!(route(r#"{"op":"shutdown"}"#), RouteInfo::Shutdown);
+        assert_eq!(route(r#"{"op":"hello"}"#), RouteInfo::Local);
+        assert!(matches!(
+            route(r#"{"op":"detect"}"#),
+            RouteInfo::Unroutable(_)
+        ));
+        assert!(matches!(route(r#"{"op":"fly"}"#), RouteInfo::Unroutable(_)));
+        assert!(matches!(route(r#"{"x":1}"#), RouteInfo::Unroutable(_)));
+    }
+
+    #[test]
+    fn hello_op_acks_on_open_session() {
+        let engine = test_engine();
+        let r = handle_line(&engine, r#"{"op":"hello","id":9}"#);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"op\":\"hello\""), "{r}");
+        assert!(r.contains("\"id\":9"), "{r}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn auth_gate_locks_until_hello() {
+        let engine = test_engine();
+        let mut session = Session::with_auth(Some("sesame".into()));
+        // Locked: ops are refused, wrong hello is refused.
+        session.push_line(&engine, r#"{"op":"metrics","id":1}"#);
+        session.push_line(&engine, r#"{"op":"hello","token":"wrong","id":2}"#);
+        // Per-request auth admits a single request without unlocking.
+        session.push_line(&engine, r#"{"op":"metrics","auth":"sesame","id":3}"#);
+        session.push_line(&engine, r#"{"op":"metrics","id":4}"#);
+        // The right hello unlocks the session for good.
+        session.push_line(&engine, r#"{"op":"hello","token":"sesame","id":5}"#);
+        session.push_line(&engine, r#"{"op":"metrics","id":6}"#);
+        session.drain_blocking(&engine);
+        let ready = session.take_ready();
+        assert_eq!(ready.len(), 6, "{ready:?}");
+        assert!(ready[0].contains("authentication required"), "{}", ready[0]);
+        assert!(ready[1].contains("bad auth token"), "{}", ready[1]);
+        assert!(ready[2].contains("\"op\":\"metrics\""), "{}", ready[2]);
+        assert!(ready[2].contains("\"ok\":true"), "{}", ready[2]);
+        assert!(ready[3].contains("authentication required"), "{}", ready[3]);
+        assert!(ready[4].contains("\"authenticated\":true"), "{}", ready[4]);
+        assert!(ready[5].contains("\"ok\":true"), "{}", ready[5]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_with_auth_gates_the_pipe_transport() {
+        let engine = test_engine();
+        let input = concat!(
+            "{\"op\":\"metrics\",\"id\":0}\n",
+            "{\"op\":\"hello\",\"token\":\"k\",\"id\":1}\n",
+            "{\"op\":\"metrics\",\"id\":2}\n",
+        );
+        let mut out = Vec::new();
+        serve_with_auth(
+            &engine,
+            input.as_bytes(),
+            &mut out,
+            DEFAULT_MAX_FRAME,
+            Some("k".into()),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("authentication required"), "{}", lines[0]);
+        assert!(lines[1].contains("\"authenticated\":true"), "{}", lines[1]);
+        assert!(lines[2].contains("\"op\":\"metrics\""), "{}", lines[2]);
         engine.shutdown();
     }
 

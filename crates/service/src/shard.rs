@@ -6,47 +6,127 @@
 //! stream into chunks, counts each chunk on a scoped thread, and merges
 //! the per-chunk maps. The result is bit-identical to
 //! [`Histogram::from_tokens`] — `from_counts` canonicalises ordering.
+//!
+//! Construction is also where long jobs observe cancellation: every
+//! counting thread re-checks its [`Cancellation`] once per
+//! [`CANCEL_CHECK_EVERY`] tokens, so a job whose deadline passes while
+//! *running* is reaped at the next histogram-shard boundary instead of
+//! holding a worker until it finishes.
 
 use freqywm_data::histogram::Histogram;
 use freqywm_data::token::Token;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Below this many tokens the spawn/merge overhead outweighs the win.
 const PARALLEL_THRESHOLD: usize = 64 * 1024;
 
+/// Tokens counted between two cancellation checks. `Instant::now()` is
+/// tens of nanoseconds; amortised over 16K counts it is invisible.
+pub const CANCEL_CHECK_EVERY: usize = 16 * 1024;
+
+/// Cooperative cancellation signal threaded through long-running job
+/// stages. Today's only trigger is a wall-clock deadline; the type
+/// keeps the plumbing in one place if explicit cancel ops arrive
+/// later.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cancellation {
+    deadline: Option<Instant>,
+}
+
+/// The job was cancelled at a checkpoint (deadline passed mid-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl Cancellation {
+    /// Never cancels.
+    pub const NONE: Cancellation = Cancellation { deadline: None };
+
+    /// Cancels once `deadline` has passed.
+    pub fn at_deadline(deadline: Instant) -> Self {
+        Cancellation {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// True once the cancellation condition holds.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once expired.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.expired() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
 /// Counts `tokens` into a [`Histogram`] using up to `threads` scoped
 /// worker threads (1 = sequential).
 pub fn sharded_histogram(tokens: &[Token], threads: usize) -> Histogram {
+    sharded_histogram_cancellable(tokens, threads, &Cancellation::NONE)
+        .expect("Cancellation::NONE never cancels")
+}
+
+/// [`sharded_histogram`] with cooperative cancellation: each counting
+/// thread checks `cancel` every [`CANCEL_CHECK_EVERY`] tokens and the
+/// coordinator re-checks at every shard-merge boundary.
+pub fn sharded_histogram_cancellable(
+    tokens: &[Token],
+    threads: usize,
+    cancel: &Cancellation,
+) -> Result<Histogram, Cancelled> {
+    cancel.check()?;
     let threads = threads.max(1).min(tokens.len().max(1));
     if threads == 1 || tokens.len() < PARALLEL_THRESHOLD {
-        return Histogram::from_tokens(tokens.iter().cloned());
+        return count_chunk(tokens, cancel)
+            .map(|m| Histogram::from_counts(m.into_iter().map(|(t, c)| (t.clone(), c))));
     }
     let chunk_len = tokens.len().div_ceil(threads);
     let mut maps: Vec<HashMap<&Token, u64>> = Vec::with_capacity(threads);
+    let mut cancelled = false;
     std::thread::scope(|scope| {
         let handles: Vec<_> = tokens
             .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut m: HashMap<&Token, u64> = HashMap::new();
-                    for t in chunk {
-                        *m.entry(t).or_insert(0) += 1;
-                    }
-                    m
-                })
-            })
+            .map(|chunk| scope.spawn(move || count_chunk(chunk, cancel)))
             .collect();
         for h in handles {
-            maps.push(h.join().expect("histogram shard worker panicked"));
+            match h.join().expect("histogram shard worker panicked") {
+                Ok(m) => maps.push(m),
+                Err(Cancelled) => cancelled = true,
+            }
         }
     });
+    if cancelled {
+        return Err(Cancelled);
+    }
     let mut merged: HashMap<Token, u64> = HashMap::new();
     for m in maps {
+        // Shard-merge boundary: the canonical reap point for a job
+        // whose deadline passed while its shards were still counting.
+        cancel.check()?;
         for (t, c) in m {
             *merged.entry(t.clone()).or_insert(0) += c;
         }
     }
-    Histogram::from_counts(merged)
+    Ok(Histogram::from_counts(merged))
+}
+
+fn count_chunk<'a>(
+    chunk: &'a [Token],
+    cancel: &Cancellation,
+) -> Result<HashMap<&'a Token, u64>, Cancelled> {
+    let mut m: HashMap<&Token, u64> = HashMap::new();
+    for (i, t) in chunk.iter().enumerate() {
+        if i % CANCEL_CHECK_EVERY == 0 {
+            cancel.check()?;
+        }
+        *m.entry(t).or_insert(0) += 1;
+    }
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -56,6 +136,7 @@ mod tests {
     use freqywm_data::synthetic::{power_law_dataset, PowerLawConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::time::Duration;
 
     fn dataset(n: usize) -> Dataset {
         let mut rng = StdRng::seed_from_u64(7);
@@ -90,5 +171,29 @@ mod tests {
         let one = [Token::new("only")];
         let h = sharded_histogram(&one, 4);
         assert_eq!(h.count(&one[0]), Some(1));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_first_checkpoint() {
+        let d = dataset(PARALLEL_THRESHOLD + 10_000);
+        let past = Instant::now() - Duration::from_millis(1);
+        let cancel = Cancellation::at_deadline(past);
+        assert!(cancel.expired());
+        for threads in [1, 4] {
+            assert_eq!(
+                sharded_histogram_cancellable(d.tokens(), threads, &cancel),
+                Err(Cancelled)
+            );
+        }
+    }
+
+    #[test]
+    fn future_deadline_does_not_cancel() {
+        let d = dataset(10_000);
+        let cancel = Cancellation::at_deadline(Instant::now() + Duration::from_secs(60));
+        assert_eq!(
+            sharded_histogram_cancellable(d.tokens(), 4, &cancel).unwrap(),
+            d.histogram()
+        );
     }
 }

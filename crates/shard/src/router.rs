@@ -1,0 +1,1197 @@
+//! The router reactor: one thread multiplexing many JSON-lines clients
+//! onto N backend engine shards.
+//!
+//! The router speaks the engine's exact protocol on its client side, so
+//! clients cannot tell a router from a single engine. Internally it is
+//! the same reactor shape as `freqywm-net` (one [`Poller`], level
+//! triggered, nothing blocks), extended with an *outbound* side:
+//!
+//! * **clients** — accepted from the listener, framed with the shared
+//!   [`LineFramer`], responses kept in per-client ordered slots so
+//!   pipelined requests answer in request order even when they fan out
+//!   to different shards;
+//! * **backends** — one multiplexed, pipelined connection per shard.
+//!   Each forwarded request is pushed onto that backend's in-flight
+//!   FIFO; the engine's `Session` answers in order per connection, so
+//!   FIFO position is the whole correlation protocol. Dead backends
+//!   get reconnect-with-backoff (a connector thread per attempt, never
+//!   the reactor thread) and idle ones get periodic `metrics` health
+//!   probes;
+//! * **routing** — [`RouteInfo`] from the proto layer: tenant-keyed ops
+//!   hash onto one shard ([`ShardMap::shard_of`]), `dispute` routes
+//!   only when both tenants share a shard (else a protocol error),
+//!   `metrics` fans out to every live shard and merges
+//!   ([`aggregate_shard_metrics`]) with the router's own shard map
+//!   attached, `shutdown` fans out and then drains the whole tier;
+//! * **drain** — a `shutdown` op stops the listener, shuts every
+//!   backend down, acks the client once all backends acked, flushes and
+//!   exits. SIGTERM/SIGINT (when enabled) drain the *router only*:
+//!   in-flight work finishes, clients close, backends stay up.
+
+use crate::ring::ShardMap;
+use crate::signal;
+use freqywm_net::{Backend, Event, Interest, LineEvent, LineFramer, Poller};
+use freqywm_service::metrics::{aggregate_shard_metrics, ShardMetricsPiece};
+use freqywm_service::proto::{
+    err_response, frame_too_large_response, id_echo, json, route_of, token_eq, RouteInfo,
+};
+use json::Value;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_BACKEND_BASE: u64 = 1 << 40;
+
+const READ_CHUNK: usize = 16 * 1024;
+const READ_BUDGET: usize = 4 * READ_CHUNK;
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+/// Backend response frames (metrics blobs) may exceed client request
+/// caps; a response larger than this means the stream lost framing.
+const BACKEND_MAX_FRAME: usize = 8 << 20;
+/// Upper bound on one poller wait, so signal flags and timers are
+/// observed promptly even if a wake byte is lost.
+const MAX_POLL: Duration = Duration::from_millis(500);
+
+/// Router tier configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend engine addresses; position in the vec is the shard id
+    /// and must match each backend's `--shard-id i/N`.
+    pub shards: Vec<String>,
+    /// Concurrent client connection cap.
+    pub max_conns: usize,
+    /// Client input frame cap (same semantics as the engine serve).
+    pub max_frame: usize,
+    /// Slow-client eviction bound on unread response bytes.
+    pub max_write_buffer: usize,
+    /// Bound on a drain (shutdown op or SIGTERM) before remaining
+    /// connections are closed forcibly.
+    pub drain_timeout: Duration,
+    /// Idle gap after which a connected backend gets a `metrics`
+    /// health probe.
+    pub probe_interval: Duration,
+    /// Reconnect backoff range for dead backends.
+    pub reconnect_min: Duration,
+    pub reconnect_max: Duration,
+    /// Per-attempt bound on dialing a backend (connector thread).
+    pub connect_timeout: Duration,
+    /// Client-side shared-secret auth (`hello` op / per-request
+    /// `auth`), mirroring `freqywm serve --auth-token`.
+    pub auth_token: Option<String>,
+    /// Token the router presents to backends (their `--auth-token`),
+    /// sent as a `hello` op right after each (re)connect.
+    pub shard_auth_token: Option<String>,
+    /// Poller backend selection.
+    pub backend: Backend,
+    /// Install SIGTERM/SIGINT handlers that drain the router (the CLI
+    /// turns this on; embedded/test routers leave it off).
+    pub handle_signals: bool,
+}
+
+impl RouterConfig {
+    pub fn new(shards: Vec<String>) -> Self {
+        RouterConfig {
+            shards,
+            max_conns: 1024,
+            max_frame: 1 << 20,
+            max_write_buffer: 4 << 20,
+            drain_timeout: Duration::from_secs(10),
+            probe_interval: Duration::from_secs(2),
+            reconnect_min: Duration::from_millis(100),
+            reconnect_max: Duration::from_secs(3),
+            connect_timeout: Duration::from_secs(1),
+            auth_token: None,
+            shard_auth_token: None,
+            backend: Backend::Auto,
+            handle_signals: false,
+        }
+    }
+}
+
+/// Runs the router until a `shutdown` op completes its tier drain (or a
+/// drain signal, when enabled). The listener must already be bound —
+/// callers announce the address themselves.
+pub fn run_router(listener: TcpListener, config: RouterConfig) -> io::Result<()> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "router needs at least one --shard backend",
+        ));
+    }
+    let mut router = Router::new(listener, config)?;
+    let result = router.run();
+    signal::detach_drain_handler();
+    result
+}
+
+enum CSlot {
+    Ready(String),
+    Pending,
+}
+
+struct ClientConn {
+    id: u64,
+    stream: TcpStream,
+    framer: LineFramer,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    slots: VecDeque<CSlot>,
+    base: usize,
+    eof: bool,
+    failed: bool,
+    authed: bool,
+    interest: Interest,
+}
+
+impl ClientConn {
+    fn new(id: u64, stream: TcpStream, max_frame: usize) -> Self {
+        ClientConn {
+            id,
+            stream,
+            framer: LineFramer::new(max_frame),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            slots: VecDeque::new(),
+            base: 0,
+            eof: false,
+            failed: false,
+            authed: false,
+            interest: Interest::READ,
+        }
+    }
+
+    fn push_ready(&mut self, resp: String) {
+        self.slots.push_back(CSlot::Ready(resp));
+    }
+
+    /// Reserves the next in-order response slot; returns its absolute
+    /// sequence number.
+    fn push_pending(&mut self) -> usize {
+        let seq = self.base + self.slots.len();
+        self.slots.push_back(CSlot::Pending);
+        seq
+    }
+
+    fn resolve(&mut self, seq: usize, resp: String) {
+        let idx = seq - self.base;
+        self.slots[idx] = CSlot::Ready(resp);
+    }
+
+    /// Moves the maximal ready prefix into the write buffer.
+    fn queue_ready(&mut self) {
+        while matches!(self.slots.front(), Some(CSlot::Ready(_))) {
+            let Some(CSlot::Ready(resp)) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.base += 1;
+            self.out_buf.extend_from_slice(resp.as_bytes());
+            self.out_buf.push(b'\n');
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.out_buf.len() - self.out_pos
+    }
+
+    fn settled(&self) -> bool {
+        self.slots.is_empty() && self.buffered() == 0
+    }
+}
+
+/// One request in flight on a backend connection, in FIFO order.
+enum Pending {
+    /// Forward the response line verbatim to this client slot.
+    Client {
+        client: u64,
+        seq: usize,
+        /// Prerendered id echo, for synthesising an error if the
+        /// backend dies before answering.
+        id_part: String,
+    },
+    /// One piece of a fan-out (`metrics` / `shutdown`).
+    Fanout { fanout: u64 },
+    /// Router-internal (health probe, backend auth hello): consume and
+    /// drop.
+    Internal,
+}
+
+struct BackendConn {
+    stream: TcpStream,
+    framer: LineFramer,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    inflight: VecDeque<Pending>,
+    eof: bool,
+    failed: bool,
+    last_activity: Instant,
+    interest: Interest,
+}
+
+impl BackendConn {
+    fn new(stream: TcpStream) -> Self {
+        BackendConn {
+            stream,
+            framer: LineFramer::new(BACKEND_MAX_FRAME),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            inflight: VecDeque::new(),
+            eof: false,
+            failed: false,
+            last_activity: Instant::now(),
+            interest: Interest::READ,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.out_buf.len() - self.out_pos
+    }
+}
+
+struct BackendSlot {
+    addr: String,
+    conn: Option<BackendConn>,
+    /// A connector thread is dialing; don't spawn another.
+    connecting: bool,
+    /// Last exchange succeeded (any response line); false from connect
+    /// until the first response and after any failure.
+    healthy: bool,
+    /// Requests forwarded to this shard over the router's lifetime.
+    routed: u64,
+    backoff: Duration,
+    next_attempt: Instant,
+}
+
+enum FanoutKind {
+    Metrics,
+    Shutdown,
+}
+
+struct Fanout {
+    client: u64,
+    seq: usize,
+    id_part: String,
+    kind: FanoutKind,
+    remaining: usize,
+    /// Shards the request was actually sent to (connected at creation).
+    targets: Vec<usize>,
+    /// Per-shard parsed responses (None: shard down or reply lost).
+    pieces: Vec<Option<Value>>,
+}
+
+#[derive(Default)]
+struct RouterStats {
+    accepted: u64,
+    forwarded: u64,
+    refused: u64,
+}
+
+struct DrainState {
+    deadline: Instant,
+}
+
+struct Router {
+    config: RouterConfig,
+    map: ShardMap,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    wake_tx: UnixStream,
+    connect_rx: Receiver<(usize, io::Result<TcpStream>)>,
+    connect_tx: Sender<(usize, io::Result<TcpStream>)>,
+    clients: HashMap<RawFd, ClientConn>,
+    client_fds: HashMap<u64, RawFd>,
+    next_client: u64,
+    backends: Vec<BackendSlot>,
+    fanouts: HashMap<u64, Fanout>,
+    next_fanout: u64,
+    drain: Option<DrainState>,
+    stats: RouterStats,
+}
+
+fn err_with_part(id_part: &str, msg: &str) -> String {
+    format!(
+        "{{\"ok\":false{id_part},\"error\":\"{}\"}}",
+        json::escape(msg)
+    )
+}
+
+/// Non-blocking bounded read into a framer; returns the completed
+/// events. Shared by the client and backend sides. `deliver_tail`
+/// controls EOF handling: client input honours a final line without a
+/// trailing newline (FrameReader parity), but a backend *response*
+/// with no newline is by definition truncated mid-write — delivering
+/// it would hand a client garbage as its answer, so the backend side
+/// discards it and lets the teardown error the in-flight slot instead.
+fn read_events(
+    stream: &mut TcpStream,
+    framer: &mut LineFramer,
+    eof: &mut bool,
+    failed: &mut bool,
+    deliver_tail: bool,
+) -> Vec<LineEvent> {
+    let mut out = Vec::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut budget = READ_BUDGET;
+    while budget > 0 {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                *eof = true;
+                if deliver_tail {
+                    framer.finish(|e| out.push(e));
+                }
+                break;
+            }
+            Ok(n) => {
+                framer.push(&chunk[..n], |e| out.push(e));
+                budget = budget.saturating_sub(n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *failed = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Non-blocking flush of a positioned write buffer.
+fn flush_stream(
+    stream: &mut TcpStream,
+    out_buf: &mut Vec<u8>,
+    out_pos: &mut usize,
+    failed: &mut bool,
+) {
+    while *out_pos < out_buf.len() {
+        match stream.write(&out_buf[*out_pos..]) {
+            Ok(0) => {
+                *failed = true;
+                break;
+            }
+            Ok(n) => *out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                *failed = true;
+                break;
+            }
+        }
+    }
+    if *out_pos == out_buf.len() {
+        out_buf.clear();
+        *out_pos = 0;
+    } else if *out_pos > COMPACT_THRESHOLD {
+        out_buf.drain(..*out_pos);
+        *out_pos = 0;
+    }
+}
+
+fn connect_backend(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let resolved = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("cannot resolve {addr}")))?;
+    TcpStream::connect_timeout(&resolved, timeout)
+}
+
+impl Router {
+    fn new(listener: TcpListener, config: RouterConfig) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let mut poller = Poller::new(config.backend)?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        if config.handle_signals {
+            signal::install_drain_handler(wake_tx.as_raw_fd());
+        }
+        let (connect_tx, connect_rx) = channel();
+        let now = Instant::now();
+        let backends = config
+            .shards
+            .iter()
+            .map(|addr| BackendSlot {
+                addr: addr.clone(),
+                conn: None,
+                connecting: false,
+                healthy: false,
+                routed: 0,
+                backoff: config.reconnect_min,
+                next_attempt: now,
+            })
+            .collect();
+        let map = ShardMap::new(config.shards.clone());
+        Ok(Router {
+            config,
+            map,
+            poller,
+            listener: Some(listener),
+            wake_rx,
+            wake_tx,
+            connect_rx,
+            connect_tx,
+            clients: HashMap::new(),
+            client_fds: HashMap::new(),
+            next_client: 1,
+            backends,
+            fanouts: HashMap::new(),
+            next_fanout: 1,
+            drain: None,
+            stats: RouterStats::default(),
+        })
+    }
+
+    fn run(&mut self) -> io::Result<()> {
+        for idx in 0..self.backends.len() {
+            self.spawn_connector(idx);
+        }
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            let timeout = self.poll_timeout();
+            self.poller.wait(&mut events, Some(timeout))?;
+            let batch: Vec<Event> = events.clone();
+            // Clients can close mid-batch (error, eviction, settle),
+            // and an accept later in the same batch can reuse the
+            // freed fd — snapshot fd→client-id so a stale event for
+            // the old occupant is never applied to the new one.
+            let batch_ids: HashMap<RawFd, u64> =
+                self.clients.iter().map(|(&fd, c)| (fd, c.id)).collect();
+            for ev in batch {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => self.drain_wake(),
+                    t if t >= TOKEN_BACKEND_BASE => {
+                        self.backend_ready((t - TOKEN_BACKEND_BASE) as usize, ev)
+                    }
+                    t => {
+                        let fd = t as RawFd;
+                        if self.clients.get(&fd).map(|c| c.id) == batch_ids.get(&fd).copied() {
+                            self.client_ready(fd, ev);
+                        }
+                    }
+                }
+            }
+            self.drain_connector_results();
+            if self.config.handle_signals && signal::drain_requested() && self.drain.is_none() {
+                // Signal drain: router only. Backends stay up — the
+                // shutdown op is the way to take the whole tier down.
+                self.start_drain();
+            }
+            self.tick_reconnects();
+            self.tick_probes();
+            if let Some(deadline) = self.drain.as_ref().map(|d| d.deadline) {
+                // Settled clients were closed as they drained; what's
+                // left is either done or past the deadline.
+                if self.clients.is_empty() || Instant::now() >= deadline {
+                    for fd in self.clients.keys().copied().collect::<Vec<_>>() {
+                        self.close_client(fd);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    // ----- timers -----------------------------------------------------
+
+    fn poll_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut timeout = MAX_POLL;
+        if let Some(d) = &self.drain {
+            timeout = timeout.min(d.deadline.saturating_duration_since(now));
+        }
+        for b in &self.backends {
+            if b.conn.is_none() && !b.connecting {
+                timeout = timeout.min(b.next_attempt.saturating_duration_since(now));
+            }
+            if let Some(conn) = &b.conn {
+                if conn.inflight.is_empty() {
+                    let probe_at = conn.last_activity + self.config.probe_interval;
+                    timeout = timeout.min(probe_at.saturating_duration_since(now));
+                }
+            }
+        }
+        timeout
+    }
+
+    fn tick_reconnects(&mut self) {
+        if self.drain.is_some() {
+            return;
+        }
+        let now = Instant::now();
+        for idx in 0..self.backends.len() {
+            let b = &self.backends[idx];
+            if b.conn.is_none() && !b.connecting && now >= b.next_attempt {
+                self.spawn_connector(idx);
+            }
+        }
+    }
+
+    fn tick_probes(&mut self) {
+        if self.drain.is_some() {
+            return;
+        }
+        for idx in 0..self.backends.len() {
+            let due = match &self.backends[idx].conn {
+                Some(conn) => {
+                    conn.inflight.is_empty()
+                        && conn.last_activity.elapsed() >= self.config.probe_interval
+                }
+                None => false,
+            };
+            if due {
+                self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Internal);
+            }
+        }
+    }
+
+    // ----- wakeup + connectors ----------------------------------------
+
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Dials shard `idx` on a throwaway thread; the result arrives via
+    /// the channel + wake pipe. The reactor never blocks in connect(2).
+    fn spawn_connector(&mut self, idx: usize) {
+        self.backends[idx].connecting = true;
+        let addr = self.backends[idx].addr.clone();
+        let timeout = self.config.connect_timeout;
+        let tx = self.connect_tx.clone();
+        let wake = self.wake_tx.try_clone().ok();
+        std::thread::spawn(move || {
+            let result = connect_backend(&addr, timeout);
+            let _ = tx.send((idx, result));
+            if let Some(wake) = wake {
+                let _ = (&wake).write(&[1]);
+            }
+        });
+    }
+
+    fn drain_connector_results(&mut self) {
+        while let Ok((idx, result)) = self.connect_rx.try_recv() {
+            self.backends[idx].connecting = false;
+            match result {
+                Ok(stream) if self.drain.is_none() => self.install_backend(idx, stream),
+                Ok(_dropped_during_drain) => {}
+                Err(_) => self.schedule_reconnect(idx),
+            }
+        }
+    }
+
+    fn install_backend(&mut self, idx: usize, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return self.schedule_reconnect(idx);
+        }
+        let _ = stream.set_nodelay(true);
+        let fd = stream.as_raw_fd();
+        if self
+            .poller
+            .register(fd, TOKEN_BACKEND_BASE + idx as u64, Interest::READ)
+            .is_err()
+        {
+            return self.schedule_reconnect(idx);
+        }
+        self.backends[idx].conn = Some(BackendConn::new(stream));
+        self.backends[idx].backoff = self.config.reconnect_min;
+        // Authenticate, then probe: the probe response flips `healthy`.
+        if let Some(token) = self.config.shard_auth_token.clone() {
+            let hello = format!(
+                "{{\"op\":\"hello\",\"token\":\"{}\"}}",
+                json::escape(&token)
+            );
+            self.send_backend(idx, &hello, Pending::Internal);
+        }
+        self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Internal);
+    }
+
+    fn schedule_reconnect(&mut self, idx: usize) {
+        let b = &mut self.backends[idx];
+        b.next_attempt = Instant::now() + b.backoff;
+        b.backoff = (b.backoff * 2).min(self.config.reconnect_max);
+    }
+
+    // ----- backend side -----------------------------------------------
+
+    fn send_backend(&mut self, idx: usize, line: &str, pending: Pending) {
+        let Some(conn) = self.backends[idx].conn.as_mut() else {
+            return;
+        };
+        conn.out_buf.extend_from_slice(line.as_bytes());
+        conn.out_buf.push(b'\n');
+        conn.inflight.push_back(pending);
+        flush_stream(
+            &mut conn.stream,
+            &mut conn.out_buf,
+            &mut conn.out_pos,
+            &mut conn.failed,
+        );
+        conn.last_activity = Instant::now();
+        if conn.failed {
+            self.fail_backend(idx);
+        } else {
+            self.update_backend_interest(idx);
+        }
+    }
+
+    fn backend_ready(&mut self, idx: usize, ev: Event) {
+        if idx >= self.backends.len() {
+            return;
+        }
+        let mut lines = Vec::new();
+        {
+            let Some(conn) = self.backends[idx].conn.as_mut() else {
+                return;
+            };
+            if ev.readable {
+                let events = read_events(
+                    &mut conn.stream,
+                    &mut conn.framer,
+                    &mut conn.eof,
+                    &mut conn.failed,
+                    // A backend tail with no newline is a response
+                    // truncated mid-write — never a deliverable line.
+                    false,
+                );
+                conn.last_activity = Instant::now();
+                for e in events {
+                    match e {
+                        LineEvent::Line(line) => lines.push(line),
+                        // A response that overflows the cap means the
+                        // stream lost framing; resync via reconnect.
+                        LineEvent::Oversized => conn.failed = true,
+                    }
+                }
+            }
+            if ev.hangup {
+                conn.eof = true;
+            }
+            if ev.writable && !conn.failed {
+                flush_stream(
+                    &mut conn.stream,
+                    &mut conn.out_buf,
+                    &mut conn.out_pos,
+                    &mut conn.failed,
+                );
+            }
+        }
+        for line in lines {
+            self.backend_line(idx, line);
+        }
+        let dead = match self.backends[idx].conn.as_ref() {
+            Some(conn) => conn.failed || conn.eof,
+            None => false,
+        };
+        if dead {
+            self.fail_backend(idx);
+        } else {
+            self.update_backend_interest(idx);
+        }
+    }
+
+    fn backend_line(&mut self, idx: usize, line: String) {
+        self.backends[idx].healthy = true;
+        let pending = match self.backends[idx].conn.as_mut() {
+            Some(conn) => conn.inflight.pop_front(),
+            None => None,
+        };
+        match pending {
+            None => {
+                // A response with nothing in flight: the stream is out
+                // of sync; reconnect to resync.
+                if let Some(conn) = self.backends[idx].conn.as_mut() {
+                    conn.failed = true;
+                }
+            }
+            Some(Pending::Client { client, seq, .. }) => {
+                self.resolve_client_slot(client, seq, line)
+            }
+            Some(Pending::Fanout { fanout }) => self.fanout_piece(fanout, idx, Some(line)),
+            Some(Pending::Internal) => {}
+        }
+    }
+
+    /// Tears down a backend connection: every in-flight request gets a
+    /// protocol error (scoped to this shard's tenants — other shards
+    /// are untouched), the fd is deregistered, and a reconnect is
+    /// scheduled with backoff.
+    fn fail_backend(&mut self, idx: usize) {
+        let Some(mut conn) = self.backends[idx].conn.take() else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.backends[idx].healthy = false;
+        let addr = self.backends[idx].addr.clone();
+        for pending in conn.inflight.drain(..) {
+            match pending {
+                Pending::Client {
+                    client,
+                    seq,
+                    id_part,
+                } => {
+                    let msg = format!("shard {idx} ({addr}) connection lost");
+                    self.resolve_client_slot(client, seq, err_with_part(&id_part, &msg));
+                }
+                Pending::Fanout { fanout } => self.fanout_piece(fanout, idx, None),
+                Pending::Internal => {}
+            }
+        }
+        if self.drain.is_none() {
+            self.schedule_reconnect(idx);
+        }
+    }
+
+    fn update_backend_interest(&mut self, idx: usize) {
+        let Some(conn) = self.backends[idx].conn.as_mut() else {
+            return;
+        };
+        let want = Interest {
+            readable: true,
+            writable: conn.buffered() > 0,
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self
+                .poller
+                .modify(fd, TOKEN_BACKEND_BASE + idx as u64, want)
+                .is_ok()
+            {
+                conn.interest = want;
+            } else {
+                self.fail_backend(idx);
+            }
+        }
+    }
+
+    // ----- client side ------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if self.clients.len() >= self.config.max_conns {
+                        continue; // dropped: peer sees an immediate close
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    if self.poller.register(fd, fd as u64, Interest::READ).is_err() {
+                        continue;
+                    }
+                    let id = self.next_client;
+                    self.next_client += 1;
+                    self.stats.accepted += 1;
+                    self.clients
+                        .insert(fd, ClientConn::new(id, stream, self.config.max_frame));
+                    self.client_fds.insert(id, fd);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn client_ready(&mut self, fd: RawFd, ev: Event) {
+        let mut incoming = Vec::new();
+        {
+            let Some(conn) = self.clients.get_mut(&fd) else {
+                return;
+            };
+            if ev.readable && !conn.eof && self.drain.is_none() {
+                let events = read_events(
+                    &mut conn.stream,
+                    &mut conn.framer,
+                    &mut conn.eof,
+                    &mut conn.failed,
+                    true,
+                );
+                incoming = events;
+            } else if ev.hangup {
+                conn.eof = true;
+            }
+            if ev.writable && !conn.failed {
+                flush_stream(
+                    &mut conn.stream,
+                    &mut conn.out_buf,
+                    &mut conn.out_pos,
+                    &mut conn.failed,
+                );
+            }
+        }
+        for event in incoming {
+            match event {
+                LineEvent::Line(line) => self.handle_client_line(fd, &line),
+                LineEvent::Oversized => {
+                    if let Some(conn) = self.clients.get_mut(&fd) {
+                        conn.push_ready(frame_too_large_response(self.config.max_frame));
+                    }
+                }
+            }
+        }
+        self.pump_client(fd);
+    }
+
+    fn handle_client_line(&mut self, fd: RawFd, line: &str) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return;
+        }
+        let Some(conn) = self.clients.get_mut(&fd) else {
+            return;
+        };
+        if self.drain.is_some() {
+            let (id, _) = freqywm_service::proto::plan(line);
+            conn.push_ready(err_response(id.as_ref(), "router draining"));
+            self.stats.refused += 1;
+            return;
+        }
+        let req = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                conn.push_ready(err_response(None, &format!("bad json: {e}")));
+                self.stats.refused += 1;
+                return;
+            }
+        };
+        let id = req.get("id").cloned();
+        // Client-side auth gate, mirroring the engine Session's.
+        if let Some(token) = &self.config.auth_token {
+            if !conn.authed {
+                let is_hello = req.get("op").and_then(Value::as_str) == Some("hello");
+                if is_hello {
+                    let presented = req.get("token").and_then(Value::as_str).unwrap_or("");
+                    if token_eq(presented, token) {
+                        conn.authed = true;
+                        conn.push_ready(format!(
+                            "{{\"ok\":true{},\"op\":\"hello\",\"authenticated\":true,\"router\":true}}",
+                            id_echo(id.as_ref())
+                        ));
+                    } else {
+                        conn.push_ready(err_response(id.as_ref(), "hello: bad auth token"));
+                        self.stats.refused += 1;
+                    }
+                    return;
+                }
+                let presented = req.get("auth").and_then(Value::as_str);
+                if !presented.is_some_and(|p| token_eq(p, token)) {
+                    conn.push_ready(err_response(
+                        id.as_ref(),
+                        "authentication required: send {\"op\":\"hello\",\"token\":…} first",
+                    ));
+                    self.stats.refused += 1;
+                    return;
+                }
+                // Per-request auth: this request proceeds, session
+                // stays locked.
+            }
+        }
+        match route_of(&req) {
+            RouteInfo::Tenant(tenant) => {
+                let shard = self.map.shard_of(&tenant);
+                self.forward(fd, shard, line, id.as_ref());
+            }
+            RouteInfo::TenantPair(a, b) => {
+                let (sa, sb) = (self.map.shard_of(&a), self.map.shard_of(&b));
+                if sa == sb {
+                    self.forward(fd, sa, line, id.as_ref());
+                } else {
+                    let msg = format!(
+                        "unroutable dispute: tenants {a:?} (shard {sa}) and {b:?} \
+                         (shard {sb}) live on different shards"
+                    );
+                    let Some(conn) = self.clients.get_mut(&fd) else {
+                        return;
+                    };
+                    conn.push_ready(err_response(id.as_ref(), &msg));
+                    self.stats.refused += 1;
+                }
+            }
+            RouteInfo::Broadcast => self.start_fanout(fd, id.as_ref(), FanoutKind::Metrics),
+            RouteInfo::Shutdown => {
+                // Tier shutdown: drain the router AND take the backends
+                // down; the ack lands once every live backend acked.
+                // The fanout reserves the requester's response slot
+                // FIRST — start_drain closes settled clients, and the
+                // requester must survive to receive the ack.
+                self.start_fanout(fd, id.as_ref(), FanoutKind::Shutdown);
+                self.start_drain();
+            }
+            RouteInfo::Local => {
+                let Some(conn) = self.clients.get_mut(&fd) else {
+                    return;
+                };
+                conn.push_ready(format!(
+                    "{{\"ok\":true{},\"op\":\"hello\",\"router\":true,\"shards\":{}}}",
+                    id_echo(id.as_ref()),
+                    self.map.len()
+                ));
+            }
+            RouteInfo::Unroutable(msg) => {
+                let Some(conn) = self.clients.get_mut(&fd) else {
+                    return;
+                };
+                conn.push_ready(err_response(id.as_ref(), &msg));
+                self.stats.refused += 1;
+            }
+        }
+    }
+
+    /// Forwards the raw request line to `shard`, reserving the client's
+    /// next response slot. A down shard answers immediately with a
+    /// protocol error — errors are scoped to the shard, never the tier.
+    fn forward(&mut self, fd: RawFd, shard: usize, line: &str, id: Option<&Value>) {
+        let id_part = id_echo(id);
+        let Some(conn) = self.clients.get_mut(&fd) else {
+            return;
+        };
+        let client = conn.id;
+        let seq = conn.push_pending();
+        if self.backends[shard].conn.is_none() {
+            let msg = format!("shard {shard} ({}) unavailable", self.backends[shard].addr);
+            self.resolve_client_slot(client, seq, err_with_part(&id_part, &msg));
+            self.stats.refused += 1;
+            return;
+        }
+        self.backends[shard].routed += 1;
+        self.stats.forwarded += 1;
+        let pending = Pending::Client {
+            client,
+            seq,
+            id_part,
+        };
+        self.send_backend(shard, line, pending);
+    }
+
+    fn start_fanout(&mut self, fd: RawFd, id: Option<&Value>, kind: FanoutKind) {
+        let id_part = id_echo(id);
+        let Some(conn) = self.clients.get_mut(&fd) else {
+            return;
+        };
+        let client = conn.id;
+        let seq = conn.push_pending();
+        let connected: Vec<usize> = (0..self.backends.len())
+            .filter(|&i| self.backends[i].conn.is_some())
+            .collect();
+        let fanout_id = self.next_fanout;
+        self.next_fanout += 1;
+        let request = match kind {
+            FanoutKind::Metrics => "{\"op\":\"metrics\"}",
+            FanoutKind::Shutdown => "{\"op\":\"shutdown\"}",
+        };
+        self.fanouts.insert(
+            fanout_id,
+            Fanout {
+                client,
+                seq,
+                id_part,
+                kind,
+                remaining: connected.len(),
+                targets: connected.clone(),
+                pieces: vec![None; self.backends.len()],
+            },
+        );
+        for idx in connected {
+            self.send_backend(idx, request, Pending::Fanout { fanout: fanout_id });
+        }
+        self.try_finish_fanout(fanout_id);
+    }
+
+    fn fanout_piece(&mut self, fanout_id: u64, shard: usize, line: Option<String>) {
+        let Some(f) = self.fanouts.get_mut(&fanout_id) else {
+            return;
+        };
+        if let Some(line) = line {
+            f.pieces[shard] = json::parse(&line).ok();
+        }
+        f.remaining = f.remaining.saturating_sub(1);
+        self.try_finish_fanout(fanout_id);
+    }
+
+    fn try_finish_fanout(&mut self, fanout_id: u64) {
+        let done = self
+            .fanouts
+            .get(&fanout_id)
+            .is_some_and(|f| f.remaining == 0);
+        if !done {
+            return;
+        }
+        let f = self.fanouts.remove(&fanout_id).expect("checked above");
+        let resp = match f.kind {
+            FanoutKind::Shutdown => {
+                // Honest ack: a backend that refused the shutdown op
+                // (e.g. wrong --shard-auth-token) or died before
+                // answering did NOT shut down — the router still
+                // drains itself, but the client must not be told the
+                // tier went down when it didn't.
+                let unacked: Vec<String> = f
+                    .targets
+                    .iter()
+                    .filter(|&&i| {
+                        f.pieces[i]
+                            .as_ref()
+                            .and_then(|v| v.get("ok"))
+                            .and_then(Value::as_bool)
+                            != Some(true)
+                    })
+                    .map(|i| i.to_string())
+                    .collect();
+                if unacked.is_empty() {
+                    format!("{{\"ok\":true{},\"op\":\"shutdown\"}}", f.id_part)
+                } else {
+                    err_with_part(
+                        &f.id_part,
+                        &format!(
+                            "router draining, but shutdown was not acknowledged by \
+                             shard(s) {}",
+                            unacked.join(", ")
+                        ),
+                    )
+                }
+            }
+            FanoutKind::Metrics => {
+                let pieces: Vec<ShardMetricsPiece> = (0..self.backends.len())
+                    .map(|i| ShardMetricsPiece {
+                        index: i,
+                        addr: self.backends[i].addr.clone(),
+                        up: self.backends[i].conn.is_some(),
+                        metrics: f.pieces[i].as_ref().and_then(|v| v.get("metrics").cloned()),
+                    })
+                    .collect();
+                let shard_map: Vec<String> = self
+                    .backends
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        format!(
+                            "{{\"shard\":{i},\"addr\":\"{}\",\"up\":{},\"healthy\":{},\"routed\":{}}}",
+                            json::escape(&b.addr),
+                            b.conn.is_some(),
+                            b.healthy,
+                            b.routed,
+                        )
+                    })
+                    .collect();
+                format!(
+                    concat!(
+                        "{{\"ok\":true{},\"op\":\"metrics\",\"scheme\":\"jump\",",
+                        "\"router\":{{\"clients_accepted\":{},\"clients_active\":{},",
+                        "\"forwarded\":{},\"refused\":{},\"draining\":{}}},",
+                        "\"shard_map\":[{}],\"metrics\":{}}}"
+                    ),
+                    f.id_part,
+                    self.stats.accepted,
+                    self.clients.len(),
+                    self.stats.forwarded,
+                    self.stats.refused,
+                    self.drain.is_some(),
+                    shard_map.join(","),
+                    aggregate_shard_metrics(&pieces),
+                )
+            }
+        };
+        self.resolve_client_slot(f.client, f.seq, resp);
+    }
+
+    fn resolve_client_slot(&mut self, client: u64, seq: usize, resp: String) {
+        let Some(&fd) = self.client_fds.get(&client) else {
+            return; // client died before its response arrived
+        };
+        if let Some(conn) = self.clients.get_mut(&fd) {
+            conn.resolve(seq, resp);
+        }
+        self.pump_client(fd);
+    }
+
+    fn pump_client(&mut self, fd: RawFd) {
+        let close = {
+            let Some(conn) = self.clients.get_mut(&fd) else {
+                return;
+            };
+            conn.queue_ready();
+            if !conn.failed {
+                flush_stream(
+                    &mut conn.stream,
+                    &mut conn.out_buf,
+                    &mut conn.out_pos,
+                    &mut conn.failed,
+                );
+            }
+            conn.failed
+                || conn.buffered() > self.config.max_write_buffer
+                || ((conn.eof || self.drain.is_some()) && conn.settled())
+        };
+        if close {
+            self.close_client(fd);
+        } else {
+            self.update_client_interest(fd);
+        }
+    }
+
+    fn update_client_interest(&mut self, fd: RawFd) {
+        let draining = self.drain.is_some();
+        let Some(conn) = self.clients.get_mut(&fd) else {
+            return;
+        };
+        let want = Interest {
+            readable: !conn.eof && !draining,
+            writable: conn.buffered() > 0,
+        };
+        if want != conn.interest {
+            if self.poller.modify(fd, fd as u64, want).is_ok() {
+                conn.interest = want;
+            } else {
+                self.close_client(fd);
+            }
+        }
+    }
+
+    fn close_client(&mut self, fd: RawFd) {
+        let Some(conn) = self.clients.remove(&fd) else {
+            return;
+        };
+        let _ = self.poller.deregister(fd);
+        self.client_fds.remove(&conn.id);
+        // Pending backend entries referencing this client stay in their
+        // FIFOs (position is the correlation); their responses are
+        // dropped at dispatch when the lookup fails.
+    }
+
+    /// Stops accepting and freezes client input; in-flight responses
+    /// still flush, and clients close as they settle.
+    fn start_drain(&mut self) {
+        if self.drain.is_some() {
+            return;
+        }
+        self.drain = Some(DrainState {
+            deadline: Instant::now() + self.config.drain_timeout,
+        });
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        for fd in self.clients.keys().copied().collect::<Vec<_>>() {
+            self.pump_client(fd);
+        }
+    }
+}

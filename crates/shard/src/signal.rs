@@ -1,0 +1,59 @@
+//! Minimal SIGTERM/SIGINT hook for the router's graceful drain.
+//!
+//! `kill -TERM <router>` must finish in-flight client work, flush, and
+//! exit cleanly — without taking the backend shards down (an operator
+//! restarting the router tier does not want the engines cycled). The
+//! handler is async-signal-safe: it sets one flag and writes one byte
+//! to the reactor's wakeup pipe; the reactor notices on its next
+//! iteration. No external signal crate — two libc symbols, same style
+//! as `freqywm-net`'s raw syscall bindings.
+#![cfg(unix)]
+
+use std::os::raw::c_int;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
+
+const SIGINT: c_int = 2;
+const SIGTERM: c_int = 15;
+
+extern "C" {
+    fn signal(signum: c_int, handler: usize) -> usize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+extern "C" fn on_signal(_sig: c_int) {
+    DRAIN_REQUESTED.store(true, Ordering::SeqCst);
+    let fd = WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        // Best-effort wake; a full pipe already guarantees a wakeup.
+        unsafe { write(fd, [1u8].as_ptr(), 1) };
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that request a drain and wake the
+/// reactor through `wake_fd`. Process-global; the most recent caller's
+/// pipe gets the wake byte (one router per process in practice).
+pub fn install_drain_handler(wake_fd: RawFd) {
+    WAKE_FD.store(wake_fd, Ordering::SeqCst);
+    DRAIN_REQUESTED.store(false, Ordering::SeqCst);
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+/// Detaches the wakeup pipe (called when the router returns, before the
+/// pipe fd is closed). The handlers stay installed but become
+/// flag-only.
+pub fn detach_drain_handler() {
+    WAKE_FD.store(-1, Ordering::SeqCst);
+}
+
+/// True once a drain signal arrived. Sticky until the next
+/// [`install_drain_handler`].
+pub fn drain_requested() -> bool {
+    DRAIN_REQUESTED.load(Ordering::SeqCst)
+}

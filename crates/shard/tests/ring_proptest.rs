@@ -1,0 +1,75 @@
+//! Placement properties of the consistent-hash ring: deterministic,
+//! uniform within tolerance, and minimally disruptive under growth.
+
+use freqywm_shard::tenant_shard;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn assignment_is_deterministic_and_in_range(
+        tenant in "[a-z0-9]{1,24}",
+        shards in 1usize..16,
+    ) {
+        let s = tenant_shard(&tenant, shards);
+        prop_assert!(s < shards);
+        // Same tenant, same shard count → same shard, every time.
+        prop_assert_eq!(s, tenant_shard(&tenant, shards));
+        prop_assert_eq!(s, tenant_shard(&tenant.clone(), shards));
+    }
+
+    #[test]
+    fn growth_moves_at_most_the_new_shards_share(shards in 1usize..12) {
+        // Adding shard N+1 must move only ~1/(N+1) of tenants, and
+        // only INTO the new shard — never between surviving shards.
+        let tenants: Vec<String> = (0..2000).map(|i| format!("tenant-{i}")).collect();
+        let mut moved = 0usize;
+        for t in &tenants {
+            let before = tenant_shard(t, shards);
+            let after = tenant_shard(t, shards + 1);
+            if after != before {
+                prop_assert_eq!(
+                    after, shards,
+                    "{} moved between surviving shards: {} -> {}", t, before, after
+                );
+                moved += 1;
+            }
+        }
+        let expected = tenants.len() as f64 / (shards as f64 + 1.0);
+        prop_assert!(
+            (moved as f64) <= expected * 1.8,
+            "growth {} -> {} moved {} tenants, expected ~{:.0}",
+            shards, shards + 1, moved, expected
+        );
+    }
+}
+
+#[test]
+fn uniform_within_20pct_across_4_shards_for_10k_tenants() {
+    let mut counts = [0usize; 4];
+    for i in 0..10_000 {
+        counts[tenant_shard(&format!("tenant-{i:05}"), 4)] += 1;
+    }
+    for (shard, &c) in counts.iter().enumerate() {
+        assert!(
+            (2_000..=3_000).contains(&c),
+            "shard {shard} holds {c} of 10000 tenants — outside 2500 ± 20% ({counts:?})"
+        );
+    }
+}
+
+#[test]
+fn uniform_within_20pct_for_random_style_ids() {
+    // Tenant ids in the wild aren't sequential; hash-like ids must
+    // spread just as well.
+    let mut counts = [0usize; 4];
+    for i in 0..10_000u64 {
+        let id = format!("{:016x}", i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        counts[tenant_shard(&id, 4)] += 1;
+    }
+    for (shard, &c) in counts.iter().enumerate() {
+        assert!(
+            (2_000..=3_000).contains(&c),
+            "shard {shard} holds {c} of 10000 ids ({counts:?})"
+        );
+    }
+}

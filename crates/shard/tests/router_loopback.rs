@@ -1,0 +1,419 @@
+//! In-process loopback tests for the router tier: real TCP, real
+//! engines behind `freqywm-net` reactors, the router in between.
+#![cfg(unix)]
+
+use freqywm_net::{serve_listener, NetConfig};
+use freqywm_service::engine::{Engine, EngineConfig, ShardGate};
+use freqywm_service::proto::json;
+use freqywm_shard::{run_router, tenant_shard, RouterConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Backend {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start_backend(shard_id: Option<(usize, usize)>, auth_token: Option<&str>) -> Backend {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        shard_gate: shard_id
+            .map(|(i, n)| ShardGate::new(format!("{i}/{n}"), move |t| tenant_shard(t, n) == i)),
+        ..EngineConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+    let addr = listener.local_addr().unwrap();
+    let net = NetConfig {
+        auth_token: auth_token.map(str::to_string),
+        ..NetConfig::default()
+    };
+    let server_engine = Arc::clone(&engine);
+    let handle = std::thread::spawn(move || serve_listener(&server_engine, listener, net));
+    Backend {
+        engine,
+        addr,
+        handle,
+    }
+}
+
+fn start_router(
+    backends: &[&Backend],
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let shards: Vec<String> = backends.iter().map(|b| b.addr.to_string()).collect();
+    start_router_addrs(shards, tweak)
+}
+
+fn start_router_addrs(
+    shards: Vec<String>,
+    tweak: impl FnOnce(&mut RouterConfig),
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let addr = listener.local_addr().unwrap();
+    let mut config = RouterConfig::new(shards);
+    config.probe_interval = Duration::from_millis(200);
+    config.reconnect_min = Duration::from_millis(50);
+    config.reconnect_max = Duration::from_millis(200);
+    tweak(&mut config);
+    let handle = std::thread::spawn(move || run_router(listener, config));
+    (addr, handle)
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "connection closed while awaiting a response");
+        resp.trim_end().to_string()
+    }
+}
+
+fn counts_json(n: usize) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("[\"tok{i:02}\",{}]", 2_000 / (i + 1) + 3 * (n - i)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Backends connect asynchronously (a request to a still-connecting
+/// shard errors fast rather than queueing); poll the aggregated
+/// metrics until the expected number of shards is up.
+fn wait_until_shards_up(c: &mut Client, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = c.request(r#"{"op":"metrics"}"#);
+        let up = json::parse(&m)
+            .ok()
+            .and_then(|v| v.get("metrics")?.get("shards_up")?.as_u64());
+        if up == Some(want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never reached {want} live shard(s): {m}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn onboard(c: &mut Client, tenant: &str) {
+    let r = c.request(&format!(
+        "{{\"op\":\"register\",\"tenant\":\"{tenant}\",\"secret_label\":\"lb-{tenant}\"}}"
+    ));
+    assert!(r.contains("\"ok\":true"), "register {tenant}: {r}");
+    let r = c.request(&format!(
+        "{{\"op\":\"embed\",\"tenant\":\"{tenant}\",\"z\":19,\"counts\":{}}}",
+        counts_json(60)
+    ));
+    assert!(r.contains("chosen_pairs"), "embed {tenant}: {r}");
+}
+
+#[test]
+fn routes_tenants_aggregates_metrics_and_drains() {
+    let b0 = start_backend(Some((0, 2)), None);
+    let b1 = start_backend(Some((1, 2)), None);
+    let (router_addr, router) = start_router(&[&b0, &b1], |_| {});
+
+    let tenants: Vec<String> = (0..20).map(|i| format!("tenant-{i:02}")).collect();
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 2);
+    for t in &tenants {
+        onboard(&mut c, t);
+        let r = c.request(&format!(
+            "{{\"op\":\"detect\",\"tenant\":\"{t}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+            counts_json(60)
+        ));
+        assert!(r.contains("\"ok\":true"), "detect {t}: {r}");
+        assert!(r.contains("\"op\":\"detect\""), "detect {t}: {r}");
+    }
+
+    // Placement is verifiable from outside: each backend's registry
+    // holds exactly the tenants that hash to its shard.
+    let expect0 = tenants.iter().filter(|t| tenant_shard(t, 2) == 0).count();
+    let expect1 = tenants.len() - expect0;
+    assert!(
+        expect0 > 0 && expect1 > 0,
+        "degenerate split {expect0}/{expect1}"
+    );
+    assert_eq!(b0.engine.metrics().tenants as usize, expect0);
+    assert_eq!(b1.engine.metrics().tenants as usize, expect1);
+
+    // Aggregated metrics: totals sum across shards, shard map attached.
+    let m = c.request(r#"{"op":"metrics","id":"agg"}"#);
+    assert!(m.contains("\"id\":\"agg\""), "{m}");
+    let v = json::parse(&m).expect("metrics response parses");
+    assert_eq!(v.get("scheme").unwrap().as_str(), Some("jump"));
+    let agg = v.get("metrics").unwrap();
+    assert_eq!(agg.get("shard_count").unwrap().as_u64(), Some(2));
+    assert_eq!(agg.get("shards_up").unwrap().as_u64(), Some(2));
+    let totals = agg.get("totals").unwrap();
+    assert_eq!(totals.get("tenants").unwrap().as_u64(), Some(20));
+    // 20 embeds + 20 detects.
+    assert_eq!(totals.get("embed_jobs").unwrap().as_u64(), Some(20));
+    assert_eq!(totals.get("detect_jobs").unwrap().as_u64(), Some(20));
+    let shard_map = v.get("shard_map").unwrap().as_arr().unwrap();
+    assert_eq!(shard_map.len(), 2);
+    assert_eq!(shard_map[0].get("up").unwrap().as_bool(), Some(true));
+    // Per-shard metrics carry the backend's own shard label.
+    let per = agg.get("per_shard").unwrap().as_arr().unwrap();
+    assert_eq!(
+        per[1]
+            .get("metrics")
+            .unwrap()
+            .get("shard")
+            .unwrap()
+            .as_str(),
+        Some("1/2")
+    );
+
+    // Disputes: same-shard pairs route; cross-shard pairs are refused
+    // with a protocol error (not a hang, not a tier failure).
+    let shard0: Vec<&String> = tenants.iter().filter(|t| tenant_shard(t, 2) == 0).collect();
+    let shard1: Vec<&String> = tenants.iter().filter(|t| tenant_shard(t, 2) == 1).collect();
+    if shard0.len() >= 2 {
+        let r = c.request(&format!(
+            "{{\"op\":\"dispute\",\"a\":\"{}\",\"b\":\"{}\"}}",
+            shard0[0], shard0[1]
+        ));
+        assert!(r.contains("\"winner\":"), "same-shard dispute: {r}");
+    }
+    let r = c.request(&format!(
+        "{{\"op\":\"dispute\",\"a\":\"{}\",\"b\":\"{}\",\"id\":7}}",
+        shard0[0], shard1[0]
+    ));
+    assert!(r.contains("\"ok\":false"), "{r}");
+    assert!(r.contains("unroutable"), "{r}");
+    assert!(r.contains("\"id\":7"), "{r}");
+
+    // Misrouting directly to a backend is refused by its shard gate.
+    let mut direct = Client::connect(b0.addr);
+    let foreign = shard1[0];
+    let r = direct.request(&format!(
+        "{{\"op\":\"detect\",\"tenant\":\"{foreign}\",\"counts\":[[\"a\",1]]}}"
+    ));
+    assert!(r.contains("not owned by this shard"), "{r}");
+    drop(direct);
+
+    // Tier drain: one shutdown op through the router takes down both
+    // backends and the router, acking after everyone drained.
+    let ack = c.request(r#"{"op":"shutdown","id":"bye"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    assert!(ack.contains("\"id\":\"bye\""), "{ack}");
+    let mut rest = String::new();
+    c.reader.read_to_string(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "data after shutdown ack: {rest}");
+    router.join().unwrap().expect("router exits cleanly");
+    b0.handle.join().unwrap().expect("backend 0 drains");
+    b1.handle.join().unwrap().expect("backend 1 drains");
+    b0.engine.shutdown();
+    b1.engine.shutdown();
+}
+
+#[test]
+fn backend_death_scopes_errors_to_its_shard() {
+    let b0 = start_backend(Some((0, 2)), None);
+    let b1 = start_backend(Some((1, 2)), None);
+    let (router_addr, router) = start_router(&[&b0, &b1], |_| {});
+
+    let tenants: Vec<String> = (0..8).map(|i| format!("dt-{i}")).collect();
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 2);
+    for t in &tenants {
+        onboard(&mut c, t);
+    }
+
+    // Kill shard 1 out from under the router (direct shutdown).
+    let mut direct = Client::connect(b1.addr);
+    let ack = direct.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    drop(direct);
+    b1.handle.join().unwrap().expect("backend 1 drains");
+
+    // Wait for the router to observe the death (EOF on the backend
+    // connection); a shard-1 request then fails fast.
+    let dead_tenant = tenants
+        .iter()
+        .find(|t| tenant_shard(t, 2) == 1)
+        .expect("some tenant on shard 1");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = c.request(&format!(
+            "{{\"op\":\"detect\",\"tenant\":\"{dead_tenant}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+            counts_json(60)
+        ));
+        if r.contains("\"ok\":false") {
+            assert!(
+                r.contains("shard 1") || r.contains("unavailable") || r.contains("connection lost"),
+                "unexpected error shape: {r}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never noticed the dead backend"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Shard-0 tenants are untouched.
+    for t in tenants.iter().filter(|t| tenant_shard(t, 2) == 0) {
+        let r = c.request(&format!(
+            "{{\"op\":\"detect\",\"tenant\":\"{t}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+            counts_json(60)
+        ));
+        assert!(r.contains("\"ok\":true"), "shard 0 tenant {t} failed: {r}");
+    }
+
+    // Aggregated metrics degrade, they don't fail: shard 1 reports
+    // down, totals cover the survivors.
+    let m = c.request(r#"{"op":"metrics"}"#);
+    let v = json::parse(&m).expect("metrics parses");
+    let agg = v.get("metrics").unwrap();
+    assert_eq!(agg.get("shards_up").unwrap().as_u64(), Some(1));
+    let expect0 = tenants.iter().filter(|t| tenant_shard(t, 2) == 0).count();
+    assert_eq!(
+        agg.get("totals").unwrap().get("tenants").unwrap().as_u64(),
+        Some(expect0 as u64)
+    );
+
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+    b0.handle.join().unwrap().expect("backend 0 drains");
+    b0.engine.shutdown();
+    b1.engine.shutdown();
+}
+
+#[test]
+fn reconnects_with_backoff_when_a_backend_comes_up_late() {
+    // Reserve a port, then close the listener: the router's first
+    // connect attempts fail and back off.
+    let placeholder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().unwrap();
+    drop(placeholder);
+
+    let (router_addr, router) = start_router_addrs(vec![addr.to_string()], |_| {});
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Now the backend appears on the reserved address.
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    }));
+    let listener = TcpListener::bind(addr).expect("rebind reserved port");
+    let server_engine = Arc::clone(&engine);
+    let handle =
+        std::thread::spawn(move || serve_listener(&server_engine, listener, NetConfig::default()));
+
+    // The router reconnects within its backoff schedule and traffic
+    // flows.
+    let mut c = Client::connect(router_addr);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = c.request(r#"{"op":"register","tenant":"late","secret_label":"late"}"#);
+        if r.contains("\"ok\":true") {
+            break;
+        }
+        assert!(r.contains("unavailable"), "unexpected error: {r}");
+        assert!(Instant::now() < deadline, "router never reconnected");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+    handle.join().unwrap().expect("backend drains");
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_ack_is_honest_when_backends_refuse() {
+    // Backend requires auth; the router was (mis)configured without a
+    // shard token, so its shutdown fan-out is refused — the client
+    // must NOT be told the tier went down.
+    let b0 = start_backend(None, Some("backend-secret"));
+    let (router_addr, router) = start_router(&[&b0], |_| {});
+
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 1);
+    let r = c.request(r#"{"op":"shutdown","id":9}"#);
+    assert!(r.contains("\"ok\":false"), "{r}");
+    assert!(r.contains("not acknowledged by shard(s) 0"), "{r}");
+    assert!(r.contains("\"id\":9"), "{r}");
+
+    // The router still drains itself…
+    let mut rest = String::new();
+    c.reader.read_to_string(&mut rest).expect("router closes");
+    router.join().unwrap().expect("router exits cleanly");
+
+    // …while the backend keeps serving, untouched.
+    let mut direct = Client::connect(b0.addr);
+    let r = direct.request(r#"{"op":"hello","token":"backend-secret"}"#);
+    assert!(r.contains("\"authenticated\":true"), "{r}");
+    let ack = direct.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    b0.handle.join().unwrap().expect("backend drains");
+    b0.engine.shutdown();
+}
+
+#[test]
+fn auth_gates_clients_and_authenticates_to_backends() {
+    let b0 = start_backend(None, Some("backend-secret"));
+    let (router_addr, router) = start_router(&[&b0], |c| {
+        c.auth_token = Some("front-secret".into());
+        c.shard_auth_token = Some("backend-secret".into());
+    });
+
+    let mut c = Client::connect(router_addr);
+    // Locked until hello.
+    let r = c.request(r#"{"op":"metrics","id":1}"#);
+    assert!(r.contains("authentication required"), "{r}");
+    let r = c.request(r#"{"op":"hello","token":"wrong","id":2}"#);
+    assert!(r.contains("bad auth token"), "{r}");
+    // Unlock, then full traffic — through the backend's own auth gate,
+    // which the router satisfied with its shard token.
+    let r = c.request(r#"{"op":"hello","token":"front-secret","id":3}"#);
+    assert!(r.contains("\"authenticated\":true"), "{r}");
+    wait_until_shards_up(&mut c, 1);
+    // A separate, still-locked connection: a per-request auth field
+    // admits exactly that request.
+    let mut locked = Client::connect(router_addr);
+    let r = locked
+        .request(r#"{"op":"register","tenant":"a1","secret_label":"s","auth":"front-secret"}"#);
+    assert!(r.contains("\"ok\":true"), "{r}");
+    let r = locked.request(r#"{"op":"metrics"}"#);
+    assert!(r.contains("authentication required"), "{r}");
+    drop(locked);
+    let r = c.request(&format!(
+        "{{\"op\":\"embed\",\"tenant\":\"a1\",\"z\":19,\"counts\":{}}}",
+        counts_json(60)
+    ));
+    assert!(r.contains("chosen_pairs"), "{r}");
+
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+    b0.handle.join().unwrap().expect("backend drains");
+    b0.engine.shutdown();
+}

@@ -53,6 +53,7 @@
 //! | [`ledger`] | hash-chained buyer-fingerprint ledger |
 //! | [`service`] | multi-tenant engine: key registry, worker pool, PRF cache, JSON-lines protocol |
 //! | [`net`] | non-blocking TCP front-end: hand-rolled epoll/poll reactor for `freqywm serve --listen` |
+//! | [`shard`] | cross-process sharding: consistent-hash router tier over N engine shards |
 
 pub use freqywm_attacks as attacks;
 pub use freqywm_baselines as baselines;
@@ -64,6 +65,7 @@ pub use freqywm_matching as matching;
 pub use freqywm_ml as ml;
 pub use freqywm_net as net;
 pub use freqywm_service as service;
+pub use freqywm_shard as shard;
 pub use freqywm_stats as stats;
 
 /// The most common imports in one place.
