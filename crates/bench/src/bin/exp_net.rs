@@ -14,7 +14,9 @@
 //! cargo run --release -p freqywm-bench --bin exp_net
 //! ```
 
-use freqywm_bench::{print_header, print_row, zipf_hist};
+use freqywm_bench::{
+    json_obj, json_out_path, print_header, print_row, write_json_report, zipf_hist,
+};
 use freqywm_crypto::prf::Secret;
 use freqywm_net::{serve_listener, NetConfig};
 use freqywm_service::engine::{Engine, EngineConfig};
@@ -115,18 +117,30 @@ fn main() {
         &["idle conns", "clients", "req/s", "p50 ms", "p99 ms"],
         &widths,
     );
+    let mut rows = Vec::new();
+    let record =
+        |rows: &mut Vec<String>, idle: usize, clients: usize, rps: f64, p50: f64, p99: f64| {
+            print_row(
+                &[
+                    idle.to_string(),
+                    clients.to_string(),
+                    format!("{rps:.0}"),
+                    format!("{p50:.3}"),
+                    format!("{p99:.3}"),
+                ],
+                &widths,
+            );
+            rows.push(json_obj(&[
+                ("idle_conns", idle.to_string()),
+                ("clients", clients.to_string()),
+                ("req_per_sec", format!("{rps:.1}")),
+                ("p50_ms", format!("{p50:.3}")),
+                ("p99_ms", format!("{p99:.3}")),
+            ]));
+        };
     for &clients in &[1usize, 4, 16] {
         let (rps, p50, p99) = run_load(addr, clients, &detect_line);
-        print_row(
-            &[
-                "0".into(),
-                clients.to_string(),
-                format!("{rps:.0}"),
-                format!("{p50:.3}"),
-                format!("{p99:.3}"),
-            ],
-            &widths,
-        );
+        record(&mut rows, 0, clients, rps, p50, p99);
     }
 
     // Park an idle herd on the reactor and repeat.
@@ -135,18 +149,12 @@ fn main() {
         .collect();
     for &clients in &[4usize, 16] {
         let (rps, p50, p99) = run_load(addr, clients, &detect_line);
-        print_row(
-            &[
-                IDLE_HERD.to_string(),
-                clients.to_string(),
-                format!("{rps:.0}"),
-                format!("{p50:.3}"),
-                format!("{p99:.3}"),
-            ],
-            &widths,
-        );
+        record(&mut rows, IDLE_HERD, clients, rps, p50, p99);
     }
     drop(herd);
+    if let Some(path) = json_out_path() {
+        write_json_report(&path, "exp_net", &rows);
+    }
 
     // Drain: one shutdown op, then the reactor thread exits cleanly.
     let stream = TcpStream::connect(addr).expect("connect");

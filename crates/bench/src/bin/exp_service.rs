@@ -11,7 +11,9 @@
 //! cargo run --release -p freqywm-bench --bin exp_service
 //! ```
 
-use freqywm_bench::{print_header, print_row, timed, zipf_hist};
+use freqywm_bench::{
+    json_obj, json_out_path, print_header, print_row, timed, write_json_report, zipf_hist,
+};
 use freqywm_core::params::{DetectionParams, GenerationParams};
 use freqywm_crypto::prf::Secret;
 use freqywm_service::engine::{Engine, EngineConfig};
@@ -23,7 +25,17 @@ const ROUNDS: usize = 25;
 const TOKENS: usize = 300;
 const SAMPLES: usize = 300_000;
 
-fn run_load(workers: usize, cache: PrfCacheConfig) -> (f64, f64, f64, f64, usize) {
+struct LoadStats {
+    jobs_per_sec: f64,
+    mean_us: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    hit_rate: f64,
+    entries: usize,
+}
+
+fn run_load(workers: usize, cache: PrfCacheConfig) -> LoadStats {
     let engine = Engine::start(EngineConfig {
         workers,
         cache,
@@ -76,13 +88,17 @@ fn run_load(workers: usize, cache: PrfCacheConfig) -> (f64, f64, f64, f64, usize
     });
 
     let m = engine.metrics();
-    let jobs_per_sec = ids.len() as f64 / secs;
-    let mean_us = m.latency.mean_micros();
-    let p95_us = m.latency.quantile_upper_micros(0.95) as f64;
-    let hit_rate = m.cache.hit_rate();
-    let entries = m.cache.entries as usize;
+    let stats = LoadStats {
+        jobs_per_sec: ids.len() as f64 / secs,
+        mean_us: m.latency.mean_micros(),
+        p50_us: m.latency.quantile_upper_micros(0.50),
+        p95_us: m.latency.quantile_upper_micros(0.95),
+        p99_us: m.latency.quantile_upper_micros(0.99),
+        hit_rate: m.cache.hit_rate(),
+        entries: m.cache.entries as usize,
+    };
     engine.shutdown();
-    (jobs_per_sec, mean_us, p95_us, hit_rate, entries)
+    stats
 }
 
 fn main() {
@@ -97,6 +113,7 @@ fn main() {
         ],
         &widths,
     );
+    let mut rows = Vec::new();
     for workers in [1usize, 4] {
         for cached in [false, true] {
             let cache = if cached {
@@ -104,20 +121,34 @@ fn main() {
             } else {
                 PrfCacheConfig::disabled()
             };
-            let (jps, mean_us, p95_us, hit, entries) = run_load(workers, cache);
+            let s = run_load(workers, cache);
             print_row(
                 &[
                     workers.to_string(),
                     if cached { "on" } else { "off" }.to_string(),
-                    format!("{jps:.0}"),
-                    format!("{mean_us:.0}"),
-                    format!("{p95_us:.0}"),
-                    format!("{hit:.3}"),
-                    entries.to_string(),
+                    format!("{:.0}", s.jobs_per_sec),
+                    format!("{:.0}", s.mean_us),
+                    format!("{}", s.p95_us),
+                    format!("{:.3}", s.hit_rate),
+                    s.entries.to_string(),
                 ],
                 &widths,
             );
+            rows.push(json_obj(&[
+                ("workers", workers.to_string()),
+                ("cache", cached.to_string()),
+                ("jobs_per_sec", format!("{:.1}", s.jobs_per_sec)),
+                ("mean_us", format!("{:.1}", s.mean_us)),
+                ("p50_us", s.p50_us.to_string()),
+                ("p95_us", s.p95_us.to_string()),
+                ("p99_us", s.p99_us.to_string()),
+                ("hit_rate", format!("{:.4}", s.hit_rate)),
+                ("entries", s.entries.to_string()),
+            ]));
         }
+    }
+    if let Some(path) = json_out_path() {
+        write_json_report(&path, "exp_service", &rows);
     }
     println!(
         "\n(hit rate counts the measured phase plus embeds' ledger writes; \

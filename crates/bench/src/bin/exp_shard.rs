@@ -14,7 +14,9 @@
 //! cargo run --release -p freqywm-bench --bin exp_shard
 //! ```
 
-use freqywm_bench::{print_header, print_row, zipf_hist};
+use freqywm_bench::{
+    json_obj, json_out_path, print_header, print_row, write_json_report, zipf_hist,
+};
 use freqywm_net::{serve_listener, NetConfig};
 use freqywm_service::engine::{Engine, EngineConfig, ShardGate};
 use freqywm_shard::{run_router, tenant_shard, RouterConfig};
@@ -183,6 +185,7 @@ fn main() {
     );
     let widths = [8usize, 10, 12, 12, 12];
     print_header(&["shards", "clients", "req/s", "p50 ms", "p99 ms"], &widths);
+    let mut rows = Vec::new();
     for &shards in &[1usize, 2, 4] {
         let (rps, p50, p99) = bench_tier(shards);
         print_row(
@@ -195,5 +198,15 @@ fn main() {
             ],
             &widths,
         );
+        rows.push(json_obj(&[
+            ("shards", shards.to_string()),
+            ("clients", CLIENTS.to_string()),
+            ("req_per_sec", format!("{rps:.1}")),
+            ("p50_ms", format!("{p50:.3}")),
+            ("p99_ms", format!("{p99:.3}")),
+        ]));
+    }
+    if let Some(path) = json_out_path() {
+        write_json_report(&path, "exp_shard", &rows);
     }
 }

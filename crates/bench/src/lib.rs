@@ -50,6 +50,37 @@ pub fn print_header(cells: &[&str], widths: &[usize]) {
     println!("{}", "-".repeat(total));
 }
 
+/// Returns the path passed via `--json-out PATH`, if the flag is
+/// present on the command line. Runners that support machine-readable
+/// output call this once at startup.
+pub fn json_out_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json-out" {
+            return Some(args.next().expect("--json-out needs a path").into());
+        }
+    }
+    None
+}
+
+/// Renders one JSON object from `(key, already-rendered-value)` pairs.
+/// Values must be valid JSON fragments (numbers, quoted strings, ...).
+pub fn json_obj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Writes `{"bench":NAME,"rows":[...]}` to `path`, one row per line so
+/// baselines diff cleanly, and announces the write on stdout.
+pub fn write_json_report(path: &std::path::Path, bench: &str, rows: &[String]) {
+    let body = format!(
+        "{{\"bench\":\"{bench}\",\"rows\":[\n  {}\n]}}\n",
+        rows.join(",\n  ")
+    );
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("# wrote {}", path.display());
+}
+
 /// Mean of a sample.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {

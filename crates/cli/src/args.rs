@@ -61,6 +61,23 @@ pub enum Command {
         shards: Vec<String>,
         opts: RouterOpts,
     },
+    /// Queries recent spans from a running `serve --listen` engine or
+    /// a `router` tier over TCP (the `trace` protocol op).
+    Trace {
+        connect: String,
+        /// Exact trace-id filter.
+        trace: Option<String>,
+        /// Tenant filter.
+        tenant: Option<String>,
+        /// Op filter (embed/detect/maintain/…).
+        for_op: Option<String>,
+        /// Only spans at least this many milliseconds long.
+        min_ms: Option<u64>,
+        /// Span-count cap.
+        limit: Option<u64>,
+        /// Per-request auth token (for `--auth-token` servers).
+        auth: Option<String>,
+    },
     /// Recovers a data-dir (snapshot + log replay) and verifies the
     /// registration hash chain end to end.
     LedgerVerify {
@@ -93,6 +110,9 @@ pub struct EngineOpts {
     /// `(i, n)` from `--shard-id i/n`: this engine serves only tenants
     /// that jump-hash to shard `i` of `n` and refuses the rest.
     pub shard_id: Option<(usize, usize)>,
+    /// Requests slower than this (queue wait + run) are logged as JSON
+    /// lines on stderr; `Some(0)` logs every request, `None` disables.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for EngineOpts {
@@ -107,6 +127,7 @@ impl Default for EngineOpts {
             snapshot_every: 256,
             ledger_key: None,
             shard_id: None,
+            slow_ms: None,
         }
     }
 }
@@ -205,12 +226,14 @@ USAGE:
   freqywm serve    [--listen <addr>] [--max-conns 1024] [--idle-timeout SECS]
                    [--max-frame BYTES] [--auth-token T] [--shard-id i/N]
                    [--workers 4] [--queue 1024] [--cache-shards 8]
-                   [--cache-capacity 8192] [--no-cache]
+                   [--cache-capacity 8192] [--no-cache] [--slow-ms MS]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
   freqywm router   --listen <addr> --shard <addr> [--shard <addr> ...]
                    [--max-conns 1024] [--max-frame BYTES] [--auth-token T]
                    [--shard-auth-token T] [--probe-interval 2]
                    [--drain-timeout 10]
+  freqywm trace    --connect <addr> [--trace ID] [--tenant T] [--for-op OP]
+                   [--min-ms MS] [--limit N] [--auth TOKEN]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
                    [--cache-shards 8] [--cache-capacity 8192] [--no-cache]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
@@ -241,6 +264,16 @@ tenant is refused, and its own --data-dir so durability stays per
 partition. `--auth-token` on serve or router locks the socket behind a
 hello handshake; the router presents `--shard-auth-token` to its
 backends.
+
+`trace` connects to a running `serve --listen` engine (or a `router`,
+which fans the query out to every shard) and prints the recent stage
+spans — parse, auth, queue_wait, run, prf_sweep, respond — matching the
+given filters, one JSON response on stdout. Every protocol request may
+carry a `\"trace\":\"id\"` field; the router mints one when absent, so
+a single id follows a request from client to router to shard to worker.
+`serve --slow-ms N` additionally logs any request whose queue wait plus
+run time reaches N milliseconds as a JSON line on stderr (0 logs every
+request).
 
 With `--data-dir` the registry and its hash-chained ledger live in an
 append-only, fsync'd, checksummed log (plus periodic snapshots), so
@@ -303,6 +336,13 @@ fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> 
         snapshot_every: opt_parse(f, "snapshot-every", defaults.snapshot_every)?,
         ledger_key: f.get("ledger-key").cloned(),
         shard_id: f.get("shard-id").map(|s| parse_shard_id(s)).transpose()?,
+        slow_ms: f
+            .get("slow-ms")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("bad value for --slow-ms: {v:?}"))
+            })
+            .transpose()?,
     })
 }
 
@@ -453,6 +493,26 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Batch {
                 input: req(&f, "input")?,
                 engine: parse_engine_opts(&f)?,
+            })
+        }
+        "trace" => {
+            let f = parse_flags(rest)?;
+            let parse_u64 = |key: &str| -> Result<Option<u64>, String> {
+                f.get(key)
+                    .map(|v| {
+                        v.parse()
+                            .map_err(|_| format!("bad value for --{key}: {v:?}"))
+                    })
+                    .transpose()
+            };
+            Ok(Command::Trace {
+                connect: req(&f, "connect")?,
+                trace: f.get("trace").cloned(),
+                tenant: f.get("tenant").cloned(),
+                for_op: f.get("for-op").cloned(),
+                min_ms: parse_u64("min-ms")?,
+                limit: parse_u64("limit")?,
+                auth: f.get("auth").cloned(),
             })
         }
         "ledger" => {
@@ -798,6 +858,50 @@ mod tests {
         assert!(parse_shard_id("x/2").is_err());
         assert!(parse_shard_id("3").is_err());
         assert!(parse_args(&v(&["serve", "--shard-id", "9/4"])).is_err());
+    }
+
+    #[test]
+    fn slow_ms_and_trace_flags() {
+        let c = parse_args(&v(&["serve", "--slow-ms", "250"])).unwrap();
+        match c {
+            Command::Serve { engine, .. } => assert_eq!(engine.slow_ms, Some(250)),
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&["serve"])).unwrap();
+        match c {
+            Command::Serve { engine, .. } => assert_eq!(engine.slow_ms, None),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["serve", "--slow-ms", "fast"])).is_err());
+
+        let c = parse_args(&v(&[
+            "trace",
+            "--connect",
+            "127.0.0.1:7700",
+            "--tenant",
+            "acme",
+            "--for-op",
+            "detect",
+            "--min-ms",
+            "5",
+            "--limit",
+            "20",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Trace {
+                connect: "127.0.0.1:7700".into(),
+                trace: None,
+                tenant: Some("acme".into()),
+                for_op: Some("detect".into()),
+                min_ms: Some(5),
+                limit: Some(20),
+                auth: None,
+            }
+        );
+        assert!(parse_args(&v(&["trace"])).is_err(), "trace needs --connect");
+        assert!(parse_args(&v(&["trace", "--connect", "x", "--min-ms", "soon"])).is_err());
     }
 
     #[test]

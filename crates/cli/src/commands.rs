@@ -46,6 +46,7 @@ fn engine_config(opts: &EngineOpts) -> EngineConfig {
                 freqywm_shard::tenant_shard(tenant, n) == i
             })
         }),
+        slow_ms: opts.slow_ms,
         ..EngineConfig::default()
     }
 }
@@ -138,6 +139,30 @@ fn run_router(
         ..freqywm_shard::RouterConfig::new(shards)
     };
     freqywm_shard::run_router(listener, config).map_err(|e| format!("router error: {e}"))
+}
+
+/// One-shot protocol client for `freqywm trace`: connects, sends the
+/// request line, returns the single response line.
+fn trace_request(addr: &str, request: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone connection: {e}"))?;
+    writeln!(writer, "{request}").map_err(|e| format!("cannot send request: {e}"))?;
+    writer.flush().ok();
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read response: {e}"))?;
+    if line.trim().is_empty() {
+        return Err(format!("{addr} closed the connection without answering"));
+    }
+    Ok(line.trim_end().to_string())
 }
 
 /// Runs a parsed command. Returns the process exit code.
@@ -368,6 +393,42 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             }
             stop_engine(engine, opts.data_dir.is_some());
             Ok(if failed == 0 { 0 } else { 1 })
+        }
+        Command::Trace {
+            connect,
+            trace,
+            tenant,
+            for_op,
+            min_ms,
+            limit,
+            auth,
+        } => {
+            use freqywm_service::proto::json;
+            let mut req = String::from("{\"op\":\"trace\"");
+            for (key, value) in [
+                ("trace", &trace),
+                ("tenant", &tenant),
+                ("for_op", &for_op),
+                ("auth", &auth),
+            ] {
+                if let Some(v) = value {
+                    req.push_str(&format!(",\"{key}\":\"{}\"", json::escape(v)));
+                }
+            }
+            if let Some(ms) = min_ms {
+                req.push_str(&format!(",\"min_ms\":{ms}"));
+            }
+            if let Some(n) = limit {
+                req.push_str(&format!(",\"limit\":{n}"));
+            }
+            req.push('}');
+            let response = trace_request(&connect, &req)?;
+            writeln!(out, "{response}").ok();
+            Ok(if response.starts_with("{\"ok\":true") {
+                0
+            } else {
+                1
+            })
         }
         Command::LedgerVerify {
             data_dir,

@@ -1,0 +1,222 @@
+//! Observability end-to-end: a real `freqywm router` in front of real
+//! `freqywm serve --listen` shards. A client-supplied trace id must be
+//! retrievable through the tier's `trace` op with distinct queue-wait
+//! and run spans, and `--slow-ms` must gate the stderr slow log.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server closed mid-request");
+        resp.trim_end().to_string()
+    }
+}
+
+fn counts_json(n: usize) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("[\"tok{i:02}\",{}]", 2_000 / (i + 1) + 3 * (n - i)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn read_announcement(child: &mut Child) -> SocketAddr {
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read announcement");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    addr
+}
+
+/// Spawns a shard with stderr captured (for slow-log assertions).
+fn spawn_backend(shard: usize, of: usize, extra: &[&str]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "serve".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--workers".to_string(),
+        "2".to_string(),
+        "--shard-id".to_string(),
+        format!("{shard}/{of}"),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn freqywm serve shard");
+    let addr = read_announcement(&mut child);
+    (child, addr)
+}
+
+fn spawn_router(shard_addrs: &[SocketAddr]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "router".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+    ];
+    for a in shard_addrs {
+        args.push("--shard".to_string());
+        args.push(a.to_string());
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm router");
+    let addr = read_announcement(&mut child);
+    (child, addr)
+}
+
+fn wait_until_shards_up(c: &mut Client, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let m = c.request(r#"{"op":"metrics"}"#);
+        if m.contains(&format!("\"shards_up\":{want}")) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "shards never came up: {m}");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+fn reap_stderr(child: &mut Child) -> String {
+    let mut err = String::new();
+    child
+        .stderr
+        .take()
+        .expect("captured stderr")
+        .read_to_string(&mut err)
+        .expect("read stderr");
+    err
+}
+
+#[test]
+fn client_trace_id_is_retrievable_through_the_tier_with_stage_spans() {
+    // Shard 0 logs everything (--slow-ms 0); shard 1 logs nothing that
+    // finishes inside a minute — together they pin both sides of the
+    // slow-log threshold in one deployment.
+    let (mut backend0, addr0) = spawn_backend(0, 2, &["--slow-ms", "0"]);
+    let (mut backend1, addr1) = spawn_backend(1, 2, &["--slow-ms", "60000"]);
+    let (mut router, router_addr) = spawn_router(&[addr0, addr1]);
+
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 2);
+
+    // One tenant per shard, each embedding with a client-supplied
+    // trace id riding the request line.
+    let tenants: [String; 2] = [0, 1].map(|s| {
+        (0..100)
+            .map(|i| format!("tenant-{i:03}"))
+            .find(|t| freqywm_shard::tenant_shard(t, 2) == s)
+            .expect("some tenant hashes to each shard")
+    });
+    for (s, t) in tenants.iter().enumerate() {
+        let r = c.request(&format!(
+            "{{\"op\":\"register\",\"tenant\":\"{t}\",\"secret_label\":\"obs-{t}\"}}"
+        ));
+        assert!(r.contains("\"ok\":true"), "register {t}: {r}");
+        let r = c.request(&format!(
+            "{{\"op\":\"embed\",\"tenant\":\"{t}\",\"z\":19,\"trace\":\"t-42-{s}\",\"counts\":{}}}",
+            counts_json(40)
+        ));
+        assert!(r.contains("chosen_pairs"), "embed {t}: {r}");
+    }
+
+    // The trace op fans out and merges: the client's id comes back from
+    // the owning shard with queue-wait and run recorded as distinct
+    // spans, each tagged with its shard.
+    for s in 0..2 {
+        let r = c.request(&format!("{{\"op\":\"trace\",\"trace\":\"t-42-{s}\"}}"));
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"router\":true"), "{r}");
+        assert!(r.contains(&format!("\"trace\":\"t-42-{s}\"")), "{r}");
+        assert!(r.contains(&format!("\"shard\":{s}")), "{r}");
+        for stage in ["queue_wait", "run"] {
+            assert!(
+                r.contains(&format!("\"stage\":\"{stage}\"")),
+                "{stage}: {r}"
+            );
+        }
+    }
+
+    // A router-side filter miss is empty, not an error.
+    let r = c.request(r#"{"op":"trace","trace":"t-nonexistent"}"#);
+    assert!(
+        r.contains("\"ok\":true") && r.contains("\"count\":0"),
+        "{r}"
+    );
+
+    // The `freqywm trace` subcommand speaks the same protocol.
+    let out = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args([
+            "trace",
+            "--connect",
+            &router_addr.to_string(),
+            "--trace",
+            "t-42-0",
+        ])
+        .output()
+        .expect("run freqywm trace");
+    let cli = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{cli}");
+    assert!(cli.contains("\"trace\":\"t-42-0\""), "{cli}");
+    assert!(cli.contains("\"stage\":\"run\""), "{cli}");
+
+    // Tier drain, then the slow-log check on captured stderr.
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    assert!(router.wait().expect("router exit").success());
+    assert!(backend0.wait().expect("backend 0 exit").success());
+    assert!(backend1.wait().expect("backend 1 exit").success());
+
+    // Shard 0 (--slow-ms 0): every request logged, with the client's
+    // trace id attached. Shard 1 (--slow-ms 60000): silence.
+    let err0 = reap_stderr(&mut backend0);
+    assert!(err0.contains("\"slow_request\":true"), "{err0}");
+    assert!(err0.contains("\"trace\":\"t-42-0\""), "{err0}");
+    assert!(err0.contains("\"queue_us\":"), "{err0}");
+    assert!(err0.contains("\"run_us\":"), "{err0}");
+    let err1 = reap_stderr(&mut backend1);
+    assert!(
+        !err1.contains("\"slow_request\""),
+        "sub-threshold request hit the slow log: {err1}"
+    );
+}

@@ -351,6 +351,53 @@ fn graceful_drain_flushes_in_flight_work() {
     engine.shutdown();
 }
 
+#[test]
+fn trace_op_over_the_socket_transport_returns_threaded_spans() {
+    let (engine, addr, server) = start_server(
+        EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        },
+        NetConfig::default(),
+    );
+    let mut c = Client::connect(addr);
+    register(&mut c, "sock");
+    // The trace id rides the request line through the reactor into the
+    // engine's worker pool.
+    let r = c.request(&format!(
+        "{{\"op\":\"embed\",\"tenant\":\"sock\",\"z\":101,\"trace\":\"t-sock-7\",\"counts\":{}}}",
+        counts_json(80)
+    ));
+    assert!(r.contains("chosen_pairs"), "{r}");
+    // A second connection can read the spans: the ring is engine-wide,
+    // not per-session.
+    let mut other = Client::connect(addr);
+    let t = other.request(r#"{"op":"trace","trace":"t-sock-7"}"#);
+    assert!(t.contains("\"ok\":true"), "{t}");
+    assert!(t.contains("\"trace\":\"t-sock-7\""), "{t}");
+    assert!(t.contains("\"tenant\":\"sock\""), "{t}");
+    for stage in ["queue_wait", "run", "prf_sweep"] {
+        assert!(
+            t.contains(&format!("\"stage\":\"{stage}\"")),
+            "{stage}: {t}"
+        );
+    }
+    // Tenant + op filters narrow; a miss is empty, never an error.
+    let t = other.request(r#"{"op":"trace","tenant":"sock","for_op":"embed"}"#);
+    assert!(t.contains("\"op\":\"embed\""), "{t}");
+    assert!(!t.contains("\"op\":\"register\""), "{t}");
+    let t = other.request(r#"{"op":"trace","tenant":"ghost"}"#);
+    assert!(
+        t.contains("\"count\":0") && t.contains("\"ok\":true"),
+        "{t}"
+    );
+    c.request(r#"{"op":"shutdown"}"#);
+    c.expect_eof();
+    other.expect_eof();
+    server.join().unwrap().unwrap();
+    engine.shutdown();
+}
+
 /// Counts this process's threads (Linux); `None` elsewhere.
 fn thread_count() -> Option<usize> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;

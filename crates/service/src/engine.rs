@@ -47,6 +47,7 @@ use freqywm_core::judge::{judge_dispute_with, Claim, Ruling, Verdict};
 use freqywm_core::params::DetectionParams;
 use freqywm_crypto::prf::Secret;
 use freqywm_data::histogram::Histogram;
+use freqywm_obs::{OpKind, Span, SpanRing, Stage, TraceFilter};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -116,6 +117,14 @@ pub struct EngineConfig {
     /// Tenant-ownership gate for sharded deployments; `None` serves
     /// every tenant (single-process deployment).
     pub shard_gate: Option<ShardGate>,
+    /// Capacity of the span ring (rounded up to a power of two). Spans
+    /// are always recorded — the ring overwrites its oldest entries, so
+    /// "always on" costs a bounded, fixed allocation.
+    pub trace_ring: usize,
+    /// Emit a JSON line on stderr for any request whose queue-wait +
+    /// run time reaches this many milliseconds (`Some(0)` logs every
+    /// request; `None` disables the slow log).
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -129,6 +138,8 @@ impl Default for EngineConfig {
             ledger_key: b"freqywm-service-ledger".to_vec(),
             snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
             shard_gate: None,
+            trace_ring: 4096,
+            slow_ms: None,
         }
     }
 }
@@ -144,6 +155,12 @@ struct QueuedJob {
     id: JobId,
     payload: JobPayload,
     deadline: Instant,
+    /// Trace id threaded from the protocol request (or minted at
+    /// submit), so worker-side spans correlate with the client's hop.
+    trace: String,
+    /// When the job entered the queue; dequeue − enqueue feeds the
+    /// queue-wait histogram and span.
+    enqueued: Instant,
 }
 
 struct Shared {
@@ -163,6 +180,9 @@ struct Shared {
     /// [`Engine::set_completion_hook`]). Fired outside every engine
     /// lock, after the terminal state is observable.
     completion_hook: RwLock<Option<CompletionHook>>,
+    /// Stage-span ring shared by workers and whatever front-end serves
+    /// this engine. Recording is lock-free and never blocks.
+    obs: Arc<SpanRing>,
 }
 
 /// Outcome of an engine-level dispute, combining the paper's four-run
@@ -208,6 +228,7 @@ impl Engine {
         let shared = Arc::new(Shared {
             cache: PrfCache::new(config.cache),
             registry: RwLock::new(registry),
+            obs: Arc::new(SpanRing::new(config.trace_ring)),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -276,6 +297,8 @@ impl Engine {
     /// Enqueues a job. Non-blocking: rejects when full or draining.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId> {
         let timeout = spec.timeout.unwrap_or(self.shared.config.default_timeout);
+        let trace = spec.trace.unwrap_or_else(freqywm_obs::next_trace_id);
+        let tenant = spec.payload.tenant().to_string();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // Record the job as Queued BEFORE it becomes poppable: a fast
         // worker may reach a terminal state the instant the queue lock
@@ -292,6 +315,7 @@ impl Engine {
                 .expect("jobs lock poisoned")
                 .remove(&id);
             self.shared.metrics.job_rejected();
+            self.shared.metrics.tenant_rejected(&tenant);
             Err(err)
         };
         {
@@ -315,6 +339,8 @@ impl Engine {
                 id,
                 payload: spec.payload,
                 deadline: Instant::now() + timeout,
+                trace,
+                enqueued: Instant::now(),
             });
         }
         self.shared.metrics.job_submitted();
@@ -378,6 +404,19 @@ impl Engine {
     /// protocol op reports them alongside job counters.
     pub fn net_counters(&self) -> &NetCounters {
         &self.shared.metrics.net
+    }
+
+    /// The engine's span ring. Front-ends record their own stage spans
+    /// (parse, auth, respond) here so one ring holds a request's whole
+    /// shard-side story.
+    pub fn obs(&self) -> &Arc<SpanRing> {
+        &self.shared.obs
+    }
+
+    /// Recent spans matching `filter`, oldest first — the `trace`
+    /// protocol op.
+    pub fn trace_query(&self, filter: &TraceFilter) -> Vec<Span> {
+        self.shared.obs.query(filter)
     }
 
     /// Blocks until the job reaches a terminal state, removes it from
@@ -560,7 +599,23 @@ fn worker_loop(shared: Arc<Shared>) {
             id,
             payload,
             deadline,
+            trace,
+            enqueued,
         } = job;
+        // Queue wait is its own histogram + span: a slow request caused
+        // by a saturated queue must not masquerade as a slow sweep.
+        let wait = enqueued.elapsed();
+        let kind = payload.kind();
+        let op = op_kind(kind);
+        let tenant = payload.tenant().to_string();
+        shared.metrics.queue_wait.record(wait);
+        shared.obs.record(&Span::ending_now(
+            &trace,
+            &tenant,
+            op,
+            Stage::QueueWait,
+            wait.as_micros() as u64,
+        ));
         if Instant::now() > deadline {
             shared.metrics.job_timed_out();
             finish(
@@ -571,15 +626,28 @@ fn worker_loop(shared: Arc<Shared>) {
             continue;
         }
         set_state(&shared, id, JobState::Running);
-        let kind = payload.kind();
         let started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_payload(&shared, payload, deadline)
+            run_payload(&shared, payload, deadline, &trace)
         }));
         let took = started.elapsed();
+        shared.obs.record(&Span::ending_now(
+            &trace,
+            &tenant,
+            op,
+            Stage::Run,
+            took.as_micros() as u64,
+        ));
+        if let Some(threshold) = shared.config.slow_ms {
+            let total = wait + took;
+            if total.as_millis() as u64 >= threshold {
+                emit_slow_log(&shared, &trace, &tenant, op, wait, took);
+            }
+        }
         let state = match result {
             Ok(Ok(output)) => {
                 shared.metrics.job_completed(took);
+                shared.metrics.tenant_job(&tenant, kind, took);
                 let counter = match kind {
                     JobKind::Embed => &shared.metrics.embed_jobs,
                     JobKind::Detect => &shared.metrics.detect_jobs,
@@ -610,6 +678,43 @@ fn worker_loop(shared: Arc<Shared>) {
         };
         finish(&shared, id, state);
     }
+}
+
+fn op_kind(kind: JobKind) -> OpKind {
+    match kind {
+        JobKind::Embed => OpKind::Embed,
+        JobKind::Detect => OpKind::Detect,
+        JobKind::Maintain => OpKind::Maintain,
+    }
+}
+
+/// One JSON line on stderr per over-threshold request: greppable in
+/// service logs, joinable with the span ring by trace id.
+fn emit_slow_log(
+    shared: &Shared,
+    trace: &str,
+    tenant: &str,
+    op: OpKind,
+    wait: Duration,
+    run: Duration,
+) {
+    let shard = match &shared.config.shard_gate {
+        Some(gate) => format!(
+            ",\"shard\":\"{}\"",
+            crate::proto::json::escape(gate.label())
+        ),
+        None => String::new(),
+    };
+    eprintln!(
+        "{{\"slow_request\":true,\"trace\":\"{}\",\"tenant\":\"{}\",\"op\":\"{}\",\"queue_us\":{},\"run_us\":{},\"total_ms\":{}{}}}",
+        crate::proto::json::escape(trace),
+        crate::proto::json::escape(tenant),
+        op.as_str(),
+        wait.as_micros(),
+        run.as_micros(),
+        (wait + run).as_millis(),
+        shard,
+    );
 }
 
 fn set_state(shared: &Shared, id: JobId, state: JobState) {
@@ -673,9 +778,26 @@ fn materialize(shared: &Shared, data: JobData, cancel: &Cancellation) -> Result<
     }
 }
 
-fn run_payload(shared: &Shared, payload: JobPayload, deadline: Instant) -> Result<JobOutput> {
+fn run_payload(
+    shared: &Shared,
+    payload: JobPayload,
+    deadline: Instant,
+    trace: &str,
+) -> Result<JobOutput> {
     check_shard(shared, payload.tenant())?;
     let cancel = Cancellation::at_deadline(deadline);
+    // Sub-span around the PRF-sweep / histogram-build core of each op —
+    // the part the paper's cost model says dominates — so a slow `run`
+    // can be split into sweep vs registry/ledger overhead.
+    let sweep_span = |tenant: &str, kind: JobKind, started: Instant| {
+        shared.obs.record(&Span::ending_now(
+            trace,
+            tenant,
+            op_kind(kind),
+            Stage::PrfSweep,
+            started.elapsed().as_micros() as u64,
+        ));
+    };
     match payload {
         JobPayload::Embed {
             tenant,
@@ -699,11 +821,13 @@ fn run_payload(shared: &Shared, payload: JobPayload, deadline: Instant) -> Resul
             // inner digests per token, which the provider interface
             // cannot), so fall back to it.
             let watermarker = Watermarker::new(params);
+            let sweep_started = Instant::now();
             let out = if shared.cache.is_enabled() {
                 watermarker.generate_histogram_with(&hist, secret, &shared.cache.for_tag(tag))?
             } else {
                 watermarker.generate_histogram(&hist, secret)?
             };
+            sweep_span(&tenant, JobKind::Embed, sweep_started);
             // Reap before recording: the caller sees a deadline error,
             // so the registry must not keep a watermark they never got.
             check_deadline(&cancel)?;
@@ -738,8 +862,10 @@ fn run_payload(shared: &Shared, payload: JobPayload, deadline: Instant) -> Resul
             };
             let hist = materialize(shared, data, &cancel)?;
             check_deadline(&cancel)?;
+            let sweep_started = Instant::now();
             let outcome =
                 detect_histogram_with(&hist, &secrets, &params, &shared.cache.for_tag(tag));
+            sweep_span(&tenant, JobKind::Detect, sweep_started);
             Ok(JobOutput::Detect(DetectOutcome { tenant, outcome }))
         }
         JobPayload::Maintain {
@@ -761,7 +887,9 @@ fn run_payload(shared: &Shared, payload: JobPayload, deadline: Instant) -> Resul
                 )
             };
             let mut maintainer = IncrementalWatermarker::new(params, secrets, hist);
+            let sweep_started = Instant::now();
             let report = maintainer.apply_updates(&updates, replenish)?;
+            sweep_span(&tenant, JobKind::Maintain, sweep_started);
             let ledger_index = {
                 let mut registry = shared.registry.write().expect("registry lock poisoned");
                 let now = shared.clock.fetch_add(1, Ordering::Relaxed);

@@ -91,6 +91,10 @@ pub struct JobSpec {
     /// (histogram-shard boundary, stage boundary) if it was already
     /// running. `None` uses the engine default.
     pub timeout: Option<Duration>,
+    /// End-to-end trace id correlating this job with the protocol
+    /// request (and router hop) that produced it. `None` makes the
+    /// engine mint one at submit, so every span is attributable.
+    pub trace: Option<String>,
 }
 
 impl JobSpec {
@@ -98,11 +102,17 @@ impl JobSpec {
         JobSpec {
             payload,
             timeout: None,
+            trace: None,
         }
     }
 
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    pub fn with_trace(mut self, trace: impl Into<String>) -> Self {
+        self.trace = Some(trace.into());
         self
     }
 }

@@ -25,6 +25,11 @@
 //!   [`Storage`] backend (in-memory, on-disk data-dir, fault
 //!   injection) under a write-ahead event log with snapshots,
 //!   compaction and crash-safe, chain-verifying replay.
+//!
+//! Tracing (`freqywm-obs`, re-exported here) is always on: every
+//! request carries a trace id through the queue into the worker, and
+//! each stage records a [`Span`] into the engine's lock-free ring —
+//! query via the `trace` protocol op or [`engine::Engine::trace_query`].
 
 pub mod engine;
 pub mod error;
@@ -39,6 +44,7 @@ pub mod storage;
 
 pub use engine::{DisputeOutcome, Engine, EngineConfig, ShardGate};
 pub use error::ServiceError;
+pub use freqywm_obs::{OpKind, Span, SpanRing, Stage, TraceFilter};
 pub use job::{
     DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
     MaintainOutcome,

@@ -5,9 +5,12 @@
 //! [`MetricsSnapshot`] is a plain value — cheap to take, serialisable
 //! to JSON for the `metrics` protocol op.
 
+use crate::job::JobKind;
 use crate::prf_cache::CacheStats;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Number of latency buckets: bucket `i` holds jobs whose run time in
 /// microseconds is in `[2^(i-1), 2^i)` (bucket 0: `< 1 µs`), with the
@@ -154,8 +157,29 @@ pub struct NetSnapshot {
     pub bytes_out: u64,
 }
 
+/// Per-tenant per-op attribution, kept under one mutex: updates are a
+/// handful of integer bumps on job completion (far off the PRF-sweep
+/// hot path), and a plain map keeps snapshotting trivial.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantOps {
+    pub embed: u64,
+    pub detect: u64,
+    pub maintain: u64,
+    pub rejected: u64,
+    /// Sum of run latencies (µs) across this tenant's completed jobs,
+    /// so `latency_sum / jobs` gives a per-tenant mean without a
+    /// per-tenant histogram.
+    pub latency_sum_us: u64,
+}
+
+/// One tenant's row in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantOpsSnapshot {
+    pub tenant: String,
+    pub ops: TenantOps,
+}
+
 /// All engine counters.
-#[derive(Default)]
 pub struct Metrics {
     pub submitted: AtomicU64,
     pub completed: AtomicU64,
@@ -167,8 +191,36 @@ pub struct Metrics {
     pub detect_jobs: AtomicU64,
     pub maintain_jobs: AtomicU64,
     pub disputes: AtomicU64,
+    /// Run time: dequeue → completion.
     pub latency: LatencyHistogram,
+    /// Queue wait: enqueue → dequeue, recorded separately so a slow
+    /// request can be attributed to a saturated queue vs a slow sweep.
+    pub queue_wait: LatencyHistogram,
     pub net: NetCounters,
+    per_tenant: Mutex<HashMap<String, TenantOps>>,
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            embed_jobs: AtomicU64::new(0),
+            detect_jobs: AtomicU64::new(0),
+            maintain_jobs: AtomicU64::new(0),
+            disputes: AtomicU64::new(0),
+            latency: LatencyHistogram::default(),
+            queue_wait: LatencyHistogram::default(),
+            net: NetCounters::default(),
+            per_tenant: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
 }
 
 macro_rules! bump {
@@ -198,6 +250,24 @@ impl Metrics {
         bump!(self.cancelled);
     }
 
+    /// Attribute a completed job to its tenant.
+    pub fn tenant_job(&self, tenant: &str, kind: JobKind, took: Duration) {
+        let mut map = self.per_tenant.lock().expect("per-tenant poisoned");
+        let row = map.entry(tenant.to_string()).or_default();
+        match kind {
+            JobKind::Embed => row.embed += 1,
+            JobKind::Detect => row.detect += 1,
+            JobKind::Maintain => row.maintain += 1,
+        }
+        row.latency_sum_us += took.as_micros().min(u64::MAX as u128) as u64;
+    }
+
+    /// Attribute a queue-full (or draining) rejection to its tenant.
+    pub fn tenant_rejected(&self, tenant: &str) {
+        let mut map = self.per_tenant.lock().expect("per-tenant poisoned");
+        map.entry(tenant.to_string()).or_default().rejected += 1;
+    }
+
     pub fn snapshot(
         &self,
         cache: CacheStats,
@@ -216,10 +286,25 @@ impl Metrics {
             maintain_jobs: self.maintain_jobs.load(Ordering::Relaxed),
             disputes: self.disputes.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
             cache,
             net: self.net.snapshot(),
             queue_depth: queue_depth as u64,
             tenants: tenants as u64,
+            uptime_s: self.started.elapsed().as_secs(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            per_tenant: {
+                let map = self.per_tenant.lock().expect("per-tenant poisoned");
+                let mut rows: Vec<TenantOpsSnapshot> = map
+                    .iter()
+                    .map(|(tenant, ops)| TenantOpsSnapshot {
+                        tenant: tenant.clone(),
+                        ops: *ops,
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+                rows
+            },
             shard: None,
         }
     }
@@ -239,10 +324,17 @@ pub struct MetricsSnapshot {
     pub maintain_jobs: u64,
     pub disputes: u64,
     pub latency: LatencySnapshot,
+    pub queue_wait: LatencySnapshot,
     pub cache: CacheStats,
     pub net: NetSnapshot,
     pub queue_depth: u64,
     pub tenants: u64,
+    /// Seconds since the engine's metrics were created (engine start).
+    pub uptime_s: u64,
+    /// Build version (`CARGO_PKG_VERSION` of the service crate).
+    pub version: String,
+    /// Per-tenant per-op attribution, sorted by tenant id.
+    pub per_tenant: Vec<TenantOpsSnapshot>,
     /// Shard label when this engine serves one partition of a sharded
     /// deployment (`freqywm serve --shard-id i/N`).
     pub shard: Option<String>,
@@ -252,24 +344,54 @@ impl MetricsSnapshot {
     /// Renders the snapshot as a single JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.latency.buckets.iter().map(|b| b.to_string()).collect();
+        let wait_buckets: Vec<String> = self
+            .queue_wait
+            .buckets
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
         let shard_part = match &self.shard {
             Some(label) => format!("\"shard\":\"{}\",", crate::proto::json::escape(label)),
             None => String::new(),
         };
+        let per_tenant: Vec<String> = self
+            .per_tenant
+            .iter()
+            .map(|row| {
+                format!(
+                    concat!(
+                        "\"{}\":{{\"embed\":{},\"detect\":{},\"maintain\":{},",
+                        "\"rejected\":{},\"latency_sum_us\":{}}}"
+                    ),
+                    crate::proto::json::escape(&row.tenant),
+                    row.ops.embed,
+                    row.ops.detect,
+                    row.ops.maintain,
+                    row.ops.rejected,
+                    row.ops.latency_sum_us,
+                )
+            })
+            .collect();
         format!(
             concat!(
-                "{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                "{{\"version\":\"{}\",\"uptime_s\":{},",
+                "\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
                 "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
                 "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},{}",
                 "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
                 "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
+                "\"queue_wait\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
+                "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
+                "\"per_tenant\":{{{}}},",
                 "\"prf_cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},",
                 "\"hit_rate\":{:.4}}},",
                 "\"net\":{{\"accepted\":{},\"active\":{},\"rejected\":{},",
                 "\"evicted_slow\":{},\"timed_out_idle\":{},",
                 "\"bytes_in\":{},\"bytes_out\":{}}}}}"
             ),
+            crate::proto::json::escape(&self.version),
+            self.uptime_s,
             self.submitted,
             self.completed,
             self.failed,
@@ -289,6 +411,13 @@ impl MetricsSnapshot {
             self.latency.quantile_upper_micros(0.95),
             self.latency.quantile_upper_micros(0.99),
             buckets.join(","),
+            self.queue_wait.count,
+            self.queue_wait.mean_micros(),
+            self.queue_wait.quantile_upper_micros(0.50),
+            self.queue_wait.quantile_upper_micros(0.95),
+            self.queue_wait.quantile_upper_micros(0.99),
+            wait_buckets.join(","),
+            per_tenant.join(","),
             self.cache.hits,
             self.cache.misses,
             self.cache.entries,
@@ -337,12 +466,26 @@ const AGGREGATE_KEYS: &[&str] = &[
     "tenants",
 ];
 
+/// Connection counters summed across shards into `totals.net`. These
+/// live *nested* under each shard's `net` object, so the flat
+/// [`AGGREGATE_KEYS`] walk cannot reach them — they get their own pass.
+const NET_AGGREGATE_KEYS: &[&str] = &[
+    "accepted",
+    "active",
+    "rejected",
+    "evicted_slow",
+    "timed_out_idle",
+    "bytes_in",
+    "bytes_out",
+];
+
 /// Merges per-shard metrics into the router's fleet view: summed
-/// `totals` plus the untouched per-shard objects (so nothing is lost
+/// `totals` (flat job counters plus the nested `net` connection
+/// counters) and the untouched per-shard objects (so nothing is lost
 /// to the aggregation). Renders one JSON object.
 pub fn aggregate_shard_metrics(pieces: &[ShardMetricsPiece]) -> String {
     use crate::proto::json;
-    let totals: Vec<String> = AGGREGATE_KEYS
+    let mut totals: Vec<String> = AGGREGATE_KEYS
         .iter()
         .map(|key| {
             let sum: u64 = pieces
@@ -353,6 +496,19 @@ pub fn aggregate_shard_metrics(pieces: &[ShardMetricsPiece]) -> String {
             format!("\"{key}\":{sum}")
         })
         .collect();
+    let net_totals: Vec<String> = NET_AGGREGATE_KEYS
+        .iter()
+        .map(|key| {
+            let sum: u64 = pieces
+                .iter()
+                .filter_map(|p| p.metrics.as_ref())
+                .filter_map(|m| m.get("net").and_then(|n| n.get(key)))
+                .filter_map(json::Value::as_u64)
+                .sum();
+            format!("\"{key}\":{sum}")
+        })
+        .collect();
+    totals.push(format!("\"net\":{{{}}}", net_totals.join(",")));
     let shards_up = pieces.iter().filter(|p| p.up).count();
     let per_shard: Vec<String> = pieces
         .iter()
@@ -514,5 +670,90 @@ mod tests {
             Some(&crate::proto::json::Value::Null)
         );
         assert_eq!(per[2].get("up").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn aggregation_sums_nested_net_counters() {
+        // Regression: net counters are nested under each shard's `net`
+        // object and used to be dropped from the router totals.
+        let piece = |i: usize, metrics: &str| ShardMetricsPiece {
+            index: i,
+            addr: format!("127.0.0.1:770{i}"),
+            up: true,
+            metrics: Some(crate::proto::json::parse(metrics).unwrap()),
+        };
+        let agg = aggregate_shard_metrics(&[
+            piece(
+                0,
+                r#"{"completed":3,"net":{"accepted":10,"active":2,"bytes_in":100,"bytes_out":700}}"#,
+            ),
+            piece(
+                1,
+                r#"{"completed":1,"net":{"accepted":4,"active":1,"bytes_in":50,"bytes_out":20}}"#,
+            ),
+            ShardMetricsPiece {
+                index: 2,
+                addr: "127.0.0.1:7702".into(),
+                up: false,
+                metrics: None,
+            },
+        ]);
+        let parsed = crate::proto::json::parse(&agg).expect("well-formed");
+        let net = parsed
+            .get("totals")
+            .unwrap()
+            .get("net")
+            .expect("totals.net");
+        assert_eq!(net.get("accepted").unwrap().as_u64(), Some(14));
+        assert_eq!(net.get("active").unwrap().as_u64(), Some(3));
+        assert_eq!(net.get("bytes_in").unwrap().as_u64(), Some(150));
+        assert_eq!(net.get("bytes_out").unwrap().as_u64(), Some(720));
+        // Keys with no contributing shard still render as zero.
+        assert_eq!(net.get("evicted_slow").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn queue_wait_split_and_build_info_in_json() {
+        let m = Metrics::default();
+        m.job_completed(Duration::from_micros(400));
+        m.queue_wait.record(Duration::from_micros(30));
+        m.queue_wait.record(Duration::from_micros(90));
+        let snap = m.snapshot(CacheStats::default(), 0, 1);
+        assert_eq!(snap.latency.count, 1);
+        assert_eq!(snap.queue_wait.count, 2);
+        assert_eq!(snap.version, env!("CARGO_PKG_VERSION"));
+        let json = snap.to_json();
+        assert!(json.contains("\"queue_wait\":{\"count\":2"), "{json}");
+        assert!(json.contains("\"latency\":{\"count\":1"), "{json}");
+        assert!(
+            json.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{json}"
+        );
+        assert!(json.contains("\"uptime_s\":"), "{json}");
+        let v = crate::proto::json::parse(&json).expect("well-formed");
+        assert!(v.get("queue_wait").unwrap().get("p99_us").is_some());
+    }
+
+    #[test]
+    fn per_tenant_attribution_in_snapshot_and_json() {
+        let m = Metrics::default();
+        m.tenant_job("acme", JobKind::Detect, Duration::from_micros(120));
+        m.tenant_job("acme", JobKind::Detect, Duration::from_micros(80));
+        m.tenant_job("acme", JobKind::Embed, Duration::from_micros(1000));
+        m.tenant_job("zeta", JobKind::Maintain, Duration::from_micros(5));
+        m.tenant_rejected("zeta");
+        let snap = m.snapshot(CacheStats::default(), 0, 2);
+        assert_eq!(snap.per_tenant.len(), 2);
+        assert_eq!(snap.per_tenant[0].tenant, "acme"); // sorted
+        assert_eq!(snap.per_tenant[0].ops.detect, 2);
+        assert_eq!(snap.per_tenant[0].ops.embed, 1);
+        assert_eq!(snap.per_tenant[0].ops.latency_sum_us, 1200);
+        assert_eq!(snap.per_tenant[1].ops.rejected, 1);
+        let json = snap.to_json();
+        let v = crate::proto::json::parse(&json).expect("well-formed");
+        let acme = v.get("per_tenant").unwrap().get("acme").expect("acme row");
+        assert_eq!(acme.get("detect").unwrap().as_u64(), Some(2));
+        let zeta = v.get("per_tenant").unwrap().get("zeta").expect("zeta row");
+        assert_eq!(zeta.get("rejected").unwrap().as_u64(), Some(1));
     }
 }

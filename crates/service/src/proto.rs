@@ -12,8 +12,14 @@
 //! | `maintain` | `tenant`, `updates`, `replenish?` | maintenance report |
 //! | `dispute` | `a`, `b`, `t?`, `quorum?` | winner + protocol detail |
 //! | `metrics` | — | full metrics snapshot |
+//! | `trace` | `trace?`, `tenant?`, `for_op?`, `min_ms?`, `limit?` | recent stage spans |
 //! | `hello` | `token?` | handshake / auth / liveness ack |
 //! | `shutdown` | — | ack (stops `serve`) |
+//!
+//! Every request may carry a `"trace"` string: an end-to-end trace id
+//! threaded through the router, the engine queue and the worker, and
+//! echoed in every span the request produces. Requests without one get
+//! an id minted at the first tier that sees them.
 //!
 //! With an auth token configured on the transport, a connection must
 //! present it before anything else runs: `{"op":"hello","token":"…"}`
@@ -32,9 +38,10 @@ use crate::job::{JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobSta
 use freqywm_core::params::{DetectionParams, GenerationParams};
 use freqywm_crypto::prf::Secret;
 use freqywm_data::token::Token;
+use freqywm_obs::{OpKind, Span, Stage, TraceFilter};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default input frame-size cap shared by the pipe and socket
 /// transports: one JSON-lines request may not exceed this many bytes.
@@ -444,6 +451,10 @@ fn job_timeout(req: &Value) -> Option<Duration> {
         .map(Duration::from_millis)
 }
 
+fn job_trace(req: &Value) -> Option<String> {
+    req.get("trace").and_then(Value::as_str).map(str::to_string)
+}
+
 /// Renders a terminal [`JobState`] as the protocol response line.
 pub fn render_job_state(state: JobState, id: Option<&Value>) -> String {
     let id_part = id_echo(id);
@@ -538,7 +549,7 @@ pub fn plan_value(req: Value) -> (Option<Value>, Result<Planned, String>) {
 fn plan_request(req: Value) -> Result<Planned, String> {
     let op = req_str(&req, "op")?;
     match op {
-        "register" | "dispute" | "metrics" | "hello" => Ok(Planned::Op(req)),
+        "register" | "dispute" | "metrics" | "trace" | "hello" => Ok(Planned::Op(req)),
         "shutdown" => Ok(Planned::Shutdown),
         "embed" | "detect" | "maintain" => plan_job(&req),
         other => Err(format!("unknown op {other:?}")),
@@ -554,8 +565,8 @@ pub enum RouteInfo {
     /// Keyed by two tenant ids (`dispute`): routable only when both
     /// hash to the same shard.
     TenantPair(String, String),
-    /// Tenant-agnostic read (`metrics`): fan out to every shard and
-    /// merge.
+    /// Tenant-agnostic read (`metrics`, `trace`): fan out to every
+    /// shard and merge.
     Broadcast,
     /// `shutdown`: fan out, then drain the tier.
     Shutdown,
@@ -587,7 +598,7 @@ pub fn route_of(req: &Value) -> RouteInfo {
             (Ok(a), Ok(b)) => RouteInfo::TenantPair(a, b),
             (Err(e), _) | (_, Err(e)) => e,
         },
-        "metrics" => RouteInfo::Broadcast,
+        "metrics" | "trace" => RouteInfo::Broadcast,
         "shutdown" => RouteInfo::Shutdown,
         "hello" => RouteInfo::Local,
         other => RouteInfo::Unroutable(format!("unknown op {other:?}")),
@@ -618,6 +629,9 @@ fn plan_job(req: &Value) -> Result<Planned, String> {
             if let Some(t) = job_timeout(req) {
                 spec = spec.with_timeout(t);
             }
+            if let Some(t) = job_trace(req) {
+                spec = spec.with_trace(t);
+            }
             Ok(Planned::Job(spec))
         }
         "detect" => {
@@ -641,6 +655,9 @@ fn plan_job(req: &Value) -> Result<Planned, String> {
             if let Some(t) = job_timeout(req) {
                 spec = spec.with_timeout(t);
             }
+            if let Some(t) = job_trace(req) {
+                spec = spec.with_trace(t);
+            }
             Ok(Planned::Job(spec))
         }
         "maintain" => {
@@ -650,11 +667,15 @@ fn plan_job(req: &Value) -> Result<Planned, String> {
                 .get("replenish")
                 .and_then(Value::as_bool)
                 .unwrap_or(false);
-            Ok(Planned::Job(JobSpec::new(JobPayload::Maintain {
+            let mut spec = JobSpec::new(JobPayload::Maintain {
                 tenant,
                 updates,
                 replenish,
-            })))
+            });
+            if let Some(t) = job_trace(req) {
+                spec = spec.with_trace(t);
+            }
+            Ok(Planned::Job(spec))
         }
         other => Err(format!("not a job op: {other:?}")),
     }
@@ -734,6 +755,42 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
             "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{}}}",
             engine.metrics().to_json()
         )),
+        // Recent stage spans from the engine's ring, filtered by trace
+        // id / tenant / op / minimum duration. A filter that matches
+        // nothing (e.g. an unknown tenant) is an empty result, not an
+        // error — the ring is a window, not an index.
+        "trace" => {
+            let mut filter = TraceFilter::default();
+            if let Some(t) = req.get("trace").and_then(Value::as_str) {
+                filter.trace = Some(t.to_string());
+            }
+            if let Some(t) = req.get("tenant").and_then(Value::as_str) {
+                filter.tenant = Some(t.to_string());
+            }
+            if let Some(o) = req.get("for_op").and_then(Value::as_str) {
+                filter.op = Some(OpKind::from_op(o));
+            }
+            if let Some(us) = req.get("min_us").and_then(Value::as_u64) {
+                filter.min_dur_us = us;
+            }
+            if let Some(ms) = req.get("min_ms").and_then(Value::as_f64) {
+                filter.min_dur_us = (ms * 1e3) as u64;
+            }
+            if let Some(n) = req.get("limit").and_then(Value::as_u64) {
+                filter.limit = (n as usize).max(1);
+            }
+            let spans = engine.trace_query(&filter);
+            let shard = engine
+                .shard_label()
+                .map(|s| format!("\"shard\":\"{}\",", escape(s)))
+                .unwrap_or_default();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"trace\",{}\"count\":{},\"spans\":[{}]}}",
+                shard,
+                spans.len(),
+                spans.iter().map(span_json).collect::<Vec<_>>().join(","),
+            ))
+        }
         // Connection handshake / liveness probe. With an auth token
         // configured the Session consumes `hello` itself (it carries
         // the token); an open session answers here so clients can probe
@@ -747,6 +804,24 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
         }
         other => Err(format!("not a synchronous op: {other:?}")),
     }
+}
+
+/// Renders one span as a JSON object — the element type of the `trace`
+/// op's `spans` array (public so front-end tiers can synthesise or
+/// merge span lists in the same shape).
+pub fn span_json(span: &Span) -> String {
+    format!(
+        concat!(
+            "{{\"trace\":\"{}\",\"tenant\":\"{}\",\"op\":\"{}\",",
+            "\"stage\":\"{}\",\"start_us\":{},\"dur_us\":{}}}"
+        ),
+        escape(&span.trace),
+        escape(&span.tenant),
+        span.op.as_str(),
+        span.stage.as_str(),
+        span.start_us,
+        span.dur_us,
+    )
 }
 
 /// Executes a synchronous op and renders its response line.
@@ -777,8 +852,18 @@ fn respond(
 
 /// Executes one request line synchronously; returns the response line.
 pub fn handle_line(engine: &Engine, line: &str) -> String {
-    let (id, planned) = plan(line);
-    respond(engine, id.as_ref(), planned).0
+    let started = Instant::now();
+    let (id, mut planned) = plan(line);
+    let ctx = observe_parse(engine, &mut planned, started);
+    let resp = respond(engine, id.as_ref(), planned).0;
+    engine.obs().record(&Span::ending_now(
+        &ctx.trace,
+        &ctx.tenant,
+        ctx.op,
+        Stage::Respond,
+        ctx.received.elapsed().as_micros() as u64,
+    ));
+    resp
 }
 
 fn inject_id(resp: String, id: Option<&Value>) -> String {
@@ -794,13 +879,90 @@ fn shutdown_response(id: Option<&Value>) -> String {
     inject_id("{\"ok\":true,\"op\":\"shutdown\"}".to_string(), id)
 }
 
+/// Span context carried by a pending request slot: enough to record
+/// the `respond` stage span when the response finally renders.
+struct SpanCtx {
+    trace: String,
+    tenant: String,
+    op: OpKind,
+    received: Instant,
+}
+
+fn job_op_kind(kind: JobKind) -> OpKind {
+    match kind {
+        JobKind::Embed => OpKind::Embed,
+        JobKind::Detect => OpKind::Detect,
+        JobKind::Maintain => OpKind::Maintain,
+    }
+}
+
+/// Records the `parse` span for a freshly planned request and builds
+/// its [`SpanCtx`]. Ensures every planned job carries a trace id (the
+/// request's own, or one minted here) so the engine-side spans
+/// correlate with the transport-side ones.
+fn observe_parse(
+    engine: &Engine,
+    planned: &mut Result<Planned, String>,
+    started: Instant,
+) -> SpanCtx {
+    let (trace, tenant, op) = match planned {
+        Ok(Planned::Job(spec)) => (
+            spec.trace
+                .get_or_insert_with(freqywm_obs::next_trace_id)
+                .clone(),
+            spec.payload.tenant().to_string(),
+            job_op_kind(spec.payload.kind()),
+        ),
+        Ok(Planned::Op(req)) => {
+            let op_name = req.get("op").and_then(Value::as_str).unwrap_or("");
+            let op = OpKind::from_op(op_name);
+            // On a `trace` *query* the "trace" and "tenant" fields are
+            // filters, not this request's identity — mint a fresh id
+            // and leave the tenant blank, so the query's own spans
+            // never match the filter they carry.
+            let (trace, tenant) = if op == OpKind::Trace {
+                (freqywm_obs::next_trace_id(), String::new())
+            } else {
+                (
+                    req.get("trace")
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(freqywm_obs::next_trace_id),
+                    req.get("tenant")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                )
+            };
+            (trace, tenant, op)
+        }
+        Ok(Planned::Shutdown) | Err(_) => {
+            (freqywm_obs::next_trace_id(), String::new(), OpKind::Other)
+        }
+    };
+    engine.obs().record(&Span::ending_now(
+        &trace,
+        &tenant,
+        op,
+        Stage::Parse,
+        started.elapsed().as_micros() as u64,
+    ));
+    SpanCtx {
+        trace,
+        tenant,
+        op,
+        received: started,
+    }
+}
+
 /// One response slot, in request order.
 enum Slot {
     /// Response rendered, waiting for the transport to take it.
     Ready(String),
     /// Still being produced (job in flight, or the request is deferred
-    /// behind one); holds the echoed request id for rendering later.
-    Pending { id: Option<Value> },
+    /// behind one); holds the echoed request id for rendering later,
+    /// and the span context for the `respond` stage span.
+    Pending { id: Option<Value>, ctx: SpanCtx },
 }
 
 /// A transport-agnostic, order-preserving, pipelined protocol session.
@@ -873,6 +1035,7 @@ impl Session {
     /// Feeds one request line. Blank lines and `#` comments are
     /// ignored; everything else reserves exactly one response slot.
     pub fn push_line(&mut self, engine: &Engine, line: &str) {
+        let started = Instant::now();
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return;
@@ -895,19 +1058,29 @@ impl Session {
                         self.slots
                             .push_back(Slot::Ready(err_response(None, &format!("bad json: {e}"))));
                     }
-                    Ok(req) => self.push_locked(engine, req, &token),
+                    Ok(req) => self.push_locked(engine, req, &token, started),
                 }
                 return;
             }
         }
         let (id, planned) = plan(line);
-        self.push_planned(engine, id, planned);
+        self.push_planned(engine, id, planned, started);
     }
 
     /// One request on a locked session: a `hello` op with the right
     /// token unlocks it, a matching per-request `auth` field admits
     /// just this request, anything else is refused.
-    fn push_locked(&mut self, engine: &Engine, req: Value, token: &str) {
+    fn push_locked(&mut self, engine: &Engine, req: Value, token: &str, started: Instant) {
+        // Every request handled on a locked session pays an auth check;
+        // record it as its own span so auth overhead is visible in
+        // traces separately from parse/run time.
+        engine.obs().record(&Span::ending_now(
+            req.get("trace").and_then(Value::as_str).unwrap_or(""),
+            req.get("tenant").and_then(Value::as_str).unwrap_or(""),
+            OpKind::from_op(req.get("op").and_then(Value::as_str).unwrap_or("")),
+            Stage::Auth,
+            started.elapsed().as_micros() as u64,
+        ));
         let id = req.get("id").cloned();
         let is_hello = req.get("op").and_then(Value::as_str) == Some("hello");
         if is_hello {
@@ -929,7 +1102,7 @@ impl Session {
             // Stateless per-request auth: this request runs, the
             // session stays locked.
             let (id, planned) = plan_value(req);
-            self.push_planned(engine, id, planned);
+            self.push_planned(engine, id, planned, started);
             return;
         }
         self.slots.push_back(Slot::Ready(err_response(
@@ -942,15 +1115,20 @@ impl Session {
         &mut self,
         engine: &Engine,
         id: Option<Value>,
-        planned: Result<Planned, String>,
+        mut planned: Result<Planned, String>,
+        started: Instant,
     ) {
+        let ctx = observe_parse(engine, &mut planned, started);
         let seq = self.base + self.slots.len();
         match planned {
             Err(e) => self
                 .slots
                 .push_back(Slot::Ready(err_response(id.as_ref(), &e))),
             Ok(p) => {
-                self.slots.push_back(Slot::Pending { id: id.clone() });
+                self.slots.push_back(Slot::Pending {
+                    id: id.clone(),
+                    ctx,
+                });
                 self.deferred.push_back((seq, id, p));
             }
         }
@@ -977,7 +1155,7 @@ impl Session {
                 "job {id} signalled completion but its result is gone"
             )))
         });
-        self.resolve(seq, state);
+        self.resolve(engine, seq, state);
         self.launch(engine);
         true
     }
@@ -1040,17 +1218,34 @@ impl Session {
                 self.pending_mutations -= 1;
             }
             let state = engine.wait(id);
-            self.resolve(seq, state);
+            self.resolve(engine, seq, state);
         }
     }
 
-    fn resolve(&mut self, seq: usize, state: JobState) {
+    fn resolve(&mut self, engine: &Engine, seq: usize, state: JobState) {
         let idx = seq - self.base;
         let id = match &self.slots[idx] {
-            Slot::Pending { id } => id.clone(),
+            Slot::Pending { id, .. } => id.clone(),
             Slot::Ready(_) => None,
         };
-        self.slots[idx] = Slot::Ready(render_job_state(state, id.as_ref()));
+        let resp = render_job_state(state, id.as_ref());
+        self.finish_slot(engine, idx, resp);
+    }
+
+    /// Renders a pending slot Ready, recording the `respond` span
+    /// (duration = receipt of the request line to response rendering,
+    /// i.e. the request's whole transport-side lifetime).
+    fn finish_slot(&mut self, engine: &Engine, idx: usize, resp: String) {
+        if let Slot::Pending { ctx, .. } = &self.slots[idx] {
+            engine.obs().record(&Span::ending_now(
+                &ctx.trace,
+                &ctx.tenant,
+                ctx.op,
+                Stage::Respond,
+                ctx.received.elapsed().as_micros() as u64,
+            ));
+        }
+        self.slots[idx] = Slot::Ready(resp);
     }
 
     /// Launches deferred requests from the front while their barrier
@@ -1080,17 +1275,17 @@ impl Session {
                             }
                             self.new_jobs.push(job_id);
                         }
-                        Err(e) => self.resolve(seq, JobState::Failed(e)),
+                        Err(e) => self.resolve(engine, seq, JobState::Failed(e)),
                     }
                 }
                 Planned::Op(req) => {
                     let resp = run_op(engine, &req, id.as_ref());
                     let idx = seq - self.base;
-                    self.slots[idx] = Slot::Ready(resp);
+                    self.finish_slot(engine, idx, resp);
                 }
                 Planned::Shutdown => {
                     let idx = seq - self.base;
-                    self.slots[idx] = Slot::Ready(shutdown_response(id.as_ref()));
+                    self.finish_slot(engine, idx, shutdown_response(id.as_ref()));
                     self.shutdown = true;
                     // Requests pipelined behind the shutdown op will
                     // never launch; refuse them now so their reserved
@@ -1099,8 +1294,11 @@ impl Session {
                     // until its deadline.
                     while let Some((seq, id, _)) = self.deferred.pop_front() {
                         let idx = seq - self.base;
-                        self.slots[idx] =
-                            Slot::Ready(err_response(id.as_ref(), "session shutting down"));
+                        self.finish_slot(
+                            engine,
+                            idx,
+                            err_response(id.as_ref(), "session shutting down"),
+                        );
                     }
                 }
             }
@@ -1792,6 +1990,103 @@ mod tests {
             assert!(resp.contains(&format!("\"id\":{i}")), "order lost: {resp}");
         }
         assert!(out[8].contains("\"completed\":7"), "{}", out[8]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn trace_op_returns_client_supplied_trace_with_stage_spans() {
+        let engine = test_engine();
+        handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"tr","secret_label":"trace"}"#,
+        );
+        let embed = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"tr","z":101,"trace":"t-proto-42","counts":{}}}"#,
+                counts_json(80)
+            ),
+        );
+        assert!(embed.contains("\"ok\":true"), "{embed}");
+        let r = handle_line(&engine, r#"{"op":"trace","trace":"t-proto-42"}"#);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"op\":\"trace\""), "{r}");
+        // The engine threads the id through the queue into the worker:
+        // queue-wait and run are distinct spans, plus the PRF sweep
+        // sub-span and the transport-side parse/respond spans.
+        for stage in ["queue_wait", "run", "prf_sweep", "parse", "respond"] {
+            assert!(
+                r.contains(&format!("\"stage\":\"{stage}\"")),
+                "{stage}: {r}"
+            );
+        }
+        assert!(r.contains("\"trace\":\"t-proto-42\""), "{r}");
+        assert!(r.contains("\"tenant\":\"tr\""), "{r}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn trace_op_filters_are_narrowing_not_errors() {
+        let engine = test_engine();
+        handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"tf","secret_label":"tf"}"#,
+        );
+        let embed = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"tf","z":101,"trace":"t-filter-1","counts":{}}}"#,
+                counts_json(80)
+            ),
+        );
+        assert!(embed.contains("\"ok\":true"), "{embed}");
+        // Unknown tenant: empty result, still ok — observability reads
+        // must never fail a pipeline.
+        let r = handle_line(&engine, r#"{"op":"trace","tenant":"nobody"}"#);
+        assert!(r.contains("\"ok\":true"), "{r}");
+        assert!(r.contains("\"count\":0"), "{r}");
+        assert!(r.contains("\"spans\":[]"), "{r}");
+        // Op filter narrows to the embed's spans only.
+        let r = handle_line(&engine, r#"{"op":"trace","for_op":"embed"}"#);
+        assert!(r.contains("\"op\":\"embed\""), "{r}");
+        assert!(!r.contains("\"op\":\"register\""), "{r}");
+        // An absurd duration floor filters everything out.
+        let r = handle_line(&engine, r#"{"op":"trace","min_ms":3600000}"#);
+        assert!(r.contains("\"count\":0"), "{r}");
+        // Limit caps the span list.
+        let r = handle_line(&engine, r#"{"op":"trace","limit":1}"#);
+        assert!(r.contains("\"count\":1"), "{r}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn serve_transport_threads_trace_ids_end_to_end() {
+        // Same assertion as the handle_line test but over the pipe
+        // transport: the trace id rides the request line through the
+        // Session (parse → queue → worker → respond) and comes back out
+        // of a pipelined `trace` query.
+        let engine = test_engine();
+        let mut input = String::new();
+        input.push_str("{\"op\":\"register\",\"tenant\":\"sv\",\"secret_label\":\"sv\"}\n");
+        input.push_str(&format!(
+            "{{\"op\":\"embed\",\"tenant\":\"sv\",\"z\":101,\"trace\":\"t-serve-9\",\"counts\":{}}}\n",
+            counts_json(80)
+        ));
+        input.push_str("{\"op\":\"trace\",\"trace\":\"t-serve-9\"}\n");
+        let mut out = Vec::new();
+        serve(&engine, std::io::Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        let trace = lines[2];
+        assert!(trace.contains("\"ok\":true"), "{trace}");
+        assert!(trace.contains("\"trace\":\"t-serve-9\""), "{trace}");
+        for stage in ["queue_wait", "run"] {
+            assert!(
+                trace.contains(&format!("\"stage\":\"{stage}\"")),
+                "{stage}: {trace}"
+            );
+        }
         engine.shutdown();
     }
 }

@@ -31,7 +31,7 @@
 use crate::ring::ShardMap;
 use crate::signal;
 use freqywm_net::{Backend, Event, Interest, LineEvent, LineFramer, Poller};
-use freqywm_service::metrics::{aggregate_shard_metrics, ShardMetricsPiece};
+use freqywm_service::metrics::{aggregate_shard_metrics, LatencyHistogram, ShardMetricsPiece};
 use freqywm_service::proto::{
     err_response, frame_too_large_response, id_echo, json, route_of, token_eq, RouteInfo,
 };
@@ -226,7 +226,9 @@ struct BackendConn {
     framer: LineFramer,
     out_buf: Vec<u8>,
     out_pos: usize,
-    inflight: VecDeque<Pending>,
+    /// Each entry is (send time, correlation); the send time feeds the
+    /// per-backend latency histogram when the FIFO response arrives.
+    inflight: VecDeque<(Instant, Pending)>,
     eof: bool,
     failed: bool,
     last_activity: Instant,
@@ -263,6 +265,10 @@ struct BackendSlot {
     healthy: bool,
     /// Requests forwarded to this shard over the router's lifetime.
     routed: u64,
+    /// Send→response round-trip latency per request on this backend
+    /// (includes the shard's own queueing and run time — this is the
+    /// latency the *router* observes, surfaced in the shard map).
+    latency: LatencyHistogram,
     backoff: Duration,
     next_attempt: Instant,
 }
@@ -270,6 +276,10 @@ struct BackendSlot {
 enum FanoutKind {
     Metrics,
     Shutdown,
+    /// A `trace` query: forward the client's request line to every live
+    /// shard and merge the span arrays, tagging each span with the
+    /// shard it came from.
+    Trace,
 }
 
 struct Fanout {
@@ -312,6 +322,28 @@ struct Router {
     next_fanout: u64,
     drain: Option<DrainState>,
     stats: RouterStats,
+}
+
+/// Returns the request line with a router-minted `"trace"` field
+/// inserted when the client did not supply one, so every tenant-routed
+/// request is correlatable across the tier (client → router → shard).
+/// Client-supplied ids are forwarded verbatim — the insert is textual
+/// (right after the opening brace), never a reparse/rewrite.
+fn ensure_trace(line: &str, req: &Value) -> String {
+    if req.get("trace").and_then(Value::as_str).is_some() {
+        return line.to_string();
+    }
+    let Some(pos) = line.find('{') else {
+        return line.to_string(); // unparseable lines never route here
+    };
+    let trace = freqywm_obs::next_trace_id();
+    let rest = &line[pos + 1..];
+    let comma = if rest.trim_start().starts_with('}') {
+        ""
+    } else {
+        ","
+    };
+    format!("{}\"trace\":\"{}\"{}{}", &line[..=pos], trace, comma, rest)
 }
 
 fn err_with_part(id_part: &str, msg: &str) -> String {
@@ -424,6 +456,7 @@ impl Router {
                 connecting: false,
                 healthy: false,
                 routed: 0,
+                latency: LatencyHistogram::default(),
                 backoff: config.reconnect_min,
                 next_attempt: now,
             })
@@ -635,7 +668,7 @@ impl Router {
         };
         conn.out_buf.extend_from_slice(line.as_bytes());
         conn.out_buf.push(b'\n');
-        conn.inflight.push_back(pending);
+        conn.inflight.push_back((Instant::now(), pending));
         flush_stream(
             &mut conn.stream,
             &mut conn.out_buf,
@@ -711,6 +744,10 @@ impl Router {
             Some(conn) => conn.inflight.pop_front(),
             None => None,
         };
+        let pending = pending.map(|(sent, pending)| {
+            self.backends[idx].latency.record(sent.elapsed());
+            pending
+        });
         match pending {
             None => {
                 // A response with nothing in flight: the stream is out
@@ -738,7 +775,7 @@ impl Router {
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         self.backends[idx].healthy = false;
         let addr = self.backends[idx].addr.clone();
-        for pending in conn.inflight.drain(..) {
+        for (_sent, pending) in conn.inflight.drain(..) {
             match pending {
                 Pending::Client {
                     client,
@@ -910,12 +947,14 @@ impl Router {
         match route_of(&req) {
             RouteInfo::Tenant(tenant) => {
                 let shard = self.map.shard_of(&tenant);
-                self.forward(fd, shard, line, id.as_ref());
+                let line = ensure_trace(line, &req);
+                self.forward(fd, shard, &line, id.as_ref());
             }
             RouteInfo::TenantPair(a, b) => {
                 let (sa, sb) = (self.map.shard_of(&a), self.map.shard_of(&b));
                 if sa == sb {
-                    self.forward(fd, sa, line, id.as_ref());
+                    let line = ensure_trace(line, &req);
+                    self.forward(fd, sa, &line, id.as_ref());
                 } else {
                     let msg = format!(
                         "unroutable dispute: tenants {a:?} (shard {sa}) and {b:?} \
@@ -928,14 +967,25 @@ impl Router {
                     self.stats.refused += 1;
                 }
             }
-            RouteInfo::Broadcast => self.start_fanout(fd, id.as_ref(), FanoutKind::Metrics),
+            RouteInfo::Broadcast => {
+                // Both broadcast ops fan out to every live shard, but
+                // `trace` must forward the client's own request line
+                // (it carries the filter fields) where `metrics` sends
+                // a canonical probe.
+                let kind = if req.get("op").and_then(Value::as_str) == Some("trace") {
+                    FanoutKind::Trace
+                } else {
+                    FanoutKind::Metrics
+                };
+                self.start_fanout(fd, id.as_ref(), kind, line);
+            }
             RouteInfo::Shutdown => {
                 // Tier shutdown: drain the router AND take the backends
                 // down; the ack lands once every live backend acked.
                 // The fanout reserves the requester's response slot
                 // FIRST — start_drain closes settled clients, and the
                 // requester must survive to receive the ack.
-                self.start_fanout(fd, id.as_ref(), FanoutKind::Shutdown);
+                self.start_fanout(fd, id.as_ref(), FanoutKind::Shutdown, line);
                 self.start_drain();
             }
             RouteInfo::Local => {
@@ -984,7 +1034,7 @@ impl Router {
         self.send_backend(shard, line, pending);
     }
 
-    fn start_fanout(&mut self, fd: RawFd, id: Option<&Value>, kind: FanoutKind) {
+    fn start_fanout(&mut self, fd: RawFd, id: Option<&Value>, kind: FanoutKind, line: &str) {
         let id_part = id_echo(id);
         let Some(conn) = self.clients.get_mut(&fd) else {
             return;
@@ -997,8 +1047,10 @@ impl Router {
         let fanout_id = self.next_fanout;
         self.next_fanout += 1;
         let request = match kind {
-            FanoutKind::Metrics => "{\"op\":\"metrics\"}",
-            FanoutKind::Shutdown => "{\"op\":\"shutdown\"}",
+            FanoutKind::Metrics => "{\"op\":\"metrics\"}".to_string(),
+            FanoutKind::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
+            // The shards need the client's filter fields verbatim.
+            FanoutKind::Trace => line.to_string(),
         };
         self.fanouts.insert(
             fanout_id,
@@ -1013,7 +1065,7 @@ impl Router {
             },
         );
         for idx in connected {
-            self.send_backend(idx, request, Pending::Fanout { fanout: fanout_id });
+            self.send_backend(idx, &request, Pending::Fanout { fanout: fanout_id });
         }
         self.try_finish_fanout(fanout_id);
     }
@@ -1070,6 +1122,41 @@ impl Router {
                     )
                 }
             }
+            FanoutKind::Trace => {
+                // Merge the shards' span arrays into one timeline:
+                // every span gains a "shard" field, and the whole list
+                // is ordered by start time so interleaved stages from
+                // different shards read chronologically.
+                let mut spans: Vec<(u64, String)> = Vec::new();
+                for (i, piece) in f.pieces.iter().enumerate() {
+                    let Some(arr) = piece
+                        .as_ref()
+                        .and_then(|v| v.get("spans"))
+                        .and_then(Value::as_arr)
+                    else {
+                        continue;
+                    };
+                    for span in arr {
+                        if let Value::Obj(fields) = span {
+                            let start = span
+                                .get("start_us")
+                                .and_then(Value::as_u64)
+                                .unwrap_or(u64::MAX);
+                            let mut fields = fields.clone();
+                            fields.push(("shard".to_string(), Value::Num(i as f64)));
+                            spans.push((start, json::write(&Value::Obj(fields))));
+                        }
+                    }
+                }
+                spans.sort_by_key(|(start, _)| *start);
+                let rendered: Vec<String> = spans.into_iter().map(|(_, s)| s).collect();
+                format!(
+                    "{{\"ok\":true{},\"op\":\"trace\",\"router\":true,\"count\":{},\"spans\":[{}]}}",
+                    f.id_part,
+                    rendered.len(),
+                    rendered.join(",")
+                )
+            }
             FanoutKind::Metrics => {
                 let pieces: Vec<ShardMetricsPiece> = (0..self.backends.len())
                     .map(|i| ShardMetricsPiece {
@@ -1084,12 +1171,22 @@ impl Router {
                     .iter()
                     .enumerate()
                     .map(|(i, b)| {
+                        let lat = b.latency.snapshot();
                         format!(
-                            "{{\"shard\":{i},\"addr\":\"{}\",\"up\":{},\"healthy\":{},\"routed\":{}}}",
+                            concat!(
+                                "{{\"shard\":{},\"addr\":\"{}\",\"up\":{},\"healthy\":{},",
+                                "\"routed\":{},\"latency\":{{\"count\":{},\"mean_us\":{:.0},",
+                                "\"p50_us\":{},\"p99_us\":{}}}}}"
+                            ),
+                            i,
                             json::escape(&b.addr),
                             b.conn.is_some(),
                             b.healthy,
                             b.routed,
+                            lat.count,
+                            lat.mean_micros(),
+                            lat.quantile_upper_micros(0.50),
+                            lat.quantile_upper_micros(0.99),
                         )
                     })
                     .collect();
