@@ -57,8 +57,12 @@ pub enum Command {
     /// shards by tenant-id hash.
     Router {
         listen: String,
-        /// Backend addresses in shard order (`--shard`, repeatable).
+        /// Primary backend addresses in shard order (`--shard`,
+        /// repeatable).
         shards: Vec<String>,
+        /// Optional standby per shard (`--shard primary,standby`),
+        /// promoted when the primary's connection dies.
+        standbys: Vec<Option<String>>,
         opts: RouterOpts,
     },
     /// Queries recent spans from a running `serve --listen` engine or
@@ -147,6 +151,13 @@ pub struct ServeNetOpts {
     /// Shared-secret front-end auth: connections must `hello` with
     /// this token (or send it per-request as `"auth"`) first.
     pub auth_token: Option<String>,
+    /// Primary address to replicate from: the engine starts as a
+    /// read-only follower tailing this primary's ledger log, serving
+    /// reads until a `promote` op flips it to a full primary.
+    pub follow: Option<String>,
+    /// Token presented to the primary's front-end when following
+    /// (its `--auth-token`).
+    pub follow_token: Option<String>,
 }
 
 impl Default for ServeNetOpts {
@@ -157,6 +168,8 @@ impl Default for ServeNetOpts {
             idle_timeout_secs: 0,
             max_frame: 1 << 20,
             auth_token: None,
+            follow: None,
+            follow_token: None,
         }
     }
 }
@@ -174,6 +187,9 @@ pub struct RouterOpts {
     pub probe_interval_secs: u64,
     /// Drain bound in seconds (shutdown op / SIGTERM).
     pub drain_timeout_secs: u64,
+    /// How long requests park while a standby promotes before they
+    /// error out (seconds).
+    pub failover_timeout_secs: u64,
 }
 
 impl Default for RouterOpts {
@@ -185,6 +201,7 @@ impl Default for RouterOpts {
             shard_auth_token: None,
             probe_interval_secs: 2,
             drain_timeout_secs: 10,
+            failover_timeout_secs: 10,
         }
     }
 }
@@ -228,10 +245,12 @@ USAGE:
                    [--workers 4] [--queue 1024] [--cache-shards 8]
                    [--cache-capacity 8192] [--no-cache] [--slow-ms MS]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
-  freqywm router   --listen <addr> --shard <addr> [--shard <addr> ...]
+                   [--follow <primary-addr>] [--follow-token T]
+  freqywm router   --listen <addr> --shard <addr>[,<standby>]
+                   [--shard <addr>[,<standby>] ...]
                    [--max-conns 1024] [--max-frame BYTES] [--auth-token T]
                    [--shard-auth-token T] [--probe-interval 2]
-                   [--drain-timeout 10]
+                   [--drain-timeout 10] [--failover-timeout 10]
   freqywm trace    --connect <addr> [--trace ID] [--tenant T] [--for-op OP]
                    [--min-ms MS] [--limit N] [--auth TOKEN]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
@@ -264,6 +283,17 @@ tenant is refused, and its own --data-dir so durability stays per
 partition. `--auth-token` on serve or router locks the socket behind a
 hello handshake; the router presents `--shard-auth-token` to its
 backends.
+
+`serve --follow <primary-addr>` starts the engine as a read-only
+standby: it tails the primary's ledger log over the `replicate`
+protocol op into its own --data-dir, serves reads (detect, dispute,
+metrics, trace) while refusing mutations, and becomes a full primary
+when it receives a `promote` op. Give each router shard a standby as
+`--shard <primary>,<standby>`: when the primary's connection dies the
+router promotes the standby and redirects that shard's traffic to it
+(requests arriving during promotion park for up to --failover-timeout
+seconds; only requests in flight at the instant of death error). See
+docs/replication.md.
 
 `trace` connects to a running `serve --listen` engine (or a `router`,
 which fans the query out to every shard) and prints the recent stage
@@ -431,13 +461,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     )?,
                     max_frame: opt_parse(&f, "max-frame", net_defaults.max_frame)?,
                     auth_token: f.get("auth-token").cloned(),
+                    follow: f.get("follow").cloned(),
+                    follow_token: f.get("follow-token").cloned(),
                 },
             })
         }
         "router" => {
             // `--shard` repeats (once per backend, in shard order), so
             // it is collected before the single-value flag parser runs.
+            // Each value is `<primary>[,<standby>]`: the optional
+            // second address is a read-only follower the router
+            // promotes when the primary's connection dies.
             let mut shards: Vec<String> = Vec::new();
+            let mut standbys: Vec<Option<String>> = Vec::new();
             let mut flag_args: Vec<String> = Vec::new();
             let mut i = 0;
             while i < rest.len() {
@@ -445,15 +481,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     let v = rest
                         .get(i + 1)
                         .ok_or_else(|| "flag --shard needs a value".to_string())?;
-                    for part in v.split(',') {
-                        let part = part.trim();
-                        // An empty entry would silently shift every
-                        // index in the shard map off its --shard-id.
-                        if part.is_empty() {
-                            return Err(format!("--shard contains an empty address: {v:?}"));
-                        }
-                        shards.push(part.to_string());
+                    let (primary, standby) = match v.split_once(',') {
+                        Some((p, s)) => (p.trim(), Some(s.trim())),
+                        None => (v.trim(), None),
+                    };
+                    // An empty entry would silently shift every
+                    // index in the shard map off its --shard-id, or
+                    // promote into the void on failover.
+                    if primary.is_empty()
+                        || standby == Some("")
+                        || standby.is_some_and(|s| s.contains(','))
+                    {
+                        return Err(format!(
+                            "bad --shard {v:?} (expected <primary>[,<standby>])"
+                        ));
                     }
+                    shards.push(primary.to_string());
+                    standbys.push(standby.map(str::to_string));
                     i += 2;
                 } else {
                     flag_args.push(rest[i].clone());
@@ -470,6 +514,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Router {
                 listen: req(&f, "listen")?,
                 shards,
+                standbys,
                 opts: RouterOpts {
                     max_conns: opt_parse(&f, "max-conns", defaults.max_conns)?,
                     max_frame: opt_parse(&f, "max-frame", defaults.max_frame)?,
@@ -484,6 +529,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         &f,
                         "drain-timeout",
                         defaults.drain_timeout_secs,
+                    )?,
+                    failover_timeout_secs: opt_parse(
+                        &f,
+                        "failover-timeout",
+                        defaults.failover_timeout_secs,
                     )?,
                 },
             })
@@ -799,17 +849,19 @@ mod tests {
             Command::Router {
                 listen,
                 shards,
+                standbys,
                 opts,
             } => {
                 assert_eq!(listen, "127.0.0.1:7700");
-                assert_eq!(
-                    shards,
-                    vec!["127.0.0.1:7701", "127.0.0.1:7702", "127.0.0.1:7703"]
-                );
+                // One shard per --shard flag; a comma attaches a
+                // standby to that shard rather than adding a shard.
+                assert_eq!(shards, vec!["127.0.0.1:7701", "127.0.0.1:7702"]);
+                assert_eq!(standbys, vec![None, Some("127.0.0.1:7703".to_string())]);
                 assert_eq!(opts.auth_token.as_deref(), Some("front"));
                 assert_eq!(opts.shard_auth_token.as_deref(), Some("back"));
                 assert_eq!(opts.probe_interval_secs, 5);
                 assert_eq!(opts.drain_timeout_secs, 10);
+                assert_eq!(opts.failover_timeout_secs, 10);
             }
             _ => panic!("wrong command"),
         }
@@ -821,16 +873,45 @@ mod tests {
             parse_args(&v(&["router", "--shard", "a:1"])).is_err(),
             "router needs --listen"
         );
-        // An empty entry would shift every shard index off its
-        // backend's --shard-id.
+        // Empty addresses would shift every shard index off its
+        // backend's --shard-id, or promote into the void on failover.
         assert!(
             parse_args(&v(&["router", "--listen", "x", "--shard", "a:1,"])).is_err(),
-            "trailing comma must be rejected"
+            "empty standby must be rejected"
         );
         assert!(
             parse_args(&v(&["router", "--listen", "x", "--shard", "a:1,,b:2"])).is_err(),
-            "empty segment must be rejected"
+            "two commas must be rejected"
         );
+        assert!(
+            parse_args(&v(&["router", "--listen", "x", "--shard", ",b:2"])).is_err(),
+            "empty primary must be rejected"
+        );
+    }
+
+    #[test]
+    fn serve_follow_flags() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--follow",
+            "127.0.0.1:7701",
+            "--follow-token",
+            "hunter2",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { net, .. } => {
+                assert_eq!(net.follow.as_deref(), Some("127.0.0.1:7701"));
+                assert_eq!(net.follow_token.as_deref(), Some("hunter2"));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["serve"])).unwrap() {
+            Command::Serve { net, .. } => assert_eq!(net.follow, None),
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

@@ -52,9 +52,12 @@ fn engine_config(opts: &EngineOpts) -> EngineConfig {
 }
 
 /// Starts an engine for `serve`/`batch`: durable when `--data-dir`
-/// was given, in-memory otherwise.
-fn start_engine(opts: &EngineOpts) -> Result<Engine, String> {
-    let config = engine_config(opts);
+/// was given, in-memory otherwise. With `follow` the engine opens as
+/// a read-only replica of that primary (its data-dir still recovers
+/// and verifies locally first).
+fn start_engine(opts: &EngineOpts, follow: Option<String>) -> Result<Engine, String> {
+    let mut config = engine_config(opts);
+    config.follow = follow;
     match &opts.data_dir {
         Some(dir) => {
             let storage =
@@ -67,9 +70,11 @@ fn start_engine(opts: &EngineOpts) -> Result<Engine, String> {
 }
 
 /// Clean engine teardown: checkpoint durable state (so the next open
-/// replays nothing), then drain and join workers.
-fn stop_engine(engine: Engine, durable: bool) {
-    if durable {
+/// replays nothing), then drain and join workers. Followers skip the
+/// checkpoint — compacting a replica's log is the primary's job, and
+/// a read-only registry refuses it anyway.
+fn stop_engine(engine: &Engine, durable: bool) {
+    if durable && !engine.is_follower() {
         let _ = engine.checkpoint();
     }
     engine.shutdown();
@@ -110,6 +115,7 @@ fn serve_network(
 fn run_router(
     listen: &str,
     shards: Vec<String>,
+    standbys: Vec<Option<String>>,
     opts: &RouterOpts,
     out: &mut dyn std::io::Write,
 ) -> Result<(), String> {
@@ -127,15 +133,22 @@ fn run_router(
         freqywm_shard::ShardMap::new(shards.clone()).describe()
     )
     .ok();
+    for (i, standby) in standbys.iter().enumerate() {
+        if let Some(addr) = standby {
+            writeln!(out, "shard {i} standby -> {addr}").ok();
+        }
+    }
     out.flush().ok();
     let config = freqywm_shard::RouterConfig {
         max_conns: opts.max_conns.max(1),
         max_frame: opts.max_frame.max(1),
         probe_interval: std::time::Duration::from_secs(opts.probe_interval_secs.max(1)),
         drain_timeout: std::time::Duration::from_secs(opts.drain_timeout_secs.max(1)),
+        failover_timeout: std::time::Duration::from_secs(opts.failover_timeout_secs.max(1)),
         auth_token: opts.auth_token.clone(),
         shard_auth_token: opts.shard_auth_token.clone(),
         handle_signals: true,
+        standbys,
         ..freqywm_shard::RouterConfig::new(shards)
     };
     freqywm_shard::run_router(listener, config).map_err(|e| format!("router error: {e}"))
@@ -346,7 +359,16 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             Ok(0)
         }
         Command::Serve { engine: opts, net } => {
-            let engine = start_engine(&opts)?;
+            let engine = std::sync::Arc::new(start_engine(&opts, net.follow.clone())?);
+            if let Some(primary) = &net.follow {
+                // Announce follower mode before binding so harnesses
+                // tailing stdout see the role before the address.
+                writeln!(out, "following {primary} (read-only until promoted)").ok();
+                out.flush().ok();
+                let mut follower = freqywm_service::FollowerConfig::new(primary.clone());
+                follower.auth_token = net.follow_token.clone();
+                freqywm_service::spawn_follower(engine.clone(), follower);
+            }
             match &net.listen {
                 Some(addr) => serve_network(&engine, addr, &net, out)?,
                 None => {
@@ -364,15 +386,16 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
                     .map_err(|e| format!("serve I/O error: {e}"))?;
                 }
             }
-            stop_engine(engine, opts.data_dir.is_some());
+            stop_engine(&engine, opts.data_dir.is_some());
             Ok(0)
         }
         Command::Router {
             listen,
             shards,
+            standbys,
             opts,
         } => {
-            run_router(&listen, shards, &opts, out)?;
+            run_router(&listen, shards, standbys, &opts, out)?;
             Ok(0)
         }
         Command::Batch {
@@ -382,7 +405,7 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             let text =
                 fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
             let lines: Vec<String> = text.lines().map(str::to_string).collect();
-            let engine = start_engine(&opts)?;
+            let engine = start_engine(&opts, None)?;
             let responses = proto::run_batch(&engine, &lines);
             let failed = responses
                 .iter()
@@ -391,7 +414,7 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             for r in &responses {
                 writeln!(out, "{r}").ok();
             }
-            stop_engine(engine, opts.data_dir.is_some());
+            stop_engine(&engine, opts.data_dir.is_some());
             Ok(if failed == 0 { 0 } else { 1 })
         }
         Command::Trace {

@@ -1,0 +1,447 @@
+//! Multi-process failover end-to-end: the real `freqywm router` binary
+//! with two shards, each a `serve --listen --shard-id --data-dir`
+//! primary paired with a `serve --follow` standby. 50 tenants are
+//! onboarded, the standbys catch up, then shard 0's primary is
+//! SIGKILLed under live detect traffic from 10 concurrent clients.
+//!
+//! Acceptance (the tentpole's contract):
+//!  * the router promotes the standby and redirects traffic — the only
+//!    failed requests are the ones in flight at the instant of death
+//!    (≤ one per client connection, surfaced as `inflight_failed`);
+//!  * after that window every request succeeds, including mutations,
+//!    which now land on the promoted standby;
+//!  * `ledger verify` passes on BOTH the killed primary's data-dir and
+//!    the promoted standby's, with identical chain heads — zero
+//!    fsynced events lost.
+#![cfg(unix)]
+
+use freqywm_shard::tenant_shard;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 50;
+const THREADS: usize = 10;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server closed mid-request");
+        resp.trim_end().to_string()
+    }
+}
+
+fn counts_json(n: usize) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("[\"tok{i:02}\",{}]", 2_000 / (i + 1) + 3 * (n - i)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Reads child stdout until the `listening on <addr>` line (followers
+/// announce `following <primary>` first), then keeps draining in the
+/// background so the child never blocks on a full pipe.
+fn read_announcement(child: &mut Child) -> SocketAddr {
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut addr = None;
+    for _ in 0..10 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read announcement");
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            addr = Some(rest.parse().expect("parse bound address"));
+            break;
+        }
+    }
+    let addr = addr.expect("no `listening on` announcement");
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    addr
+}
+
+fn spawn_serve(extra: &[String]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "serve".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--workers".to_string(),
+        "2".to_string(),
+        "--queue".to_string(),
+        "4096".to_string(),
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm serve");
+    let addr = read_announcement(&mut child);
+    (child, addr)
+}
+
+fn spawn_primary(shard: usize, data_dir: &str) -> (Child, SocketAddr) {
+    spawn_serve(&[
+        "--data-dir".into(),
+        data_dir.into(),
+        "--shard-id".into(),
+        format!("{shard}/2"),
+    ])
+}
+
+fn spawn_standby(shard: usize, data_dir: &str, primary: SocketAddr) -> (Child, SocketAddr) {
+    spawn_serve(&[
+        "--data-dir".into(),
+        data_dir.into(),
+        "--shard-id".into(),
+        format!("{shard}/2"),
+        "--follow".into(),
+        primary.to_string(),
+    ])
+}
+
+fn spawn_router(pairs: &[(SocketAddr, SocketAddr)]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "router".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+    ];
+    for (primary, standby) in pairs {
+        args.push("--shard".to_string());
+        args.push(format!("{primary},{standby}"));
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm router");
+    let addr = read_announcement(&mut child);
+    (child, addr)
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(args)
+        .output()
+        .expect("run freqywm");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn tmp_dir(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "freqywm-failover-e2e-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&p);
+    p.to_string_lossy().into_owned()
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("tenant-{i:03}")
+}
+
+/// Extracts `"key":<integer>` from a JSON response line.
+fn json_u64(resp: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = resp.find(&pat)? + pat.len();
+    let digits: String = resp[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts the `head: <hex>` line from `ledger verify` output.
+fn verify_head(log: &str) -> String {
+    log.lines()
+        .find_map(|l| l.trim().strip_prefix("head: "))
+        .unwrap_or_else(|| panic!("no head line in verify output: {log}"))
+        .to_string()
+}
+
+fn wait_until_shards_up(c: &mut Client, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let m = c.request(r#"{"op":"metrics"}"#);
+        if m.contains(&format!("\"shards_up\":{want}")) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "shards never came up: {m}");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+/// Waits until `standby`'s replicated log reaches `primary`'s — both
+/// report `log_seq` in their metrics.
+fn wait_until_caught_up(primary: SocketAddr, standby: SocketAddr) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut p = Client::connect(primary);
+    let mut s = Client::connect(standby);
+    loop {
+        let pm = p.request(r#"{"op":"metrics"}"#);
+        let sm = s.request(r#"{"op":"metrics"}"#);
+        let want = json_u64(&pm, "log_seq").expect("primary log_seq");
+        let have = json_u64(&sm, "log_seq").expect("standby log_seq");
+        assert!(sm.contains("\"role\":\"follower\""), "{sm}");
+        if have >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "standby never caught up ({have}/{want})"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn sigkilled_primary_fails_over_to_standby_with_zero_fsynced_loss() {
+    let dir_p0 = tmp_dir("primary0");
+    let dir_p1 = tmp_dir("primary1");
+    let dir_s0 = tmp_dir("standby0");
+    let dir_s1 = tmp_dir("standby1");
+    let (mut primary0, p0) = spawn_primary(0, &dir_p0);
+    let (mut primary1, p1) = spawn_primary(1, &dir_p1);
+    let (mut standby0, s0) = spawn_standby(0, &dir_s0, p0);
+    let (mut standby1, s1) = spawn_standby(1, &dir_s1, p1);
+    let (mut router, router_addr) = spawn_router(&[(p0, s0), (p1, s1)]);
+
+    let mut admin = Client::connect(router_addr);
+    wait_until_shards_up(&mut admin, 2);
+
+    // Onboard 50 tenants (register + embed) through the router.
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(router_addr);
+                for i in (w * TENANTS / THREADS)..((w + 1) * TENANTS / THREADS) {
+                    let t = tenant_name(i);
+                    let r = c.request(&format!(
+                        "{{\"op\":\"register\",\"tenant\":\"{t}\",\"secret_label\":\"fo-{t}\"}}"
+                    ));
+                    assert!(r.contains("\"ok\":true"), "register {t}: {r}");
+                    let r = c.request(&format!(
+                        "{{\"op\":\"embed\",\"tenant\":\"{t}\",\"z\":19,\"counts\":{}}}",
+                        counts_json(40)
+                    ));
+                    assert!(r.contains("chosen_pairs"), "embed {t}: {r}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("onboarding failed");
+    }
+
+    // Every registration is replicated before the kill: the heads we
+    // compare post-mortem must cover the full fsynced history.
+    wait_until_caught_up(p0, s0);
+    wait_until_caught_up(p1, s1);
+
+    // Live detect traffic from 10 clients; the primary of shard 0 is
+    // SIGKILLed mid-run. Each client records per-request outcomes.
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(router_addr);
+                let mut outcomes: Vec<bool> = Vec::new();
+                let mut errors: Vec<String> = Vec::new();
+                let mut i = w;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = tenant_name(i % TENANTS);
+                    i += 7;
+                    let r = c.request(&format!(
+                        "{{\"op\":\"detect\",\"tenant\":\"{t}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+                        counts_json(40)
+                    ));
+                    let ok = r.contains("\"ok\":true");
+                    if !ok {
+                        errors.push(r);
+                    }
+                    outcomes.push(ok);
+                }
+                (outcomes, errors)
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(700));
+    primary0.kill().expect("SIGKILL primary 0"); // no drain, no warning
+    let kill_at = Instant::now();
+    primary0.wait().expect("reap primary 0");
+    // Let the failover complete and post-window traffic accumulate.
+    std::thread::sleep(Duration::from_secs(4));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_requests = 0usize;
+    let mut total_errors = 0usize;
+    for (w, worker) in workers.into_iter().enumerate() {
+        let (outcomes, errors) = worker.join().expect("traffic worker panicked");
+        assert!(
+            outcomes.len() >= 20,
+            "worker {w} made only {} requests",
+            outcomes.len()
+        );
+        total_requests += outcomes.len();
+        total_errors += errors.len();
+        // Zero failures after the in-flight window: once the shard
+        // failed over, this client never errors again — its tail is
+        // all successes.
+        let last_err = outcomes.iter().rposition(|ok| !ok);
+        if let Some(pos) = last_err {
+            assert!(
+                outcomes[pos + 1..].iter().all(|&ok| ok),
+                "worker {w}: error after recovery: {errors:?}"
+            );
+            assert!(
+                outcomes.len() - pos > 1,
+                "worker {w} never recovered: {errors:?}"
+            );
+        }
+        // FIFO protocol: one request in flight per connection, so at
+        // most one loss per client.
+        assert!(
+            errors.len() <= 1,
+            "worker {w} lost more than its in-flight request: {errors:?}"
+        );
+    }
+    // "Errors ≤ in-flight at kill time": bounded by the number of
+    // client connections…
+    assert!(
+        total_errors <= THREADS,
+        "{total_errors} errors across {total_requests} requests"
+    );
+    // …and every one of them is accounted for by the router's own
+    // in-flight-loss counter.
+    let m = admin.request(r#"{"op":"metrics"}"#);
+    let inflight_failed = json_u64(&m, "inflight_failed").expect("router metrics");
+    assert!(
+        total_errors as u64 <= inflight_failed && inflight_failed <= THREADS as u64,
+        "client errors {total_errors} vs inflight_failed {inflight_failed}: {m}"
+    );
+    // The shard map records the promotion.
+    assert!(m.contains("\"failed_over\":true"), "{m}");
+    eprintln!(
+        "failover: {total_errors} errors / {total_requests} requests, \
+         inflight_failed={inflight_failed}, window={:?}",
+        kill_at.elapsed()
+    );
+
+    // Killed-shard tenants keep serving (now from the standby).
+    let victim = (0..TENANTS)
+        .map(tenant_name)
+        .find(|t| tenant_shard(t, 2) == 0)
+        .expect("some tenant on shard 0");
+    let r = admin.request(&format!(
+        "{{\"op\":\"detect\",\"tenant\":\"{victim}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+        counts_json(40)
+    ));
+    assert!(r.contains("\"ok\":true"), "post-failover detect: {r}");
+
+    // Post-mortem BEFORE any new writes: both the killed primary's
+    // data-dir and the promoted standby's verify clean, and their
+    // chain heads are identical — the standby lost nothing that was
+    // ever fsynced. The verify outputs are kept as CI artifacts.
+    let artifact_dir =
+        std::env::var("FREQYWM_ARTIFACT_DIR").unwrap_or_else(|_| tmp_dir("artifacts"));
+    std::fs::create_dir_all(&artifact_dir).expect("artifact dir");
+    let (code, log_p) = run_cli(&["ledger", "verify", "--data-dir", &dir_p0]);
+    assert_eq!(code, 0, "killed primary's ledger: {log_p}");
+    assert!(log_p.contains("ledger OK"), "{log_p}");
+    let (code, log_s) = run_cli(&["ledger", "verify", "--data-dir", &dir_s0]);
+    assert_eq!(code, 0, "promoted standby's ledger: {log_s}");
+    assert!(log_s.contains("ledger OK"), "{log_s}");
+    std::fs::write(
+        format!("{artifact_dir}/ledger-verify-killed-primary0.txt"),
+        &log_p,
+    )
+    .unwrap();
+    std::fs::write(
+        format!("{artifact_dir}/ledger-verify-promoted-standby0.txt"),
+        &log_s,
+    )
+    .unwrap();
+    assert_eq!(
+        verify_head(&log_p),
+        verify_head(&log_s),
+        "promoted standby must sit on the killed primary's chain head\n\
+         primary: {log_p}\nstandby: {log_s}"
+    );
+
+    // The promoted standby accepts mutations through the router.
+    let fresh = (0..)
+        .map(|i| format!("post-failover-{i}"))
+        .find(|t| tenant_shard(t, 2) == 0)
+        .unwrap();
+    let r = admin.request(&format!(
+        "{{\"op\":\"register\",\"tenant\":\"{fresh}\",\"secret_label\":\"pf\"}}"
+    ));
+    assert!(
+        r.contains("\"ok\":true"),
+        "register on promoted standby: {r}"
+    );
+
+    // Tier drain: the fan-out reaches the promoted standby and the
+    // surviving primary; both ack and exit cleanly.
+    let ack = admin.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"ok\":true"), "{ack}");
+    let mut rest = String::new();
+    admin
+        .reader
+        .read_to_string(&mut rest)
+        .expect("drain to EOF");
+    assert!(router.wait().expect("router exit").success());
+    assert!(standby0.wait().expect("standby 0 exit").success());
+    assert!(primary1.wait().expect("primary 1 exit").success());
+
+    // Standby 1 still follows its (now gone) primary; shut it down
+    // directly — a follower accepts the shutdown op.
+    let mut direct = Client::connect(s1);
+    let ack = direct.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    drop(direct);
+    assert!(standby1.wait().expect("standby 1 exit").success());
+
+    // The promoted standby's data-dir carries the post-failover write
+    // on top of the inherited chain.
+    let (code, log) = run_cli(&["ledger", "verify", "--data-dir", &dir_s0]);
+    assert_eq!(code, 0, "{log}");
+    assert!(log.contains("ledger OK"), "{log}");
+
+    for dir in [&dir_p0, &dir_p1, &dir_s0, &dir_s1] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

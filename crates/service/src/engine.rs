@@ -49,7 +49,7 @@ use freqywm_crypto::prf::Secret;
 use freqywm_data::histogram::Histogram;
 use freqywm_obs::{OpKind, Span, SpanRing, Stage, TraceFilter};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -125,6 +125,12 @@ pub struct EngineConfig {
     /// run time reaches this many milliseconds (`Some(0)` logs every
     /// request; `None` disables the slow log).
     pub slow_ms: Option<u64>,
+    /// Address of a primary this engine follows as a read-only replica
+    /// (`freqywm serve --follow`). While set and un-promoted, every
+    /// registry mutation is refused with
+    /// [`ServiceError::ReadOnlyFollower`]; reads (detect, dispute,
+    /// metrics, trace) serve normally from the replicated state.
+    pub follow: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +146,7 @@ impl Default for EngineConfig {
             shard_gate: None,
             trace_ring: 4096,
             slow_ms: None,
+            follow: None,
         }
     }
 }
@@ -176,6 +183,9 @@ struct Shared {
     /// ledger chronology is deterministic under test).
     clock: AtomicU64,
     state: AtomicU8,
+    /// True while this engine is a read-only replica; flipped off by
+    /// [`Engine::promote`]. Checked on every mutation path.
+    follower: AtomicBool,
     /// Optional completion notification hook (see
     /// [`Engine::set_completion_hook`]). Fired outside every engine
     /// lock, after the terminal state is observable.
@@ -183,6 +193,24 @@ struct Shared {
     /// Stage-span ring shared by workers and whatever front-end serves
     /// this engine. Recording is lock-free and never blocks.
     obs: Arc<SpanRing>,
+}
+
+/// Sealed-event bytes shipped per `replicate` call, roughly. Bounds
+/// response size so one catch-up cannot monopolise the connection.
+const REPLICA_BATCH_BYTES: usize = 1 << 20;
+
+/// What [`Engine::promote`] verified and flipped.
+#[derive(Debug, Clone)]
+pub struct PromoteReport {
+    /// False when the engine was already a primary (idempotent call).
+    pub was_follower: bool,
+    /// Chain length at promotion.
+    pub entries: u64,
+    /// Verified chain head at promotion — compare with the dead
+    /// primary's last fsynced head to confirm zero-loss failover.
+    pub head: freqywm_crypto::Digest,
+    /// Log sequence number the first post-promotion event will carry.
+    pub next_seq: u64,
 }
 
 /// Outcome of an engine-level dispute, combining the paper's four-run
@@ -225,10 +253,12 @@ impl Engine {
     pub fn open(config: EngineConfig, storage: Box<dyn Storage>) -> Result<Self> {
         let registry = DurableRegistry::open(&config.ledger_key, storage, config.snapshot_every)?;
         let clock_start = registry.clock_floor() + 1;
+        let follower = config.follow.is_some();
         let shared = Arc::new(Shared {
             cache: PrfCache::new(config.cache),
             registry: RwLock::new(registry),
             obs: Arc::new(SpanRing::new(config.trace_ring)),
+            follower: AtomicBool::new(follower),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -254,6 +284,7 @@ impl Engine {
 
     /// Registers a tenant's secret; returns the onboarding ledger index.
     pub fn register_tenant(&self, tenant: &str, secret: Secret) -> Result<u64> {
+        self.check_writable()?;
         check_shard(&self.shared, tenant)?;
         let mut registry = self
             .shared
@@ -271,6 +302,7 @@ impl Engine {
     /// Removes a tenant (its secret is zeroized on drop). The removal
     /// is durably logged before it takes effect.
     pub fn remove_tenant(&self, tenant: &str) -> Result<bool> {
+        self.check_writable()?;
         self.shared
             .registry
             .write()
@@ -292,6 +324,97 @@ impl Engine {
             .write()
             .expect("registry lock poisoned")
             .snapshot_now()
+    }
+
+    /// True while this engine is a read-only replica (see
+    /// [`EngineConfig::follow`] and [`Engine::promote`]).
+    pub fn is_follower(&self) -> bool {
+        self.shared.follower.load(Ordering::SeqCst)
+    }
+
+    fn check_writable(&self) -> Result<()> {
+        if self.is_follower() {
+            return Err(ServiceError::ReadOnlyFollower);
+        }
+        Ok(())
+    }
+
+    /// Serves one chunk of the replication stream: sealed log events
+    /// from `from_seq`, or a full snapshot when that range has been
+    /// compacted away. Followers answer too (their replicated log is
+    /// just as authoritative), which is what lets `ledger verify` and
+    /// chained replication read from either side.
+    pub fn replicate(&self, from_seq: u64) -> Result<crate::persist::ReplicaBatch> {
+        self.shared
+            .registry
+            .write()
+            .expect("registry lock poisoned")
+            .events_since(from_seq, REPLICA_BATCH_BYTES)
+    }
+
+    /// Applies one replication batch from the primary; refused unless
+    /// this engine is (still) a follower, so a late batch can never
+    /// race writes accepted after promotion. Returns the replica's new
+    /// `next_seq`.
+    pub fn apply_replica_batch(&self, batch: &crate::persist::ReplicaBatch) -> Result<u64> {
+        let mut registry = self
+            .shared
+            .registry
+            .write()
+            .expect("registry lock poisoned");
+        // Checked under the write lock: promote() serialises against
+        // this (it takes the registry lock too), so the flag cannot
+        // flip mid-batch.
+        if !self.shared.follower.load(Ordering::SeqCst) {
+            return Err(ServiceError::Storage(
+                "not a follower: replication batch refused".into(),
+            ));
+        }
+        if let Some(snapshot) = &batch.snapshot {
+            registry.install_replica_snapshot(snapshot)?;
+        }
+        for sealed in &batch.events {
+            registry.apply_sealed_event(sealed)?;
+        }
+        let next_seq = registry.next_seq();
+        let floor = registry.clock_floor();
+        drop(registry);
+        // Keep the serving clock above every replicated timestamp so
+        // chronology stays monotone if this replica is promoted.
+        self.shared.clock.fetch_max(floor + 1, Ordering::SeqCst);
+        Ok(next_seq)
+    }
+
+    /// Sequence number the next local log event will carry — what a
+    /// follower hands to the primary's `replicate` op to resume.
+    pub fn replica_seq(&self) -> u64 {
+        self.shared
+            .registry
+            .read()
+            .expect("registry lock poisoned")
+            .next_seq()
+    }
+
+    /// Promotes a follower to primary: re-verifies the replicated hash
+    /// chain end to end, resumes the logical clock above every
+    /// replicated timestamp, then lifts the read-only gate. Idempotent
+    /// — promoting a primary just reports its current head.
+    pub fn promote(&self) -> Result<PromoteReport> {
+        let registry = self.shared.registry.read().expect("registry lock poisoned");
+        registry
+            .ledger()
+            .verify_chain()
+            .map_err(|e| ServiceError::Storage(format!("promote refused: chain corrupt: {e}")))?;
+        let report = PromoteReport {
+            was_follower: self.shared.follower.swap(false, Ordering::SeqCst),
+            entries: registry.ledger().len() as u64,
+            head: registry.ledger().head_hash(),
+            next_seq: registry.next_seq(),
+        };
+        let floor = registry.clock_floor();
+        drop(registry);
+        self.shared.clock.fetch_max(floor + 1, Ordering::SeqCst);
+        Ok(report)
     }
 
     /// Enqueues a job. Non-blocking: rejects when full or draining.
@@ -318,6 +441,13 @@ impl Engine {
             self.shared.metrics.tenant_rejected(&tenant);
             Err(err)
         };
+        // A follower serves reads only: embed/maintain mutate the
+        // registry, which must happen on the primary and replicate.
+        if matches!(spec.payload.kind(), JobKind::Embed | JobKind::Maintain)
+            && self.shared.follower.load(Ordering::SeqCst)
+        {
+            return reject(ServiceError::ReadOnlyFollower);
+        }
         {
             let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
             // The state check lives under the queue lock: workers only
@@ -518,17 +648,24 @@ impl Engine {
     /// Counters, latency histogram, cache hit-rate, queue depth.
     pub fn metrics(&self) -> MetricsSnapshot {
         let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
-        let tenants = self
-            .shared
-            .registry
-            .read()
-            .expect("registry lock poisoned")
-            .len();
+        let (tenants, log_seq) = {
+            let registry = self.shared.registry.read().expect("registry lock poisoned");
+            (registry.len(), registry.next_seq())
+        };
         let mut snapshot =
             self.shared
                 .metrics
                 .snapshot(self.shared.cache.stats(), queue_depth, tenants);
         snapshot.shard = self.shard_label().map(str::to_string);
+        snapshot.role = Some(
+            if self.is_follower() {
+                "follower"
+            } else {
+                "primary"
+            }
+            .to_string(),
+        );
+        snapshot.log_seq = log_seq;
         snapshot
     }
 

@@ -33,6 +33,10 @@ pub enum ServiceError {
     /// The durable storage layer failed (append, snapshot or an
     /// unrecoverable log/snapshot image at open).
     Storage(String),
+    /// The engine is a read-only replica tailing a primary's log
+    /// (`freqywm serve --follow`): mutations are refused until a
+    /// `promote` op flips it to primary.
+    ReadOnlyFollower,
 }
 
 impl fmt::Display for ServiceError {
@@ -58,6 +62,9 @@ impl fmt::Display for ServiceError {
             ServiceError::Core(e) => write!(f, "watermarking error: {e}"),
             ServiceError::Internal(msg) => write!(f, "internal error: {msg}"),
             ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            ServiceError::ReadOnlyFollower => {
+                write!(f, "read-only follower: mutations refused until promoted")
+            }
         }
     }
 }

@@ -39,10 +39,11 @@ pub mod persist;
 pub mod prf_cache;
 pub mod proto;
 pub mod registry;
+pub mod replica;
 pub mod shard;
 pub mod storage;
 
-pub use engine::{DisputeOutcome, Engine, EngineConfig, ShardGate};
+pub use engine::{DisputeOutcome, Engine, EngineConfig, PromoteReport, ShardGate};
 pub use error::ServiceError;
 pub use freqywm_obs::{OpKind, Span, SpanRing, Stage, TraceFilter};
 pub use job::{
@@ -52,8 +53,9 @@ pub use job::{
 pub use metrics::{
     aggregate_shard_metrics, MetricsSnapshot, NetCounters, NetSnapshot, ShardMetricsPiece,
 };
-pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent};
+pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent, ReplicaBatch};
 pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
 pub use registry::{KeyRegistry, StoredWatermark, TenantSnapshot};
+pub use replica::{spawn_follower, FollowerConfig};
 pub use shard::{sharded_histogram, sharded_histogram_cancellable, Cancellation, Cancelled};
 pub use storage::{DiskLog, FaultyStorage, InMemoryStorage, NullStorage, Storage, StorageError};

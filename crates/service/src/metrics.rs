@@ -306,6 +306,8 @@ impl Metrics {
                 rows
             },
             shard: None,
+            role: None,
+            log_seq: 0,
         }
     }
 }
@@ -338,6 +340,12 @@ pub struct MetricsSnapshot {
     /// Shard label when this engine serves one partition of a sharded
     /// deployment (`freqywm serve --shard-id i/N`).
     pub shard: Option<String>,
+    /// `"follower"` while replicating from a primary, `"primary"`
+    /// otherwise — operators watch this flip on promotion.
+    pub role: Option<String>,
+    /// Durable-log sequence number the next event will carry. A
+    /// follower is caught up when its `log_seq` equals the primary's.
+    pub log_seq: u64,
 }
 
 impl MetricsSnapshot {
@@ -352,6 +360,14 @@ impl MetricsSnapshot {
             .collect();
         let shard_part = match &self.shard {
             Some(label) => format!("\"shard\":\"{}\",", crate::proto::json::escape(label)),
+            None => String::new(),
+        };
+        let role_part = match &self.role {
+            Some(role) => format!(
+                "\"role\":\"{}\",\"log_seq\":{},",
+                crate::proto::json::escape(role),
+                self.log_seq
+            ),
             None => String::new(),
         };
         let per_tenant: Vec<String> = self
@@ -378,7 +394,7 @@ impl MetricsSnapshot {
                 "\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
                 "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
-                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},{}",
+                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},{}{}",
                 "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
                 "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
                 "\"queue_wait\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
@@ -405,6 +421,7 @@ impl MetricsSnapshot {
             self.queue_depth,
             self.tenants,
             shard_part,
+            role_part,
             self.latency.count,
             self.latency.mean_micros(),
             self.latency.quantile_upper_micros(0.50),

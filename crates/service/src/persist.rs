@@ -642,6 +642,211 @@ impl DurableRegistry {
         })?;
         Ok(true)
     }
+
+    // ---- replication ----------------------------------------------------
+
+    /// Sequence number the next committed event will carry. A replica
+    /// asks for `events_since(next_seq())` to resume exactly where its
+    /// own log ends.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Streams the replication log starting at `from_seq`, capped at
+    /// roughly `max_bytes` of sealed event payloads per call. If the
+    /// requested range has been compacted away (or the storage is
+    /// volatile and keeps no log at all), the batch instead carries a
+    /// full authenticated snapshot — the replica installs it and
+    /// resumes tailing from the snapshot's sequence number.
+    ///
+    /// Events are shipped as the *sealed* payloads (MAC ‖ event), so a
+    /// replica appends byte-identical records to its own log and the
+    /// hash chain — deterministic in (key, order, inputs) — converges
+    /// to the identical head.
+    pub fn events_since(&mut self, from_seq: u64, max_bytes: usize) -> Result<ReplicaBatch> {
+        if from_seq > self.next_seq {
+            return Err(ServiceError::Storage(format!(
+                "replica is ahead of this log (have {}, asked from {from_seq})",
+                self.next_seq
+            )));
+        }
+        let mut batch = ReplicaBatch {
+            from_seq,
+            next_seq: self.next_seq,
+            head: self.inner.ledger().head_hash(),
+            events: Vec::new(),
+            snapshot: None,
+        };
+        if from_seq == self.next_seq {
+            return Ok(batch); // caught up
+        }
+        let log = self
+            .storage
+            .read_log()
+            .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        let scan = scan_frames(&log).map_err(|e| ServiceError::Storage(format!("log: {e}")))?;
+        let mut expected = from_seq;
+        let mut total = 0usize;
+        for sealed in &scan.payloads {
+            let event = unseal_event(&self.ledger_key, sealed)
+                .map_err(|e| ServiceError::Storage(format!("log: {e}")))?;
+            let seq = Reader::new(event)
+                .u64()
+                .map_err(|e| ServiceError::Storage(format!("log: {e}")))?;
+            if seq < expected {
+                continue; // snapshot-covered duplicate or already shipped
+            }
+            if seq > expected {
+                // The log starts past `from_seq`: compaction discarded
+                // the requested range. Fall through to the snapshot.
+                break;
+            }
+            total += sealed.len();
+            batch.events.push(sealed.clone());
+            expected += 1;
+            if total >= max_bytes {
+                break;
+            }
+        }
+        if batch.events.is_empty() {
+            batch.snapshot = Some(encode_snapshot(
+                self.next_seq,
+                self.clock_floor,
+                &self.inner,
+                &self.ledger_key,
+            ));
+        }
+        Ok(batch)
+    }
+
+    /// Applies one sealed event received from a primary: verifies the
+    /// MAC, checks the sequence number, durably appends the identical
+    /// record to the local log, then applies it in memory — the same
+    /// write-ahead discipline as [`Self::commit`], so a replica killed
+    /// at any byte boundary recovers exactly like a primary.
+    ///
+    /// Returns `false` (and changes nothing) for an event the replica
+    /// already holds — reconnect overlap is idempotent.
+    pub fn apply_sealed_event(&mut self, sealed: &[u8]) -> Result<bool> {
+        if self.read_only {
+            return Err(ServiceError::Storage(
+                "registry opened read-only (audit); mutations refused".into(),
+            ));
+        }
+        if self.poisoned {
+            return Err(ServiceError::Storage(
+                "registry log has an unrepaired torn tail; reopen to recover".into(),
+            ));
+        }
+        let event = unseal_event(&self.ledger_key, sealed)
+            .map_err(|e| ServiceError::Storage(format!("replicated event: {e}")))?;
+        let (seq, ev) = decode_event(event)
+            .map_err(|e| ServiceError::Storage(format!("replicated event: {e}")))?;
+        if seq < self.next_seq {
+            return Ok(false);
+        }
+        if seq > self.next_seq {
+            return Err(ServiceError::Storage(format!(
+                "replication gap (expected {}, got {seq})",
+                self.next_seq
+            )));
+        }
+        // Validate before the append so a semantically impossible
+        // event (primary/replica divergence) is refused rather than
+        // buried in the log where replay would die on it.
+        validate(&self.inner, &ev)?;
+        if self.storage.is_durable() {
+            let framed = frame(sealed);
+            if let Err(e) = self.storage.append_log(&framed) {
+                if self.storage.truncate_log(self.log_len).is_err() {
+                    self.poisoned = true;
+                }
+                return Err(ServiceError::Storage(e.to_string()));
+            }
+            self.log_len += framed.len() as u64;
+        }
+        self.next_seq += 1;
+        self.clock_floor = self.clock_floor.max(ev.now());
+        apply(&mut self.inner, ev).expect("validated event cannot fail to apply");
+        self.events_since_snapshot += 1;
+        if self.storage.is_durable()
+            && self.snapshot_every > 0
+            && self.events_since_snapshot >= self.snapshot_every
+        {
+            let _ = self.snapshot_now();
+        }
+        Ok(true)
+    }
+
+    /// Replaces local state with an authenticated snapshot shipped by
+    /// a primary (the compacted-log path of [`Self::events_since`]).
+    /// Refuses snapshots older than what the replica already holds.
+    pub fn install_replica_snapshot(&mut self, bytes: &[u8]) -> Result<()> {
+        if self.read_only {
+            return Err(ServiceError::Storage(
+                "registry opened read-only (audit); mutations refused".into(),
+            ));
+        }
+        let snap = decode_snapshot(bytes, &self.ledger_key).map_err(ServiceError::Storage)?;
+        if snap.next_seq < self.next_seq {
+            return Err(ServiceError::Storage(format!(
+                "replica snapshot regresses (have seq {}, snapshot at {})",
+                self.next_seq, snap.next_seq
+            )));
+        }
+        if self.storage.is_durable() {
+            // install_snapshot also truncates the log: everything in
+            // it is covered by the snapshot we are installing.
+            self.storage
+                .install_snapshot(bytes)
+                .map_err(|e| ServiceError::Storage(e.to_string()))?;
+        }
+        self.inner = snap.registry;
+        self.next_seq = snap.next_seq;
+        self.clock_floor = self.clock_floor.max(snap.clock);
+        self.log_len = 0;
+        self.events_since_snapshot = 0;
+        self.poisoned = false;
+        Ok(())
+    }
+}
+
+/// One chunk of the replication stream (see
+/// [`DurableRegistry::events_since`]).
+#[derive(Debug, Clone)]
+pub struct ReplicaBatch {
+    /// Echo of the requested starting sequence number.
+    pub from_seq: u64,
+    /// The primary's next sequence number — when a replica's own
+    /// `next_seq` reaches this, it is caught up (as of this batch).
+    pub next_seq: u64,
+    /// The primary's chain head at batch time, for convergence checks.
+    pub head: freqywm_crypto::Digest,
+    /// Sealed event payloads, in sequence order starting at `from_seq`.
+    pub events: Vec<Vec<u8>>,
+    /// Full authenticated snapshot, sent instead of `events` when the
+    /// requested range was compacted away.
+    pub snapshot: Option<Vec<u8>>,
+}
+
+/// Pre-checks that `ev` can apply cleanly — mirrors the validation the
+/// public mutators perform before logging, for events arriving over
+/// replication instead.
+fn validate(registry: &KeyRegistry, ev: &RegistryEvent) -> Result<()> {
+    match ev {
+        RegistryEvent::RegisterTenant { tenant, .. } if registry.contains(tenant) => {
+            Err(ServiceError::DuplicateTenant(tenant.clone()))
+        }
+        RegistryEvent::RecordWatermark { tenant, .. } if !registry.contains(tenant) => {
+            Err(ServiceError::UnknownTenant(tenant.clone()))
+        }
+        RegistryEvent::ReplaceWatermark { tenant, .. }
+            if registry.latest_watermark(tenant).is_none() =>
+        {
+            Err(ServiceError::NoWatermark(tenant.clone()))
+        }
+        _ => Ok(()),
+    }
 }
 
 /// Applies a (pre-validated or replayed) event to the registry.
@@ -993,6 +1198,122 @@ mod tests {
         // A normal open afterwards still repairs.
         let _ = DurableRegistry::open(b"persist-test", Box::new(storage.clone()), 0).unwrap();
         assert_eq!(storage.log_len(), with_tear - 3);
+    }
+
+    #[test]
+    fn replica_converges_via_event_stream_and_survives_reopen() {
+        let p_storage = InMemoryStorage::new();
+        let mut primary = open(&p_storage, 0);
+        primary
+            .register_tenant("acme", Secret::from_label("a"), 1)
+            .unwrap();
+        primary
+            .register_tenant("bee", Secret::from_label("b"), 2)
+            .unwrap();
+        primary
+            .record_watermark("acme", secrets("wa"), hist(), 3)
+            .unwrap();
+        primary.remove_tenant("bee").unwrap();
+
+        let f_storage = InMemoryStorage::new();
+        let mut follower = open(&f_storage, 0);
+        // Tiny max_bytes forces multiple batches.
+        loop {
+            let batch = primary.events_since(follower.next_seq(), 1).unwrap();
+            assert!(batch.snapshot.is_none(), "log is intact; no snapshot");
+            if batch.events.is_empty() {
+                assert_eq!(follower.next_seq(), batch.next_seq);
+                break;
+            }
+            for ev in &batch.events {
+                assert!(follower.apply_sealed_event(ev).unwrap());
+            }
+        }
+        assert_eq!(follower.ledger().head_hash(), primary.ledger().head_hash());
+        assert!(follower.contains("acme") && !follower.contains("bee"));
+        assert_eq!(follower.clock_floor(), primary.clock_floor());
+        drop(follower);
+        // The replica's own log is byte-for-byte replayable.
+        let reopened = open(&f_storage, 0);
+        assert_eq!(reopened.ledger().head_hash(), primary.ledger().head_hash());
+        assert_eq!(reopened.next_seq(), primary.next_seq());
+    }
+
+    #[test]
+    fn compacted_primary_ships_snapshot_instead_of_events() {
+        let p_storage = InMemoryStorage::new();
+        let mut primary = open(&p_storage, 0);
+        primary
+            .register_tenant("acme", Secret::from_label("a"), 1)
+            .unwrap();
+        primary
+            .record_watermark("acme", secrets("w"), hist(), 2)
+            .unwrap();
+        primary.snapshot_now().unwrap(); // log truncated: seqs 0..2 gone
+
+        let mut follower = open(&InMemoryStorage::new(), 0);
+        let batch = primary.events_since(0, usize::MAX).unwrap();
+        assert!(batch.events.is_empty());
+        let snap = batch.snapshot.expect("compacted range must ship snapshot");
+        follower.install_replica_snapshot(&snap).unwrap();
+        assert_eq!(follower.next_seq(), primary.next_seq());
+        assert_eq!(follower.ledger().head_hash(), primary.ledger().head_hash());
+
+        // Tailing resumes with plain events after the snapshot point.
+        primary
+            .register_tenant("bee", Secret::from_label("b"), 3)
+            .unwrap();
+        let batch = primary
+            .events_since(follower.next_seq(), usize::MAX)
+            .unwrap();
+        assert_eq!(batch.events.len(), 1);
+        assert!(follower.apply_sealed_event(&batch.events[0]).unwrap());
+        assert_eq!(follower.ledger().head_hash(), primary.ledger().head_hash());
+    }
+
+    #[test]
+    fn replica_apply_is_idempotent_and_refuses_gaps() {
+        let mut primary = open(&InMemoryStorage::new(), 0);
+        primary
+            .register_tenant("t0", Secret::from_label("0"), 1)
+            .unwrap();
+        primary
+            .register_tenant("t1", Secret::from_label("1"), 2)
+            .unwrap();
+        let batch = primary.events_since(0, usize::MAX).unwrap();
+        let mut follower = open(&InMemoryStorage::new(), 0);
+        assert!(follower.apply_sealed_event(&batch.events[0]).unwrap());
+        // Duplicate delivery (reconnect overlap): skipped, not an error.
+        assert!(!follower.apply_sealed_event(&batch.events[0]).unwrap());
+        assert_eq!(follower.next_seq(), 1);
+        // Skipping ahead is a gap: refused so the chain cannot fork.
+        let mut gapped = open(&InMemoryStorage::new(), 0);
+        let err = gapped.apply_sealed_event(&batch.events[1]).unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::Storage(m) if m.contains("gap")),
+            "{err}"
+        );
+        // A replica that somehow ran ahead is reported, not served.
+        assert!(primary.events_since(99, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn tampered_replicated_event_is_refused() {
+        let mut primary = open(&InMemoryStorage::new(), 0);
+        primary
+            .register_tenant("t", Secret::from_label("t"), 1)
+            .unwrap();
+        let batch = primary.events_since(0, usize::MAX).unwrap();
+        let mut evil = batch.events[0].clone();
+        let last = evil.len() - 1;
+        evil[last] ^= 0x01;
+        let mut follower = open(&InMemoryStorage::new(), 0);
+        let err = follower.apply_sealed_event(&evil).unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::Storage(m) if m.contains("authentication")),
+            "{err}"
+        );
+        assert_eq!(follower.next_seq(), 0, "nothing may apply");
     }
 
     #[test]

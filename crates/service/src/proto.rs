@@ -549,7 +549,9 @@ pub fn plan_value(req: Value) -> (Option<Value>, Result<Planned, String>) {
 fn plan_request(req: Value) -> Result<Planned, String> {
     let op = req_str(&req, "op")?;
     match op {
-        "register" | "dispute" | "metrics" | "trace" | "hello" => Ok(Planned::Op(req)),
+        "register" | "dispute" | "metrics" | "trace" | "hello" | "replicate" | "promote" => {
+            Ok(Planned::Op(req))
+        }
         "shutdown" => Ok(Planned::Shutdown),
         "embed" | "detect" | "maintain" => plan_job(&req),
         other => Err(format!("unknown op {other:?}")),
@@ -601,6 +603,13 @@ pub fn route_of(req: &Value) -> RouteInfo {
         "metrics" | "trace" => RouteInfo::Broadcast,
         "shutdown" => RouteInfo::Shutdown,
         "hello" => RouteInfo::Local,
+        // Replication management addresses one specific engine, not a
+        // tenant hash: followers dial their primary directly, and the
+        // router issues `promote` itself during failover. A client
+        // sending these through the router is confused — refuse.
+        "replicate" | "promote" => RouteInfo::Unroutable(format!(
+            "op {op:?} is shard-direct: send it to an engine address, not the router"
+        )),
         other => RouteInfo::Unroutable(format!("unknown op {other:?}")),
     }
 }
@@ -789,6 +798,51 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
                 shard,
                 spans.len(),
                 spans.iter().map(span_json).collect::<Vec<_>>().join(","),
+            ))
+        }
+        // Replication stream (see `crate::replica`): sealed log events
+        // from `from_seq` as hex strings, or a full snapshot when the
+        // primary compacted past that point. Followers answer too, so
+        // either side of a pair can be audited or chained from.
+        "replicate" => {
+            let from_seq = req.get("from_seq").and_then(Value::as_u64).unwrap_or(0);
+            let batch = engine.replicate(from_seq).map_err(|e| e.to_string())?;
+            let events: Vec<String> = batch
+                .events
+                .iter()
+                .map(|ev| format!("\"{}\"", freqywm_crypto::hex::encode(ev)))
+                .collect();
+            let snapshot = batch
+                .snapshot
+                .as_ref()
+                .map(|s| format!(",\"snapshot\":\"{}\"", freqywm_crypto::hex::encode(s)))
+                .unwrap_or_default();
+            Ok(format!(
+                concat!(
+                    "{{\"ok\":true,\"op\":\"replicate\",\"from_seq\":{},",
+                    "\"next_seq\":{},\"head\":\"{}\",\"events\":[{}]{}}}"
+                ),
+                batch.from_seq,
+                batch.next_seq,
+                freqywm_crypto::hex::encode(&batch.head),
+                events.join(","),
+                snapshot,
+            ))
+        }
+        // Failover: flip a follower into a full primary after its
+        // replicated chain re-proves itself. Idempotent — promoting a
+        // primary reports its current head (`was_follower: false`).
+        "promote" => {
+            let report = engine.promote().map_err(|e| e.to_string())?;
+            Ok(format!(
+                concat!(
+                    "{{\"ok\":true,\"op\":\"promote\",\"was_follower\":{},",
+                    "\"entries\":{},\"seq\":{},\"head\":\"{}\"}}"
+                ),
+                report.was_follower,
+                report.entries,
+                report.next_seq,
+                freqywm_crypto::hex::encode(&report.head),
             ))
         }
         // Connection handshake / liveness probe. With an auth token

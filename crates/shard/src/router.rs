@@ -64,6 +64,12 @@ pub struct RouterConfig {
     /// Backend engine addresses; position in the vec is the shard id
     /// and must match each backend's `--shard-id i/N`.
     pub shards: Vec<String>,
+    /// Optional standby address per shard (aligned with `shards`; a
+    /// short vec is padded with `None`). When health handling declares
+    /// a primary dead, the router dials the standby, issues `promote`,
+    /// and redirects the shard's traffic — requests arriving during
+    /// the switch are parked, not errored.
+    pub standbys: Vec<Option<String>>,
     /// Concurrent client connection cap.
     pub max_conns: usize,
     /// Client input frame cap (same semantics as the engine serve).
@@ -81,6 +87,10 @@ pub struct RouterConfig {
     pub reconnect_max: Duration,
     /// Per-attempt bound on dialing a backend (connector thread).
     pub connect_timeout: Duration,
+    /// How long requests may park while a standby promotion is in
+    /// progress before they error out (promotion itself keeps
+    /// retrying past this).
+    pub failover_timeout: Duration,
     /// Client-side shared-secret auth (`hello` op / per-request
     /// `auth`), mirroring `freqywm serve --auth-token`.
     pub auth_token: Option<String>,
@@ -98,6 +108,7 @@ impl RouterConfig {
     pub fn new(shards: Vec<String>) -> Self {
         RouterConfig {
             shards,
+            standbys: Vec::new(),
             max_conns: 1024,
             max_frame: 1 << 20,
             max_write_buffer: 4 << 20,
@@ -106,6 +117,7 @@ impl RouterConfig {
             reconnect_min: Duration::from_millis(100),
             reconnect_max: Duration::from_secs(3),
             connect_timeout: Duration::from_secs(1),
+            failover_timeout: Duration::from_secs(10),
             auth_token: None,
             shard_auth_token: None,
             backend: Backend::Auto,
@@ -216,10 +228,32 @@ enum Pending {
     },
     /// One piece of a fan-out (`metrics` / `shutdown`).
     Fanout { fanout: u64 },
-    /// Router-internal (health probe, backend auth hello): consume and
-    /// drop.
-    Internal,
+    /// Router-internal health probe: a *successful* response (and only
+    /// that) proves the backend healthy and resets its reconnect
+    /// backoff — an auth-error reply must do neither.
+    Probe,
+    /// Router-internal backend auth hello: consumed without touching
+    /// health (the probe that follows it is the judge).
+    Hello,
+    /// `promote` issued during failover: the ack completes the
+    /// promotion and releases this shard's parked requests.
+    Promote,
 }
+
+/// A tenant request held while its shard fails over to a standby
+/// (primary dead, promotion in flight) instead of erroring: flushed to
+/// the promoted backend on ack, errored if promotion fails or the
+/// failover deadline passes.
+struct ParkedRequest {
+    client: u64,
+    seq: usize,
+    id_part: String,
+    line: String,
+}
+
+/// Bound on parked requests per shard during failover; beyond it new
+/// arrivals error immediately (backpressure, not unbounded memory).
+const MAX_PARKED: usize = 4096;
 
 struct BackendConn {
     stream: TcpStream,
@@ -271,6 +305,18 @@ struct BackendSlot {
     latency: LatencyHistogram,
     backoff: Duration,
     next_attempt: Instant,
+    /// Standby address for failover; consumed (moved into `addr`) when
+    /// the primary is declared dead.
+    standby: Option<String>,
+    /// `Some(deadline)` while a standby promotion is in progress (dial
+    /// plus `promote` op). Requests park until the deadline, then
+    /// error; the promotion itself keeps retrying past it.
+    promoting: Option<Instant>,
+    /// This slot's `addr` is a promoted standby (for operators: the
+    /// original primary is gone and unmonitored).
+    failed_over: bool,
+    /// Requests parked during failover, in arrival order.
+    parked: VecDeque<ParkedRequest>,
 }
 
 enum FanoutKind {
@@ -299,6 +345,10 @@ struct RouterStats {
     accepted: u64,
     forwarded: u64,
     refused: u64,
+    /// Forwarded requests that died with their backend — every one was
+    /// resolved with an error (never a hang). Failover tests assert
+    /// client-visible errors ≤ this count.
+    inflight_failed: u64,
 }
 
 struct DrainState {
@@ -344,6 +394,13 @@ fn ensure_trace(line: &str, req: &Value) -> String {
         ","
     };
     format!("{}\"trace\":\"{}\"{}{}", &line[..=pos], trace, comma, rest)
+}
+
+/// Whether a backend response line reports success (`"ok": true`).
+fn line_ok(line: &str) -> bool {
+    json::parse(line)
+        .map(|v| v.get("ok").and_then(Value::as_bool) == Some(true))
+        .unwrap_or(false)
 }
 
 fn err_with_part(id_part: &str, msg: &str) -> String {
@@ -447,10 +504,13 @@ impl Router {
         }
         let (connect_tx, connect_rx) = channel();
         let now = Instant::now();
+        let mut standbys = config.standbys.clone();
+        standbys.resize(config.shards.len(), None);
         let backends = config
             .shards
             .iter()
-            .map(|addr| BackendSlot {
+            .zip(standbys)
+            .map(|(addr, standby)| BackendSlot {
                 addr: addr.clone(),
                 conn: None,
                 connecting: false,
@@ -459,6 +519,10 @@ impl Router {
                 latency: LatencyHistogram::default(),
                 backoff: config.reconnect_min,
                 next_attempt: now,
+                standby,
+                promoting: None,
+                failed_over: false,
+                parked: VecDeque::new(),
             })
             .collect();
         let map = ShardMap::new(config.shards.clone());
@@ -520,6 +584,7 @@ impl Router {
             }
             self.tick_reconnects();
             self.tick_probes();
+            self.tick_failovers();
             if let Some(deadline) = self.drain.as_ref().map(|d| d.deadline) {
                 // Settled clients were closed as they drained; what's
                 // left is either done or past the deadline.
@@ -549,6 +614,12 @@ impl Router {
                 if conn.inflight.is_empty() {
                     let probe_at = conn.last_activity + self.config.probe_interval;
                     timeout = timeout.min(probe_at.saturating_duration_since(now));
+                }
+            }
+            if let Some(deadline) = b.promoting {
+                if !b.parked.is_empty() {
+                    // Wake in time to error expired parked requests.
+                    timeout = timeout.min(deadline.saturating_duration_since(now));
                 }
             }
         }
@@ -581,7 +652,7 @@ impl Router {
                 None => false,
             };
             if due {
-                self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Internal);
+                self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Probe);
             }
         }
     }
@@ -642,16 +713,24 @@ impl Router {
             return self.schedule_reconnect(idx);
         }
         self.backends[idx].conn = Some(BackendConn::new(stream));
-        self.backends[idx].backoff = self.config.reconnect_min;
-        // Authenticate, then probe: the probe response flips `healthy`.
+        // Backoff is NOT reset here: a crash-looping backend accepts
+        // then dies before ever answering, and resetting on connect
+        // would turn that into a tight dial loop. Only a successful
+        // probe (or promote) response earns the reset.
+        //
+        // Authenticate, then (mid-failover) promote, then probe: the
+        // probe response flips `healthy`.
         if let Some(token) = self.config.shard_auth_token.clone() {
             let hello = format!(
                 "{{\"op\":\"hello\",\"token\":\"{}\"}}",
                 json::escape(&token)
             );
-            self.send_backend(idx, &hello, Pending::Internal);
+            self.send_backend(idx, &hello, Pending::Hello);
         }
-        self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Internal);
+        if self.backends[idx].promoting.is_some() {
+            self.send_backend(idx, "{\"op\":\"promote\"}", Pending::Promote);
+        }
+        self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Probe);
     }
 
     fn schedule_reconnect(&mut self, idx: usize) {
@@ -739,7 +818,6 @@ impl Router {
     }
 
     fn backend_line(&mut self, idx: usize, line: String) {
-        self.backends[idx].healthy = true;
         let pending = match self.backends[idx].conn.as_mut() {
             Some(conn) => conn.inflight.pop_front(),
             None => None,
@@ -760,14 +838,98 @@ impl Router {
                 self.resolve_client_slot(client, seq, line)
             }
             Some(Pending::Fanout { fanout }) => self.fanout_piece(fanout, idx, Some(line)),
-            Some(Pending::Internal) => {}
+            Some(Pending::Probe) => {
+                // Health is earned by a *successful* probe response.
+                // Any line used to flip `healthy`, so a backend
+                // rejecting the router's hello (wrong token) oscillated
+                // healthy on its own error replies.
+                let ok = line_ok(&line);
+                self.backends[idx].healthy = ok;
+                if ok {
+                    // …and a successful probe is also what proves the
+                    // backend actually serves, so the reconnect backoff
+                    // resets here, not on mere TCP accept.
+                    self.backends[idx].backoff = self.config.reconnect_min;
+                }
+            }
+            Some(Pending::Hello) => {}
+            Some(Pending::Promote) => self.finish_promotion(idx, line_ok(&line)),
+        }
+    }
+
+    /// The `promote` ack arrived: on success the standby is the new
+    /// primary — release the shard's parked traffic to it. On refusal
+    /// (corrupt chain, bad auth) the parked requests cannot succeed;
+    /// error them and leave the backend serving whatever it still can
+    /// (reads on a still-follower engine), with errors scoped per
+    /// request rather than per shard.
+    fn finish_promotion(&mut self, idx: usize, ok: bool) {
+        self.backends[idx].promoting = None;
+        let addr = self.backends[idx].addr.clone();
+        if ok {
+            self.backends[idx].healthy = true;
+            self.backends[idx].backoff = self.config.reconnect_min;
+            eprintln!(
+                "{{\"event\":\"failover_promoted\",\"shard\":{idx},\"addr\":\"{}\",\"parked\":{}}}",
+                json::escape(&addr),
+                self.backends[idx].parked.len()
+            );
+            self.flush_parked(idx, None);
+        } else {
+            eprintln!(
+                "{{\"event\":\"failover_promote_refused\",\"shard\":{idx},\"addr\":\"{}\"}}",
+                json::escape(&addr)
+            );
+            self.flush_parked(
+                idx,
+                Some(format!(
+                    "shard {idx} ({addr}) failover failed: promote refused"
+                )),
+            );
+        }
+    }
+
+    /// Drains a shard's parked requests: forwards them in arrival order
+    /// (`error: None`) or resolves each with `error`. If the connection
+    /// dies mid-flush the remainder error too — a parked slot must
+    /// never be dropped silently (the client would hang forever).
+    fn flush_parked(&mut self, idx: usize, error: Option<String>) {
+        let parked: Vec<ParkedRequest> = self.backends[idx].parked.drain(..).collect();
+        for p in parked {
+            let lost = error.is_none() && self.backends[idx].conn.is_none();
+            match (&error, lost) {
+                (None, false) => {
+                    self.backends[idx].routed += 1;
+                    self.stats.forwarded += 1;
+                    self.send_backend(
+                        idx,
+                        &p.line,
+                        Pending::Client {
+                            client: p.client,
+                            seq: p.seq,
+                            id_part: p.id_part,
+                        },
+                    );
+                }
+                (None, true) => {
+                    let msg = format!("shard {idx} ({}) connection lost", self.backends[idx].addr);
+                    self.stats.refused += 1;
+                    self.resolve_client_slot(p.client, p.seq, err_with_part(&p.id_part, &msg));
+                }
+                (Some(msg), _) => {
+                    self.stats.refused += 1;
+                    self.resolve_client_slot(p.client, p.seq, err_with_part(&p.id_part, msg));
+                }
+            }
         }
     }
 
     /// Tears down a backend connection: every in-flight request gets a
     /// protocol error (scoped to this shard's tenants — other shards
-    /// are untouched), the fd is deregistered, and a reconnect is
-    /// scheduled with backoff.
+    /// are untouched), the fd is deregistered, and either a failover
+    /// begins (standby configured) or a reconnect is scheduled with
+    /// backoff. In-flight losses are counted (`inflight_failed`) so
+    /// failover tests can assert errors ≤ in-flight at kill time.
     fn fail_backend(&mut self, idx: usize) {
         let Some(mut conn) = self.backends[idx].conn.take() else {
             return;
@@ -783,14 +945,63 @@ impl Router {
                     id_part,
                 } => {
                     let msg = format!("shard {idx} ({addr}) connection lost");
+                    self.stats.inflight_failed += 1;
                     self.resolve_client_slot(client, seq, err_with_part(&id_part, &msg));
                 }
                 Pending::Fanout { fanout } => self.fanout_piece(fanout, idx, None),
-                Pending::Internal => {}
+                Pending::Probe | Pending::Hello => {}
+                // The promote ack died with the connection; `promoting`
+                // stays set, so the next (re)connect re-issues it — the
+                // op is idempotent on the engine.
+                Pending::Promote => {}
             }
         }
         if self.drain.is_none() {
+            if self.backends[idx].promoting.is_none() {
+                if let Some(standby) = self.backends[idx].standby.take() {
+                    return self.begin_failover(idx, standby);
+                }
+            }
             self.schedule_reconnect(idx);
+        }
+    }
+
+    /// The primary died with a standby configured: the standby address
+    /// takes over the slot, a promotion window opens (new requests park
+    /// instead of erroring), and the dial starts immediately. The dead
+    /// primary's address is dropped — after promotion the standby *is*
+    /// the shard; seeding a replacement standby is an operator action.
+    fn begin_failover(&mut self, idx: usize, standby: String) {
+        let old = std::mem::replace(&mut self.backends[idx].addr, standby);
+        self.backends[idx].promoting = Some(Instant::now() + self.config.failover_timeout);
+        self.backends[idx].failed_over = true;
+        self.backends[idx].backoff = self.config.reconnect_min;
+        self.backends[idx].next_attempt = Instant::now();
+        eprintln!(
+            "{{\"event\":\"failover_started\",\"shard\":{idx},\"dead\":\"{}\",\"standby\":\"{}\"}}",
+            json::escape(&old),
+            json::escape(&self.backends[idx].addr)
+        );
+        self.spawn_connector(idx);
+    }
+
+    /// Errors out parked requests whose failover window expired. The
+    /// promotion itself keeps retrying — only the waiting clients give
+    /// up, exactly as if the shard were down.
+    fn tick_failovers(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.backends.len() {
+            let expired = self.backends[idx]
+                .promoting
+                .is_some_and(|deadline| now >= deadline)
+                && !self.backends[idx].parked.is_empty();
+            if expired {
+                let msg = format!(
+                    "shard {idx} ({}) failover timed out",
+                    self.backends[idx].addr
+                );
+                self.flush_parked(idx, Some(msg));
+            }
         }
     }
 
@@ -1009,8 +1220,10 @@ impl Router {
     }
 
     /// Forwards the raw request line to `shard`, reserving the client's
-    /// next response slot. A down shard answers immediately with a
-    /// protocol error — errors are scoped to the shard, never the tier.
+    /// next response slot. During a failover the request parks instead
+    /// (released when the standby's promotion acks); a down shard with
+    /// no failover in progress answers immediately with a protocol
+    /// error — errors are scoped to the shard, never the tier.
     fn forward(&mut self, fd: RawFd, shard: usize, line: &str, id: Option<&Value>) {
         let id_part = id_echo(id);
         let Some(conn) = self.clients.get_mut(&fd) else {
@@ -1018,6 +1231,24 @@ impl Router {
         };
         let client = conn.id;
         let seq = conn.push_pending();
+        if let Some(deadline) = self.backends[shard].promoting {
+            if Instant::now() < deadline && self.backends[shard].parked.len() < MAX_PARKED {
+                self.backends[shard].parked.push_back(ParkedRequest {
+                    client,
+                    seq,
+                    id_part,
+                    line: line.to_string(),
+                });
+                return;
+            }
+            let msg = format!(
+                "shard {shard} ({}) failover in progress",
+                self.backends[shard].addr
+            );
+            self.resolve_client_slot(client, seq, err_with_part(&id_part, &msg));
+            self.stats.refused += 1;
+            return;
+        }
         if self.backends[shard].conn.is_none() {
             let msg = format!("shard {shard} ({}) unavailable", self.backends[shard].addr);
             self.resolve_client_slot(client, seq, err_with_part(&id_part, &msg));
@@ -1172,9 +1403,14 @@ impl Router {
                     .enumerate()
                     .map(|(i, b)| {
                         let lat = b.latency.snapshot();
+                        let standby = match &b.standby {
+                            Some(s) => format!("\"{}\"", json::escape(s)),
+                            None => "null".to_string(),
+                        };
                         format!(
                             concat!(
                                 "{{\"shard\":{},\"addr\":\"{}\",\"up\":{},\"healthy\":{},",
+                                "\"standby\":{},\"promoting\":{},\"failed_over\":{},",
                                 "\"routed\":{},\"latency\":{{\"count\":{},\"mean_us\":{:.0},",
                                 "\"p50_us\":{},\"p99_us\":{}}}}}"
                             ),
@@ -1182,6 +1418,9 @@ impl Router {
                             json::escape(&b.addr),
                             b.conn.is_some(),
                             b.healthy,
+                            standby,
+                            b.promoting.is_some(),
+                            b.failed_over,
                             b.routed,
                             lat.count,
                             lat.mean_micros(),
@@ -1194,7 +1433,8 @@ impl Router {
                     concat!(
                         "{{\"ok\":true{},\"op\":\"metrics\",\"scheme\":\"jump\",",
                         "\"router\":{{\"clients_accepted\":{},\"clients_active\":{},",
-                        "\"forwarded\":{},\"refused\":{},\"draining\":{}}},",
+                        "\"forwarded\":{},\"refused\":{},\"inflight_failed\":{},",
+                        "\"draining\":{}}},",
                         "\"shard_map\":[{}],\"metrics\":{}}}"
                     ),
                     f.id_part,
@@ -1202,6 +1442,7 @@ impl Router {
                     self.clients.len(),
                     self.stats.forwarded,
                     self.stats.refused,
+                    self.stats.inflight_failed,
                     self.drain.is_some(),
                     shard_map.join(","),
                     aggregate_shard_metrics(&pieces),
@@ -1286,6 +1527,14 @@ impl Router {
         });
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        // Parked requests can never complete during a drain (no
+        // reconnects, no promotions run) — error them now so their
+        // clients can settle and close instead of hitting the deadline.
+        for idx in 0..self.backends.len() {
+            if !self.backends[idx].parked.is_empty() {
+                self.flush_parked(idx, Some("router draining".to_string()));
+            }
         }
         for fd in self.clients.keys().copied().collect::<Vec<_>>() {
             self.pump_client(fd);

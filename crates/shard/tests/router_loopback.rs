@@ -5,10 +5,11 @@
 use freqywm_net::{serve_listener, NetConfig};
 use freqywm_service::engine::{Engine, EngineConfig, ShardGate};
 use freqywm_service::proto::json;
+use freqywm_service::FollowerConfig;
 use freqywm_shard::{run_router, tenant_shard, RouterConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Backend {
@@ -345,6 +346,279 @@ fn reconnects_with_backoff_when_a_backend_comes_up_late() {
     router.join().unwrap().expect("router exits cleanly");
     handle.join().unwrap().expect("backend drains");
     engine.shutdown();
+}
+
+/// A standby engine: starts as a read-only follower tailing
+/// `primary_addr`, served over its own reactor like any backend.
+fn start_standby(primary_addr: SocketAddr) -> Backend {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers: 2,
+        follow: Some(primary_addr.to_string()),
+        ..EngineConfig::default()
+    }));
+    let mut follower = FollowerConfig::new(primary_addr.to_string());
+    follower.poll_interval = Duration::from_millis(20);
+    follower.reconnect_min = Duration::from_millis(20);
+    follower.reconnect_max = Duration::from_millis(100);
+    freqywm_service::spawn_follower(Arc::clone(&engine), follower);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind standby");
+    let addr = listener.local_addr().unwrap();
+    let server_engine = Arc::clone(&engine);
+    let handle =
+        std::thread::spawn(move || serve_listener(&server_engine, listener, NetConfig::default()));
+    Backend {
+        engine,
+        addr,
+        handle,
+    }
+}
+
+#[test]
+fn reconnect_backoff_grows_across_accept_then_close_cycles() {
+    // A crash-looping backend: the TCP accept succeeds, then the
+    // process "dies" before answering anything. The router used to
+    // reset its backoff on plain connect success, hammering such a
+    // backend at reconnect_min forever; only a successful probe
+    // response may earn the reset.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake backend");
+    let addr = listener.local_addr().unwrap();
+    let accepts: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&accepts);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            log.lock().unwrap().push(Instant::now());
+            drop(stream);
+        }
+    });
+
+    let (router_addr, router) = start_router_addrs(vec![addr.to_string()], |c| {
+        c.reconnect_min = Duration::from_millis(50);
+        c.reconnect_max = Duration::from_secs(2);
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while accepts.lock().unwrap().len() < 6 {
+        assert!(Instant::now() < deadline, "router stopped redialing");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let times = accepts.lock().unwrap().clone();
+    let first_gap = times[1] - times[0];
+    let later_gap = times[5] - times[4];
+    // The schedule doubles 50→100→200→400→800ms; with the reset bug
+    // every gap sat at ~50ms.
+    assert!(
+        later_gap >= Duration::from_millis(400) && later_gap >= first_gap * 3,
+        "backoff did not grow: first gap {first_gap:?}, later gap {later_gap:?}"
+    );
+
+    let mut c = Client::connect(router_addr);
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+}
+
+#[test]
+fn wrong_shard_auth_token_keeps_shard_unhealthy() {
+    // The backend refuses every probe (wrong shard token), but keeps
+    // the connection open. The router used to flip healthy=true on
+    // ANY backend line — including the auth-error line itself — so a
+    // misconfigured tier oscillated healthy. Health must be earned by
+    // a *successful* probe response.
+    let b0 = start_backend(None, Some("backend-secret"));
+    let (router_addr, router) = start_router(&[&b0], |c| {
+        c.shard_auth_token = Some("wrong-token".into());
+    });
+
+    let mut c = Client::connect(router_addr);
+    let shard0 = |m: &str| -> (Option<bool>, Option<bool>) {
+        let v = json::parse(m).expect("metrics parses");
+        let s = &v.get("shard_map").unwrap().as_arr().unwrap()[0];
+        (
+            s.get("up").unwrap().as_bool(),
+            s.get("healthy").unwrap().as_bool(),
+        )
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = c.request(r#"{"op":"metrics"}"#);
+        if shard0(&m).0 == Some(true) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "backend never connected: {m}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Several probe intervals (and several refused probe lines) later
+    // the link is still up and the shard is still NOT healthy.
+    std::thread::sleep(Duration::from_millis(700));
+    let m = c.request(r#"{"op":"metrics"}"#);
+    assert_eq!(shard0(&m), (Some(true), Some(false)), "{m}");
+
+    // Drain: the backend refuses the fan-out too (honest nack), the
+    // router still drains itself.
+    let r = c.request(r#"{"op":"shutdown"}"#);
+    assert!(r.contains("not acknowledged by shard(s) 0"), "{r}");
+    let mut rest = String::new();
+    c.reader.read_to_string(&mut rest).expect("router closes");
+    router.join().unwrap().expect("router exits cleanly");
+    let mut direct = Client::connect(b0.addr);
+    let r = direct.request(r#"{"op":"hello","token":"backend-secret"}"#);
+    assert!(r.contains("\"authenticated\":true"), "{r}");
+    direct.request(r#"{"op":"shutdown"}"#);
+    b0.handle.join().unwrap().expect("backend drains");
+    b0.engine.shutdown();
+}
+
+#[test]
+fn inflight_requests_on_dead_backend_error_and_are_counted() {
+    // A backend that answers probes, then dies with a client request
+    // in flight: the request's slot must resolve to an error (never
+    // hang) and the loss must surface as the router's inflight_failed
+    // metric.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake backend");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+                if line.contains("\"op\":\"register\"") {
+                    break; // die with the request unanswered
+                }
+                let ok = writer
+                    .write_all(b"{\"ok\":true,\"op\":\"metrics\",\"metrics\":{\"completed\":0}}\n");
+                if ok.is_err() {
+                    break;
+                }
+            }
+        }
+    });
+
+    let (router_addr, router) = start_router_addrs(vec![addr.to_string()], |_| {});
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 1);
+
+    let r = c.request(r#"{"op":"register","tenant":"doomed","secret_label":"s"}"#);
+    assert!(r.contains("\"ok\":false"), "in-flight loss must error: {r}");
+    assert!(
+        r.contains("connection lost") || r.contains("unavailable") || r.contains("shard 0"),
+        "unexpected error shape: {r}"
+    );
+
+    // fail_backend counted the lost slot before the error was even
+    // delivered, so the very next metrics read sees it.
+    let m = c.request(r#"{"op":"metrics"}"#);
+    let v = json::parse(&m).expect("metrics parses");
+    assert_eq!(
+        v.get("router")
+            .unwrap()
+            .get("inflight_failed")
+            .unwrap()
+            .as_u64(),
+        Some(1),
+        "{m}"
+    );
+
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+}
+
+#[test]
+fn failover_promotes_standby_and_redirects_traffic() {
+    let primary = start_backend(None, None);
+    let standby = start_standby(primary.addr);
+    let standby_addr = standby.addr.to_string();
+    let (router_addr, router) = start_router_addrs(vec![primary.addr.to_string()], |c| {
+        c.standbys = vec![Some(standby_addr)];
+        c.failover_timeout = Duration::from_secs(5);
+    });
+
+    let mut c = Client::connect(router_addr);
+    wait_until_shards_up(&mut c, 1);
+    let tenants: Vec<String> = (0..6).map(|i| format!("fo-{i}")).collect();
+    for t in &tenants {
+        onboard(&mut c, t);
+    }
+
+    // The standby catches up (the in-memory primary has no durable
+    // log, so replicate ships a full authenticated snapshot).
+    let want = primary.engine.replica_seq();
+    assert!(want > 0, "primary logged no events");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while standby.engine.replica_seq() < want {
+        assert!(Instant::now() < deadline, "standby never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // While following: mutations refused, reads served.
+    let mut direct = Client::connect(standby.addr);
+    let r = direct.request(r#"{"op":"register","tenant":"nope","secret_label":"x"}"#);
+    assert!(r.contains("read-only follower"), "{r}");
+    let r = direct.request(&format!(
+        "{{\"op\":\"detect\",\"tenant\":\"{}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+        tenants[0],
+        counts_json(60)
+    ));
+    assert!(r.contains("\"ok\":true"), "follower must serve reads: {r}");
+    drop(direct);
+
+    // Kill the primary out from under the router.
+    let mut direct = Client::connect(primary.addr);
+    let ack = direct.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    drop(direct);
+    primary.handle.join().unwrap().expect("primary drains");
+
+    // The router notices, promotes the standby, and this shard's
+    // traffic converges back to success on the new address.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let r = c.request(&format!(
+            "{{\"op\":\"detect\",\"tenant\":\"{}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+            tenants[0],
+            counts_json(60)
+        ));
+        if r.contains("\"ok\":true") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "failover never completed; last error: {r}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(!standby.engine.is_follower(), "standby must be promoted");
+
+    // Mutations land on the promoted standby through the router.
+    onboard(&mut c, "post-failover");
+    assert_eq!(standby.engine.metrics().tenants, tenants.len() as u64 + 1);
+
+    // The shard map records the swap: the slot now points at the
+    // consumed standby and is flagged failed_over.
+    let m = c.request(r#"{"op":"metrics"}"#);
+    let v = json::parse(&m).expect("metrics parses");
+    let shard = &v.get("shard_map").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        shard.get("addr").unwrap().as_str(),
+        Some(standby.addr.to_string().as_str()),
+        "{m}"
+    );
+    assert_eq!(shard.get("failed_over").unwrap().as_bool(), Some(true));
+    assert_eq!(shard.get("standby").unwrap().as_str(), None, "consumed");
+
+    let ack = c.request(r#"{"op":"shutdown"}"#);
+    assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
+    router.join().unwrap().expect("router exits cleanly");
+    standby.handle.join().unwrap().expect("standby drains");
+    standby.engine.shutdown();
+    primary.engine.shutdown();
 }
 
 #[test]
