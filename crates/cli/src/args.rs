@@ -65,6 +65,31 @@ pub enum Command {
         standbys: Vec<Option<String>>,
         opts: RouterOpts,
     },
+    /// One-shot metrics client: fetches the `metrics` protocol op as
+    /// JSON, or (with `--prom`) scrapes a `--metrics-listen` HTTP
+    /// endpoint and prints the Prometheus text exposition.
+    Metrics {
+        connect: String,
+        /// HTTP scrape of a `--metrics-listen` port instead of the
+        /// JSON protocol op.
+        prom: bool,
+        /// Validate the exposition with the in-repo parser and append
+        /// a `# exposition OK` comment line.
+        check: bool,
+        /// Per-request auth token (JSON mode only).
+        auth: Option<String>,
+    },
+    /// Live tier dashboard: polls `metrics` + `history` on a running
+    /// engine or router and redraws a terminal frame.
+    Top {
+        connect: String,
+        /// Milliseconds between frames.
+        interval_ms: u64,
+        /// Print a single frame (no ANSI clearing) and exit.
+        once: bool,
+        /// Per-request auth token.
+        auth: Option<String>,
+    },
     /// Queries recent spans from a running `serve --listen` engine or
     /// a `router` tier over TCP (the `trace` protocol op).
     Trace {
@@ -117,6 +142,11 @@ pub struct EngineOpts {
     /// Requests slower than this (queue wait + run) are logged as JSON
     /// lines on stderr; `Some(0)` logs every request, `None` disables.
     pub slow_ms: Option<u64>,
+    /// Capacity of the in-process metrics retention ring (the
+    /// `history` op's window is `retain_snapshots × retain_interval`).
+    pub retain_snapshots: usize,
+    /// Milliseconds between retained metrics snapshots.
+    pub retain_interval_ms: u64,
 }
 
 impl Default for EngineOpts {
@@ -132,6 +162,8 @@ impl Default for EngineOpts {
             ledger_key: None,
             shard_id: None,
             slow_ms: None,
+            retain_snapshots: 240,
+            retain_interval_ms: 1000,
         }
     }
 }
@@ -142,6 +174,9 @@ pub struct ServeNetOpts {
     /// TCP listen address (e.g. `127.0.0.1:7700`, port 0 for
     /// ephemeral); `None` serves stdin/stdout.
     pub listen: Option<String>,
+    /// Extra HTTP listener serving `GET /metrics` (Prometheus text)
+    /// from the same reactor; announced as `metrics on <addr>`.
+    pub metrics_listen: Option<String>,
     /// Concurrent connection cap.
     pub max_conns: usize,
     /// Idle connection timeout in seconds; 0 disables reaping.
@@ -164,6 +199,7 @@ impl Default for ServeNetOpts {
     fn default() -> Self {
         ServeNetOpts {
             listen: None,
+            metrics_listen: None,
             max_conns: 1024,
             idle_timeout_secs: 0,
             max_frame: 1 << 20,
@@ -179,6 +215,9 @@ impl Default for ServeNetOpts {
 pub struct RouterOpts {
     pub max_conns: usize,
     pub max_frame: usize,
+    /// Extra HTTP listener serving `GET /metrics` with the router's
+    /// own exposition (per-shard roles, lag, RTT histograms).
+    pub metrics_listen: Option<String>,
     /// Client-side shared-secret auth (like `serve --auth-token`).
     pub auth_token: Option<String>,
     /// Token the router presents to backends (their `--auth-token`).
@@ -197,6 +236,7 @@ impl Default for RouterOpts {
         RouterOpts {
             max_conns: 1024,
             max_frame: 1 << 20,
+            metrics_listen: None,
             auth_token: None,
             shard_auth_token: None,
             probe_interval_secs: 2,
@@ -240,17 +280,23 @@ USAGE:
                    --kind sample|destroy|reorder --param <x> [--seed N]
   freqywm judge    --a-input <a.txt> --a-secret <a.fwm>
                    --b-input <b.txt> --b-secret <b.fwm> [--t 0] [--quorum 0.25]
-  freqywm serve    [--listen <addr>] [--max-conns 1024] [--idle-timeout SECS]
+  freqywm serve    [--listen <addr>] [--metrics-listen <addr>]
+                   [--max-conns 1024] [--idle-timeout SECS]
                    [--max-frame BYTES] [--auth-token T] [--shard-id i/N]
                    [--workers 4] [--queue 1024] [--cache-shards 8]
                    [--cache-capacity 8192] [--no-cache] [--slow-ms MS]
+                   [--retain-snapshots 240] [--retain-interval-ms 1000]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
                    [--follow <primary-addr>] [--follow-token T]
   freqywm router   --listen <addr> --shard <addr>[,<standby>]
                    [--shard <addr>[,<standby>] ...]
+                   [--metrics-listen <addr>]
                    [--max-conns 1024] [--max-frame BYTES] [--auth-token T]
                    [--shard-auth-token T] [--probe-interval 2]
                    [--drain-timeout 10] [--failover-timeout 10]
+  freqywm metrics  --connect <addr> [--prom] [--check] [--auth TOKEN]
+  freqywm top      --connect <addr> [--interval-ms 1000] [--once]
+                   [--auth TOKEN]
   freqywm trace    --connect <addr> [--trace ID] [--tenant T] [--for-op OP]
                    [--min-ms MS] [--limit N] [--auth TOKEN]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
@@ -295,6 +341,19 @@ router promotes the standby and redirects that shard's traffic to it
 seconds; only requests in flight at the instant of death error). See
 docs/replication.md.
 
+`serve --metrics-listen <addr>` (and the router's flag of the same
+name) adds an HTTP listener on the same reactor answering `GET
+/metrics` with the Prometheus text exposition (0.0.4); every other
+target is 404 and connections are one-shot. `freqywm metrics --connect
+<addr>` fetches the JSON `metrics` op (or, with `--prom`, scrapes the
+HTTP endpoint; `--check` validates the exposition with the in-repo
+parser). The engine also retains a ring of periodic metrics snapshots
+(`--retain-snapshots` × `--retain-interval-ms` deep) served by the
+`history` protocol op with derived window rates; `freqywm top
+--connect <addr>` polls `metrics` + `history` into a refreshing
+per-shard dashboard (`--once` prints a single frame for scripts). See
+docs/observability.md.
+
 `trace` connects to a running `serve --listen` engine (or a `router`,
 which fans the query out to every shard) and prints the recent stage
 spans — parse, auth, queue_wait, run, prf_sweep, respond — matching the
@@ -320,7 +379,10 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
         // Boolean flags take no value.
-        if key == "exclude-free-pairs" || key == "no-cache" {
+        if matches!(
+            key,
+            "exclude-free-pairs" | "no-cache" | "prom" | "check" | "once"
+        ) {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -373,6 +435,8 @@ fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> 
                     .map_err(|_| format!("bad value for --slow-ms: {v:?}"))
             })
             .transpose()?,
+        retain_snapshots: opt_parse(f, "retain-snapshots", defaults.retain_snapshots)?,
+        retain_interval_ms: opt_parse(f, "retain-interval-ms", defaults.retain_interval_ms)?,
     })
 }
 
@@ -453,6 +517,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 engine: parse_engine_opts(&f)?,
                 net: ServeNetOpts {
                     listen: f.get("listen").cloned(),
+                    metrics_listen: f.get("metrics-listen").cloned(),
                     max_conns: opt_parse(&f, "max-conns", net_defaults.max_conns)?,
                     idle_timeout_secs: opt_parse(
                         &f,
@@ -518,6 +583,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 opts: RouterOpts {
                     max_conns: opt_parse(&f, "max-conns", defaults.max_conns)?,
                     max_frame: opt_parse(&f, "max-frame", defaults.max_frame)?,
+                    metrics_listen: f.get("metrics-listen").cloned(),
                     auth_token: f.get("auth-token").cloned(),
                     shard_auth_token: f.get("shard-auth-token").cloned(),
                     probe_interval_secs: opt_parse(
@@ -543,6 +609,29 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Batch {
                 input: req(&f, "input")?,
                 engine: parse_engine_opts(&f)?,
+            })
+        }
+        "metrics" => {
+            let f = parse_flags(rest)?;
+            let prom = f.contains_key("prom");
+            let check = f.contains_key("check");
+            if check && !prom {
+                return Err("--check requires --prom (it validates the HTTP exposition)".into());
+            }
+            Ok(Command::Metrics {
+                connect: req(&f, "connect")?,
+                prom,
+                check,
+                auth: f.get("auth").cloned(),
+            })
+        }
+        "top" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Top {
+                connect: req(&f, "connect")?,
+                interval_ms: opt_parse(&f, "interval-ms", 1000u64)?,
+                once: f.contains_key("once"),
+                auth: f.get("auth").cloned(),
             })
         }
         "trace" => {
@@ -983,6 +1072,115 @@ mod tests {
         );
         assert!(parse_args(&v(&["trace"])).is_err(), "trace needs --connect");
         assert!(parse_args(&v(&["trace", "--connect", "x", "--min-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn metrics_and_top_flags() {
+        let c = parse_args(&v(&["metrics", "--connect", "127.0.0.1:9900"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Metrics {
+                connect: "127.0.0.1:9900".into(),
+                prom: false,
+                check: false,
+                auth: None,
+            }
+        );
+        let c = parse_args(&v(&[
+            "metrics",
+            "--connect",
+            "127.0.0.1:9900",
+            "--prom",
+            "--check",
+            "--auth",
+            "tok",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Metrics {
+                connect: "127.0.0.1:9900".into(),
+                prom: true,
+                check: true,
+                auth: Some("tok".into()),
+            }
+        );
+        assert!(
+            parse_args(&v(&["metrics", "--connect", "x", "--check"])).is_err(),
+            "--check without --prom must be rejected"
+        );
+        assert!(parse_args(&v(&["metrics"])).is_err(), "needs --connect");
+
+        let c = parse_args(&v(&["top", "--connect", "127.0.0.1:7700", "--once"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Top {
+                connect: "127.0.0.1:7700".into(),
+                interval_ms: 1000,
+                once: true,
+                auth: None,
+            }
+        );
+        let c = parse_args(&v(&["top", "--connect", "x", "--interval-ms", "250"])).unwrap();
+        match c {
+            Command::Top {
+                interval_ms, once, ..
+            } => {
+                assert_eq!(interval_ms, 250);
+                assert!(!once);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["top"])).is_err(), "top needs --connect");
+    }
+
+    #[test]
+    fn metrics_listen_and_retention_flags() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:9900",
+            "--retain-snapshots",
+            "16",
+            "--retain-interval-ms",
+            "50",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { engine, net } => {
+                assert_eq!(net.metrics_listen.as_deref(), Some("127.0.0.1:9900"));
+                assert_eq!(engine.retain_snapshots, 16);
+                assert_eq!(engine.retain_interval_ms, 50);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["serve"])).unwrap() {
+            Command::Serve { engine, net } => {
+                assert_eq!(net.metrics_listen, None);
+                assert_eq!(engine.retain_snapshots, 240);
+                assert_eq!(engine.retain_interval_ms, 1000);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&[
+            "router",
+            "--listen",
+            "x",
+            "--shard",
+            "a:1",
+            "--metrics-listen",
+            "127.0.0.1:9901",
+        ]))
+        .unwrap();
+        match c {
+            Command::Router { opts, .. } => {
+                assert_eq!(opts.metrics_listen.as_deref(), Some("127.0.0.1:9901"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["serve", "--retain-snapshots", "lots"])).is_err());
     }
 
     #[test]

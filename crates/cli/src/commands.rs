@@ -47,6 +47,8 @@ fn engine_config(opts: &EngineOpts) -> EngineConfig {
             })
         }),
         slow_ms: opts.slow_ms,
+        retain_snapshots: opts.retain_snapshots.max(2),
+        retain_interval_ms: opts.retain_interval_ms.max(10),
         ..EngineConfig::default()
     }
 }
@@ -96,6 +98,7 @@ fn serve_network(
         .local_addr()
         .map_err(|e| format!("cannot resolve bound address: {e}"))?;
     writeln!(out, "listening on {local}").ok();
+    let metrics_listener = bind_metrics_listener(&net.metrics_listen, out)?;
     out.flush().ok();
     let config = freqywm_net::NetConfig {
         max_conns: net.max_conns.max(1),
@@ -105,8 +108,25 @@ fn serve_network(
         auth_token: net.auth_token.clone(),
         ..freqywm_net::NetConfig::default()
     };
-    freqywm_net::serve_listener(engine, listener, config)
+    freqywm_net::serve_listener_with_metrics(engine, listener, metrics_listener, config)
         .map_err(|e| format!("network serve error: {e}"))
+}
+
+/// Binds the optional `--metrics-listen` HTTP scrape address and
+/// announces it as `metrics on <addr>` (port 0 works like `--listen`:
+/// the announcement is how callers learn the ephemeral port).
+fn bind_metrics_listener(
+    addr: &Option<String>,
+    out: &mut dyn std::io::Write,
+) -> Result<Option<std::net::TcpListener>, String> {
+    let Some(addr) = addr else { return Ok(None) };
+    let listener = std::net::TcpListener::bind(addr)
+        .map_err(|e| format!("cannot listen on metrics address {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound metrics address: {e}"))?;
+    writeln!(out, "metrics on {local}").ok();
+    Ok(Some(listener))
 }
 
 /// Binds the router's listen address, announces it and the shard map,
@@ -138,6 +158,7 @@ fn run_router(
             writeln!(out, "shard {i} standby -> {addr}").ok();
         }
     }
+    let metrics_listener = bind_metrics_listener(&opts.metrics_listen, out)?;
     out.flush().ok();
     let config = freqywm_shard::RouterConfig {
         max_conns: opts.max_conns.max(1),
@@ -151,12 +172,13 @@ fn run_router(
         standbys,
         ..freqywm_shard::RouterConfig::new(shards)
     };
-    freqywm_shard::run_router(listener, config).map_err(|e| format!("router error: {e}"))
+    freqywm_shard::run_router_with_metrics(listener, metrics_listener, config)
+        .map_err(|e| format!("router error: {e}"))
 }
 
-/// One-shot protocol client for `freqywm trace`: connects, sends the
-/// request line, returns the single response line.
-fn trace_request(addr: &str, request: &str) -> Result<String, String> {
+/// One-shot protocol client for `freqywm trace`/`metrics`/`top`:
+/// connects, sends the request line, returns the single response line.
+pub(crate) fn one_shot_request(addr: &str, request: &str) -> Result<String, String> {
     use std::io::{BufRead, BufReader, Write as _};
     let stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
@@ -176,6 +198,30 @@ fn trace_request(addr: &str, request: &str) -> Result<String, String> {
         return Err(format!("{addr} closed the connection without answering"));
     }
     Ok(line.trim_end().to_string())
+}
+
+/// Minimal HTTP scrape client for `freqywm metrics --prom`: one
+/// request, read to EOF (the endpoint is `Connection: close`).
+/// Returns `(status_line, body)`.
+fn http_scrape(addr: &str) -> Result<(String, String), String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    stream
+        .write_all(format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("cannot send scrape request: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read scrape response: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr} sent a malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or_default().to_string();
+    Ok((status, body.to_string()))
 }
 
 /// Runs a parsed command. Returns the process exit code.
@@ -417,6 +463,58 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             stop_engine(&engine, opts.data_dir.is_some());
             Ok(if failed == 0 { 0 } else { 1 })
         }
+        Command::Metrics {
+            connect,
+            prom,
+            check,
+            auth,
+        } => {
+            if prom {
+                let (status, body) = http_scrape(&connect)?;
+                if !status.contains("200") {
+                    return Err(format!("scrape of {connect} failed: {status}"));
+                }
+                write!(out, "{body}").ok();
+                if check {
+                    // A comment line keeps the output a valid
+                    // exposition for anything piping it onward.
+                    let families = freqywm_obs::prom::parse_exposition(&body)
+                        .map_err(|e| format!("exposition invalid: {e}"))?;
+                    let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+                    writeln!(
+                        out,
+                        "# exposition OK: {} families, {samples} samples",
+                        families.len()
+                    )
+                    .ok();
+                }
+                Ok(0)
+            } else {
+                use freqywm_service::proto::json;
+                let req = match &auth {
+                    Some(token) => {
+                        format!(
+                            "{{\"op\":\"metrics\",\"auth\":\"{}\"}}",
+                            json::escape(token)
+                        )
+                    }
+                    None => "{\"op\":\"metrics\"}".to_string(),
+                };
+                let response = one_shot_request(&connect, &req)?;
+                writeln!(out, "{response}").ok();
+                Ok(if response.starts_with("{\"ok\":true") {
+                    0
+                } else {
+                    1
+                })
+            }
+        }
+        Command::Top {
+            connect,
+            interval_ms,
+            once,
+            auth,
+        } => crate::top::run_top(&connect, interval_ms, once, auth.as_deref(), out),
         Command::Trace {
             connect,
             trace,
@@ -445,7 +543,7 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
                 req.push_str(&format!(",\"limit\":{n}"));
             }
             req.push('}');
-            let response = trace_request(&connect, &req)?;
+            let response = one_shot_request(&connect, &req)?;
             writeln!(out, "{response}").ok();
             Ok(if response.starts_with("{\"ok\":true") {
                 0

@@ -11,6 +11,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod top;
 
 pub use args::{parse_args, Command};
 pub use commands::run;

@@ -39,6 +39,8 @@ pub use framing::{LineEvent, LineFramer};
 #[cfg(unix)]
 mod conn;
 #[cfg(unix)]
+pub mod http;
+#[cfg(unix)]
 mod poller;
 #[cfg(unix)]
 mod server;
@@ -48,12 +50,26 @@ mod sys;
 #[cfg(unix)]
 pub use poller::{Event, Interest, Poller};
 #[cfg(unix)]
-pub use server::serve_listener;
+pub use server::{serve_listener, serve_listener_with_metrics};
 
 #[cfg(not(unix))]
 pub fn serve_listener(
     _engine: &freqywm_service::Engine,
     _listener: std::net::TcpListener,
+    _config: NetConfig,
+) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "the freqywm-net reactor requires a unix platform (epoll/poll); \
+         use the stdin/stdout pipe transport instead",
+    ))
+}
+
+#[cfg(not(unix))]
+pub fn serve_listener_with_metrics(
+    _engine: &freqywm_service::Engine,
+    _listener: std::net::TcpListener,
+    _metrics_listener: Option<std::net::TcpListener>,
     _config: NetConfig,
 ) -> std::io::Result<()> {
     Err(std::io::Error::new(

@@ -23,6 +23,7 @@
 
 use crate::config::NetConfig;
 use crate::conn::Conn;
+use crate::http::HttpConn;
 use crate::poller::{Event, Interest, Poller};
 use freqywm_service::{Engine, JobId};
 use std::collections::{HashMap, HashSet};
@@ -35,6 +36,12 @@ use std::time::{Duration, Instant};
 
 const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_METRICS_LISTENER: u64 = u64::MAX - 2;
+
+/// A scrape connection that has sent no complete request for this long
+/// is reaped even with `--idle-timeout` unset: a half-open HTTP
+/// request is dead weight, never a client waiting on a job.
+const HTTP_IDLE_DEFAULT: Duration = Duration::from_secs(10);
 
 /// Serves the engine's JSON-lines protocol on `listener` until a
 /// `shutdown` op completes its graceful drain. Installs the engine's
@@ -44,7 +51,21 @@ const TOKEN_WAKE: u64 = u64::MAX - 1;
 /// total thread cost of a deployment is this thread plus the engine's
 /// worker pool, independent of connection count.
 pub fn serve_listener(engine: &Engine, listener: TcpListener, config: NetConfig) -> io::Result<()> {
-    let mut reactor = Reactor::new(engine, listener, config)?;
+    serve_listener_with_metrics(engine, listener, None, config)
+}
+
+/// [`serve_listener`] with an optional second listener answering HTTP
+/// `GET /metrics` with the engine's Prometheus exposition
+/// (`freqywm serve --metrics-listen`). Scrape connections share the
+/// reactor thread, the connection cap and the idle reaper with the
+/// protocol connections; the drain closes both listeners.
+pub fn serve_listener_with_metrics(
+    engine: &Engine,
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    config: NetConfig,
+) -> io::Result<()> {
+    let mut reactor = Reactor::new(engine, listener, metrics_listener, config)?;
     let result = reactor.run();
     engine.clear_completion_hook();
     result
@@ -67,9 +88,14 @@ struct Reactor<'a> {
     poller: Poller,
     /// `None` once draining (accepting stopped, socket closed).
     listener: Option<TcpListener>,
+    /// HTTP `GET /metrics` scrape listener; also closed by the drain.
+    metrics_listener: Option<TcpListener>,
     wake_rx: UnixStream,
     completed: Arc<Mutex<Vec<JobId>>>,
     conns: HashMap<RawFd, Conn>,
+    /// Scrape connections, disjoint from `conns` (an fd lives in
+    /// exactly one map).
+    http_conns: HashMap<RawFd, HttpConn>,
     /// In-flight job → owning connection.
     jobs: HashMap<JobId, RawFd>,
     /// Jobs whose connection died before they finished; their results
@@ -84,7 +110,12 @@ struct Reactor<'a> {
 }
 
 impl<'a> Reactor<'a> {
-    fn new(engine: &'a Engine, listener: TcpListener, config: NetConfig) -> io::Result<Self> {
+    fn new(
+        engine: &'a Engine,
+        listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
+        config: NetConfig,
+    ) -> io::Result<Self> {
         listener.set_nonblocking(true)?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
@@ -92,6 +123,10 @@ impl<'a> Reactor<'a> {
         let mut poller = Poller::new(config.backend)?;
         poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
         poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        if let Some(ml) = &metrics_listener {
+            ml.set_nonblocking(true)?;
+            poller.register(ml.as_raw_fd(), TOKEN_METRICS_LISTENER, Interest::READ)?;
+        }
         let completed = Arc::new(Mutex::new(Vec::new()));
         let hook_completed = Arc::clone(&completed);
         engine.set_completion_hook(move |id| {
@@ -108,9 +143,11 @@ impl<'a> Reactor<'a> {
             config,
             poller,
             listener: Some(listener),
+            metrics_listener,
             wake_rx,
             completed,
             conns: HashMap::new(),
+            http_conns: HashMap::new(),
             jobs: HashMap::new(),
             orphaned: HashSet::new(),
             unmatched: Vec::new(),
@@ -127,9 +164,14 @@ impl<'a> Reactor<'a> {
             for &ev in &events {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_METRICS_LISTENER => self.accept_metrics_ready(),
                     TOKEN_WAKE => self.drain_wake(),
                     token => {
                         let fd = token as RawFd;
+                        if self.http_conns.contains_key(&fd) {
+                            self.http_event(fd, ev);
+                            continue;
+                        }
                         let Some(conn) = self.conns.get_mut(&fd) else {
                             continue;
                         };
@@ -187,12 +229,15 @@ impl<'a> Reactor<'a> {
             }
             self.reap_idle();
             if let Some(deadline) = self.draining {
-                if self.conns.is_empty() {
+                if self.conns.is_empty() && self.http_conns.is_empty() {
                     return Ok(());
                 }
                 if Instant::now() >= deadline {
                     for fd in self.conns.keys().copied().collect::<Vec<_>>() {
                         self.close_conn(fd, CloseKind::Done);
+                    }
+                    for fd in self.http_conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_http(fd);
                     }
                     return Ok(());
                 }
@@ -235,6 +280,80 @@ impl<'a> Reactor<'a> {
                 // ECONNABORTED and friends: transient, keep serving.
                 Err(_) => return,
             }
+        }
+    }
+
+    /// Accepts pending scrape connections. They share the connection
+    /// cap with the protocol side — a scrape storm cannot starve
+    /// clients of more slots than any other connection flood could.
+    fn accept_metrics_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.metrics_listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if self.conns.len() + self.http_conns.len() >= self.config.max_conns {
+                        self.engine.net_counters().conn_rejected();
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    if self.poller.register(fd, fd as u64, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.engine.net_counters().conn_accepted();
+                    self.http_conns.insert(fd, HttpConn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One readiness event on a scrape connection: read the request
+    /// head, render the exposition, flush, close when the single
+    /// response is out. No jobs are involved, so the whole lifecycle
+    /// settles here.
+    fn http_event(&mut self, fd: RawFd, ev: Event) {
+        let counters = self.engine.net_counters();
+        let Some(conn) = self.http_conns.get_mut(&fd) else {
+            return;
+        };
+        if ev.readable && !conn.responded {
+            let engine = self.engine;
+            counters.add_bytes_in(conn.read_ready(|| engine.metrics().to_prom()));
+        } else if ev.hangup {
+            conn.failed = true;
+        }
+        if ev.writable || conn.responded {
+            counters.add_bytes_out(conn.flush());
+        }
+        if conn.failed || conn.settled() {
+            self.close_http(fd);
+            return;
+        }
+        let want = Interest {
+            readable: !conn.responded,
+            writable: conn.buffered() > 0,
+        };
+        if want != conn.interest {
+            if self.poller.modify(fd, fd as u64, want).is_ok() {
+                conn.interest = want;
+            } else {
+                self.close_http(fd);
+            }
+        }
+    }
+
+    fn close_http(&mut self, fd: RawFd) {
+        if self.http_conns.remove(&fd).is_some() {
+            let _ = self.poller.deregister(fd);
+            self.engine.net_counters().conn_closed();
         }
     }
 
@@ -338,16 +457,30 @@ impl<'a> Reactor<'a> {
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
         }
+        if let Some(ml) = self.metrics_listener.take() {
+            let _ = self.poller.deregister(ml.as_raw_fd());
+        }
         for fd in self.conns.keys().copied().collect::<Vec<_>>() {
             self.post_process(fd);
         }
     }
 
     fn reap_idle(&mut self) {
+        let now = Instant::now();
+        let http_idle = self.config.idle_timeout.unwrap_or(HTTP_IDLE_DEFAULT);
+        let http_expired: Vec<RawFd> = self
+            .http_conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) >= http_idle)
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in http_expired {
+            self.engine.net_counters().conn_timed_out_idle();
+            self.close_http(fd);
+        }
         let Some(idle) = self.config.idle_timeout else {
             return;
         };
-        let now = Instant::now();
         let expired: Vec<RawFd> = self
             .conns
             .iter()
@@ -389,6 +522,11 @@ impl<'a> Reactor<'a> {
                 let d = (earliest + idle).saturating_duration_since(now);
                 timeout = Some(timeout.map_or(d, |t| t.min(d)));
             }
+        }
+        if let Some(earliest) = self.http_conns.values().map(|c| c.last_activity).min() {
+            let http_idle = self.config.idle_timeout.unwrap_or(HTTP_IDLE_DEFAULT);
+            let d = (earliest + http_idle).saturating_duration_since(now);
+            timeout = Some(timeout.map_or(d, |t| t.min(d)));
         }
         timeout
     }

@@ -1,0 +1,145 @@
+//! Metrics retention: a fixed-size ring of timestamped samples with
+//! counter delta / rate helpers.
+//!
+//! The engine pushes a compact counter sample every
+//! `--retain-interval-ms`; the ring keeps the newest
+//! `--retain-snapshots` of them, overwriting oldest. The `history`
+//! protocol op reads the ring; rates are derived between any two
+//! samples with [`counter_delta`]/[`rate_per_sec`], which saturate on
+//! counter resets (a restarted process reports rate 0 across the
+//! discontinuity, never a negative spike).
+
+/// Fixed-capacity ring of `(t_ms, sample)` pairs, oldest-first
+/// iteration, overwrite-oldest on overflow. Single-writer (the
+/// engine's sampler holds it behind a mutex); cheap clone-out reads.
+#[derive(Debug, Clone)]
+pub struct HistoryRing<T> {
+    slots: Vec<(u64, T)>,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    capacity: usize,
+    /// Total samples ever pushed (monotonic).
+    pushed: u64,
+}
+
+impl<T> HistoryRing<T> {
+    /// `capacity` is clamped to at least 2 (a single-slot ring can
+    /// never hold the two samples a rate needs).
+    pub fn new(capacity: usize) -> HistoryRing<T> {
+        let capacity = capacity.max(2);
+        HistoryRing {
+            slots: Vec::with_capacity(capacity),
+            head: 0,
+            capacity,
+            pushed: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total samples ever pushed (retained + overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    pub fn push(&mut self, t_ms: u64, sample: T) {
+        if self.slots.len() < self.capacity {
+            self.slots.push((t_ms, sample));
+        } else {
+            self.slots[self.head] = (t_ms, sample);
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Retained samples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
+        let (newer, older) = self.slots.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    pub fn oldest(&self) -> Option<&(u64, T)> {
+        self.iter().next()
+    }
+
+    pub fn latest(&self) -> Option<&(u64, T)> {
+        if self.slots.is_empty() {
+            None
+        } else if self.head == 0 {
+            self.slots.last()
+        } else {
+            Some(&self.slots[self.head - 1])
+        }
+    }
+}
+
+/// Monotonic-counter delta: `newer - older`, saturating at 0 so a
+/// counter reset (process restart) reads as "no progress", never as a
+/// negative delta.
+pub fn counter_delta(older: u64, newer: u64) -> u64 {
+    newer.saturating_sub(older)
+}
+
+/// Per-second rate of a monotonic counter between two timestamped
+/// readings. Returns 0.0 when time has not advanced (or ran backwards)
+/// and on counter resets.
+pub fn rate_per_sec(older: (u64, u64), newer: (u64, u64)) -> f64 {
+    let (t0, v0) = older;
+    let (t1, v1) = newer;
+    if t1 <= t0 {
+        return 0.0;
+    }
+    counter_delta(v0, v1) as f64 * 1000.0 / (t1 - t0) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut ring = HistoryRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..10u64 {
+            ring.push(i * 100, i);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        let got: Vec<u64> = ring.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(ring.oldest(), Some(&(600, 6)));
+        assert_eq!(ring.latest(), Some(&(900, 9)));
+    }
+
+    #[test]
+    fn capacity_clamped_to_two() {
+        let mut ring = HistoryRing::new(0);
+        assert_eq!(ring.capacity(), 2);
+        ring.push(1, "a");
+        ring.push(2, "b");
+        ring.push(3, "c");
+        let got: Vec<&str> = ring.iter().map(|(_, v)| *v).collect();
+        assert_eq!(got, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn rates_and_deltas() {
+        assert_eq!(counter_delta(10, 25), 15);
+        // Counter reset: saturates, never negative.
+        assert_eq!(counter_delta(25, 10), 0);
+        assert_eq!(rate_per_sec((0, 0), (2_000, 30)), 15.0);
+        assert_eq!(rate_per_sec((1_000, 5), (1_000, 50)), 0.0);
+        assert_eq!(rate_per_sec((2_000, 5), (1_000, 50)), 0.0);
+        assert_eq!(rate_per_sec((0, 50), (1_000, 5)), 0.0);
+    }
+}

@@ -17,6 +17,9 @@
 //! Everything is `AtomicU64`; there is no unsafe code and no lock on
 //! either side.
 
+pub mod history;
+pub mod prom;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -84,6 +87,7 @@ pub enum OpKind {
     Metrics,
     Hello,
     Trace,
+    History,
     Other,
 }
 
@@ -98,6 +102,7 @@ impl OpKind {
             OpKind::Metrics => "metrics",
             OpKind::Hello => "hello",
             OpKind::Trace => "trace",
+            OpKind::History => "history",
             OpKind::Other => "other",
         }
     }
@@ -113,6 +118,7 @@ impl OpKind {
             "metrics" => OpKind::Metrics,
             "hello" => OpKind::Hello,
             "trace" => OpKind::Trace,
+            "history" => OpKind::History,
             _ => OpKind::Other,
         }
     }
@@ -128,6 +134,7 @@ impl OpKind {
             6 => OpKind::Hello,
             7 => OpKind::Trace,
             8 => OpKind::Other,
+            9 => OpKind::History,
             _ => return None,
         })
     }
@@ -143,6 +150,7 @@ impl OpKind {
             OpKind::Hello => 6,
             OpKind::Trace => 7,
             OpKind::Other => 8,
+            OpKind::History => 9,
         }
     }
 }
@@ -545,6 +553,7 @@ mod tests {
             OpKind::Metrics,
             OpKind::Hello,
             OpKind::Trace,
+            OpKind::History,
             OpKind::Other,
         ] {
             assert_eq!(OpKind::from_u8(o.as_u8()), Some(o));

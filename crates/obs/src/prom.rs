@@ -1,0 +1,537 @@
+//! Prometheus text exposition (format 0.0.4), dependency-free.
+//!
+//! Two halves: [`PromText`], a tiny encoder the metrics layers use to
+//! render counters, gauges and the service's power-of-two latency
+//! histograms (explicit `le` buckets plus `_sum`/`_count`); and
+//! [`parse_exposition`], a validating parser used by the round-trip
+//! tests, `freqywm metrics --prom --check`, and the CI scrape smoke
+//! step. The parser enforces the invariants a real scraper relies on:
+//! `HELP`/`TYPE` precede samples, histogram `le` bounds are strictly
+//! increasing and end at `+Inf`, cumulative bucket counts are
+//! monotone, and `_count` equals the `+Inf` bucket.
+
+/// Metric family kind, as written on the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl PromKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a HELP text (`\` and newline only; quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_labels(buf: &mut String, labels: &[(&str, &str)]) {
+    if labels.is_empty() {
+        return;
+    }
+    buf.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(k);
+        buf.push_str("=\"");
+        buf.push_str(&escape_label(v));
+        buf.push('"');
+    }
+    buf.push('}');
+}
+
+/// Formats a sample value. Prometheus accepts any Go-parseable float;
+/// Rust's `{}` for f64 (shortest round-trip) is a subset of that.
+fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental exposition writer. Families must be written whole:
+/// `family()` emits the `HELP`/`TYPE` pair, then every `sample()` (or
+/// one `histogram()`) until the next `family()` belongs to it.
+#[derive(Default)]
+pub struct PromText {
+    buf: String,
+}
+
+impl PromText {
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Starts a metric family: `# HELP` + `# TYPE` lines.
+    pub fn family(&mut self, name: &str, kind: PromKind, help: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(&escape_help(help));
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind.as_str());
+        self.buf.push('\n');
+    }
+
+    /// One sample line for the current family.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.buf.push_str(name);
+        write_labels(&mut self.buf, labels);
+        self.buf.push(' ');
+        self.buf.push_str(&fmt_value(value));
+        self.buf.push('\n');
+    }
+
+    /// Convenience: a one-sample counter or gauge family.
+    pub fn scalar(&mut self, name: &str, kind: PromKind, help: &str, value: f64) {
+        self.family(name, kind, help);
+        self.sample(name, &[], value);
+    }
+
+    /// A full histogram series under an already-started histogram
+    /// family: per-bucket lines with cumulative counts at the given
+    /// upper `bounds`, the `+Inf` bucket, `_sum` and `_count`.
+    /// `bucket_counts[i]` is the *non-cumulative* count of
+    /// observations in bucket `i` (`bounds` and `bucket_counts` must
+    /// have equal length; observations above the last bound land only
+    /// in `+Inf`).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        bucket_counts: &[u64],
+        sum: f64,
+        count: u64,
+    ) {
+        debug_assert_eq!(bounds.len(), bucket_counts.len());
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        let mut le_labels: Vec<(&str, String)> = Vec::with_capacity(labels.len() + 1);
+        for (bound, n) in bounds.iter().zip(bucket_counts) {
+            cumulative += n;
+            le_labels.clear();
+            for (k, v) in labels {
+                le_labels.push((k, v.to_string()));
+            }
+            le_labels.push(("le", fmt_value(*bound)));
+            let borrowed: Vec<(&str, &str)> =
+                le_labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.sample(&bucket_name, &borrowed, cumulative as f64);
+        }
+        let mut inf_labels: Vec<(&str, &str)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf"));
+        self.sample(&bucket_name, &inf_labels, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Owned `key=value` label pairs, in exposition order.
+pub type PromLabels = Vec<(String, String)>;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full sample name (family name, or family + `_bucket`/`_sum`/
+    /// `_count` for histograms).
+    pub name: String,
+    pub labels: PromLabels,
+    pub value: f64,
+}
+
+impl PromSample {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One parsed + validated metric family.
+#[derive(Debug, Clone)]
+pub struct PromFamily {
+    pub name: String,
+    pub kind: String,
+    pub help: String,
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// Samples sharing a label set, keyed by their non-`le` labels —
+    /// one histogram series per entry.
+    fn histogram_series(&self) -> Vec<Vec<&PromSample>> {
+        let mut series: Vec<(PromLabels, Vec<&PromSample>)> = Vec::new();
+        for s in &self.samples {
+            let key: PromLabels = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            match series.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, v)) => v.push(s),
+                None => series.push((key, vec![s])),
+            }
+        }
+        series.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses a label block starting after `{`; returns (labels, rest).
+fn parse_labels(s: &str, line_no: usize) -> Result<(PromLabels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("line {line_no}: bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    'n' => value.push('\n'),
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    c => value.push(c),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        }
+    }
+}
+
+fn parse_value(s: &str, line_no: usize) -> Result<f64, String> {
+    match s.trim() {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        v => v
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: bad sample value {v:?}")),
+    }
+}
+
+/// Parses and validates a text exposition. Returns the families in
+/// file order, or the first violation found. Checks:
+///
+/// * line syntax, metric/label name charset, quoted + escaped values;
+/// * every sample belongs to a family announced by `# HELP` + `# TYPE`;
+/// * no duplicate family names;
+/// * counters are finite and non-negative;
+/// * histograms: every series has `_bucket`s with strictly increasing
+///   `le` bounds ending at `+Inf`, cumulative counts monotone
+///   non-decreasing, and `_sum`/`_count` present with `_count` equal
+///   to the `+Inf` bucket.
+pub fn parse_exposition(text: &str) -> Result<Vec<PromFamily>, String> {
+    let mut families: Vec<PromFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            if !valid_name(name) {
+                return Err(format!("line {line_no}: bad metric name in HELP: {name:?}"));
+            }
+            pending_help = Some((name.to_string(), help.to_string()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {line_no}: TYPE without a kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {line_no}: unknown TYPE {kind:?}"));
+            }
+            let help = match pending_help.take() {
+                Some((h_name, help)) if h_name == name => help,
+                _ => {
+                    return Err(format!(
+                        "line {line_no}: TYPE {name} without preceding HELP"
+                    ))
+                }
+            };
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {line_no}: duplicate family {name}"));
+            }
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                help,
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| format!("line {line_no}: sample without a value"))?;
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end + 1..], line_no)?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let value = parse_value(rest, line_no)?;
+        let family = families
+            .iter_mut()
+            .rev()
+            .find(|f| {
+                name == f.name
+                    || (f.kind == "histogram"
+                        && [
+                            format!("{}_bucket", f.name),
+                            format!("{}_sum", f.name),
+                            format!("{}_count", f.name),
+                        ]
+                        .iter()
+                        .any(|n| n == name))
+            })
+            .ok_or_else(|| format!("line {line_no}: sample {name} without a HELP/TYPE family"))?;
+        if family.kind == "counter" && !(value.is_finite() && value >= 0.0) {
+            return Err(format!(
+                "line {line_no}: counter {name} has non-finite or negative value {value}"
+            ));
+        }
+        family.samples.push(PromSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    for family in &families {
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(families)
+}
+
+fn validate_histogram(family: &PromFamily) -> Result<(), String> {
+    let name = &family.name;
+    for series in family.histogram_series() {
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cumulative = -1.0f64;
+        let mut inf_count = None;
+        let mut sum = None;
+        let mut count = None;
+        for s in series {
+            if s.name == format!("{name}_bucket") {
+                let le = s
+                    .label("le")
+                    .ok_or_else(|| format!("{name}: bucket without le label"))?;
+                let bound = parse_value(le, 0).map_err(|_| format!("{name}: bad le {le:?}"))?;
+                if bound <= last_le {
+                    return Err(format!(
+                        "{name}: le bounds not strictly increasing ({bound} after {last_le})"
+                    ));
+                }
+                if s.value < last_cumulative {
+                    return Err(format!(
+                        "{name}: cumulative bucket counts decreased at le={le}"
+                    ));
+                }
+                last_le = bound;
+                last_cumulative = s.value;
+                if bound.is_infinite() {
+                    inf_count = Some(s.value);
+                }
+            } else if s.name == format!("{name}_sum") {
+                sum = Some(s.value);
+            } else if s.name == format!("{name}_count") {
+                count = Some(s.value);
+            }
+        }
+        let inf =
+            inf_count.ok_or_else(|| format!("{name}: histogram series missing +Inf bucket"))?;
+        let count = count.ok_or_else(|| format!("{name}: histogram series missing _count"))?;
+        if sum.is_none() {
+            return Err(format!("{name}: histogram series missing _sum"));
+        }
+        if (count - inf).abs() > f64::EPSILON {
+            return Err(format!(
+                "{name}: _count ({count}) differs from +Inf bucket ({inf})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_and_parses_scalar_families() {
+        let mut w = PromText::new();
+        w.scalar(
+            "freqywm_jobs_total",
+            PromKind::Counter,
+            "Jobs submitted.",
+            42.0,
+        );
+        w.family("freqywm_queue_depth", PromKind::Gauge, "Queued jobs.");
+        w.sample("freqywm_queue_depth", &[], 3.0);
+        let text = w.finish();
+        let families = parse_exposition(&text).expect("valid");
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].kind, "counter");
+        assert_eq!(families[0].samples[0].value, 42.0);
+    }
+
+    #[test]
+    fn labels_escape_and_roundtrip() {
+        let mut w = PromText::new();
+        w.family("m", PromKind::Gauge, "with \\ and\nnewline");
+        w.sample("m", &[("tenant", "a\"b\\c\nd")], 1.0);
+        let families = parse_exposition(&w.finish()).expect("valid");
+        assert_eq!(families[0].samples[0].label("tenant"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn histogram_roundtrip_and_validation() {
+        let mut w = PromText::new();
+        w.family("lat", PromKind::Histogram, "Latency.");
+        w.histogram("lat", &[], &[0.001, 0.002, 0.004], &[5, 0, 2], 0.0123, 8);
+        let text = w.finish();
+        let families = parse_exposition(&text).expect("valid");
+        let buckets: Vec<f64> = families[0]
+            .samples
+            .iter()
+            .filter(|s| s.name == "lat_bucket")
+            .map(|s| s.value)
+            .collect();
+        // Cumulative: 5, 5, 7, then +Inf carries the full count 8.
+        assert_eq!(buckets, vec![5.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn parser_rejects_violations() {
+        // Sample without a family.
+        assert!(parse_exposition("orphan 1\n").is_err());
+        // TYPE without HELP.
+        assert!(parse_exposition("# TYPE m counter\nm 1\n").is_err());
+        // Negative counter.
+        assert!(parse_exposition("# HELP m h\n# TYPE m counter\nm -1\n").is_err());
+        // Non-monotone le bounds.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\n\
+                   h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("increasing"));
+        // Decreasing cumulative counts.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("decreased"));
+        // _count != +Inf bucket.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("_count"));
+        // Missing _sum.
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_count 5\n";
+        assert!(parse_exposition(bad).unwrap_err().contains("_sum"));
+    }
+
+    #[test]
+    fn histogram_series_validated_per_label_set() {
+        let mut w = PromText::new();
+        w.family("rtt", PromKind::Histogram, "Per-shard RTT.");
+        w.histogram("rtt", &[("shard", "0")], &[0.5], &[1], 0.3, 1);
+        w.histogram("rtt", &[("shard", "1")], &[0.5], &[4], 1.9, 4);
+        let families = parse_exposition(&w.finish()).expect("valid");
+        assert_eq!(families[0].samples.len(), 8);
+    }
+}

@@ -1,0 +1,89 @@
+//! Properties of the metrics retention ring: retention order and
+//! delta/rate correctness under wraparound and counter resets.
+
+use freqywm_obs::history::{counter_delta, rate_per_sec, HistoryRing};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn retains_newest_capacity_samples_in_order(
+        capacity in 2usize..32,
+        pushes in 0usize..200,
+    ) {
+        let mut ring = HistoryRing::new(capacity);
+        for i in 0..pushes {
+            ring.push(i as u64 * 10, i as u64);
+        }
+        prop_assert_eq!(ring.len(), pushes.min(capacity));
+        prop_assert_eq!(ring.pushed(), pushes as u64);
+        let got: Vec<u64> = ring.iter().map(|(_, v)| *v).collect();
+        let want: Vec<u64> =
+            (pushes.saturating_sub(capacity)..pushes).map(|i| i as u64).collect();
+        prop_assert_eq!(got, want);
+        if pushes > 0 {
+            prop_assert_eq!(ring.latest().map(|(_, v)| *v), Some(pushes as u64 - 1));
+            prop_assert_eq!(
+                ring.oldest().map(|(_, v)| *v),
+                Some(pushes.saturating_sub(capacity) as u64)
+            );
+        } else {
+            prop_assert!(ring.latest().is_none());
+        }
+    }
+
+    #[test]
+    fn rate_between_retained_samples_matches_counter_growth(
+        capacity in 2usize..16,
+        increments in proptest::collection::vec(0u64..10_000, 3..120),
+        interval_ms in 1u64..5_000,
+    ) {
+        // A monotone counter sampled at a fixed interval: after any
+        // amount of wraparound, the rate between the oldest and newest
+        // retained samples must equal the counter growth over exactly
+        // the retained window.
+        let mut ring = HistoryRing::new(capacity);
+        let mut value = 0u64;
+        let mut t = 1_000u64;
+        for inc in &increments {
+            value += inc;
+            ring.push(t, value);
+            t += interval_ms;
+        }
+        let samples: Vec<(u64, u64)> = ring.iter().cloned().collect();
+        let (t0, v0) = samples[0];
+        let (t1, v1) = *samples.last().unwrap();
+        let window_ms = (samples.len() as u64 - 1) * interval_ms;
+        prop_assert_eq!(t1 - t0, window_ms);
+        let delta = counter_delta(v0, v1);
+        prop_assert_eq!(delta, v1 - v0);
+        let rate = rate_per_sec((t0, v0), (t1, v1));
+        let expected = delta as f64 * 1000.0 / window_ms as f64;
+        prop_assert!(
+            (rate - expected).abs() < 1e-9 * expected.max(1.0),
+            "rate {} != expected {}", rate, expected
+        );
+        // Pairwise: consecutive-sample deltas sum to the window delta.
+        let pairwise: u64 = samples
+            .windows(2)
+            .map(|w| counter_delta(w[0].1, w[1].1))
+            .sum();
+        prop_assert_eq!(pairwise, delta);
+    }
+
+    #[test]
+    fn counter_reset_never_yields_negative_rate(
+        before in 0u64..1_000_000,
+        after in 0u64..1_000_000,
+        dt in 1u64..60_000,
+    ) {
+        // Across a process restart the counter can land anywhere,
+        // including below the previous reading; the rate must stay
+        // finite and non-negative.
+        let rate = rate_per_sec((5_000, before), (5_000 + dt, after));
+        prop_assert!(rate.is_finite());
+        prop_assert!(rate >= 0.0);
+        if after < before {
+            prop_assert_eq!(rate, 0.0);
+        }
+    }
+}

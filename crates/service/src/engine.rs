@@ -35,7 +35,7 @@ use crate::job::{
     DetectOutcome, EmbedOutcome, JobData, JobId, JobKind, JobOutput, JobPayload, JobSpec, JobState,
     MaintainOutcome,
 };
-use crate::metrics::{Metrics, MetricsSnapshot, NetCounters};
+use crate::metrics::{HistorySample, Metrics, MetricsSnapshot, NetCounters};
 use crate::persist::DurableRegistry;
 use crate::prf_cache::{PrfCache, PrfCacheConfig};
 use crate::shard::{sharded_histogram_cancellable, Cancellation};
@@ -47,6 +47,7 @@ use freqywm_core::judge::{judge_dispute_with, Claim, Ruling, Verdict};
 use freqywm_core::params::DetectionParams;
 use freqywm_crypto::prf::Secret;
 use freqywm_data::histogram::Histogram;
+use freqywm_obs::history::HistoryRing;
 use freqywm_obs::{OpKind, Span, SpanRing, Stage, TraceFilter};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -125,6 +126,17 @@ pub struct EngineConfig {
     /// run time reaches this many milliseconds (`Some(0)` logs every
     /// request; `None` disables the slow log).
     pub slow_ms: Option<u64>,
+    /// Token-bucket ceiling on slow-log lines per second: a latency
+    /// storm cannot flood stderr; drops are counted in the
+    /// `slow_log_suppressed` metric instead.
+    pub slow_log_per_s: f64,
+    /// Metrics-retention ring capacity: the engine samples its
+    /// counters periodically and keeps the newest this-many samples
+    /// for the `history` protocol op (clamped to at least 2).
+    pub retain_snapshots: usize,
+    /// Interval between retention samples, in milliseconds (clamped to
+    /// at least 10).
+    pub retain_interval_ms: u64,
     /// Address of a primary this engine follows as a read-only replica
     /// (`freqywm serve --follow`). While set and un-promoted, every
     /// registry mutation is refused with
@@ -146,6 +158,9 @@ impl Default for EngineConfig {
             shard_gate: None,
             trace_ring: 4096,
             slow_ms: None,
+            slow_log_per_s: 10.0,
+            retain_snapshots: 240,
+            retain_interval_ms: 1000,
             follow: None,
         }
     }
@@ -193,6 +208,36 @@ struct Shared {
     /// Stage-span ring shared by workers and whatever front-end serves
     /// this engine. Recording is lock-free and never blocks.
     obs: Arc<SpanRing>,
+    /// Metrics-retention ring, fed by the sampler thread every
+    /// `retain_interval_ms`; read by the `history` protocol op.
+    history: Mutex<HistoryRing<HistorySample>>,
+    /// Stop flag + wakeup for the sampler thread.
+    sampler_stop: (Mutex<bool>, Condvar),
+    /// Token bucket gating the stderr slow-request log.
+    slow_log: Mutex<SlowLogLimiter>,
+}
+
+/// Token bucket for the slow-request log: refilled at
+/// `slow_log_per_s`, burst capacity one second's worth (min 1).
+struct SlowLogLimiter {
+    tokens: f64,
+    last: Instant,
+}
+
+impl SlowLogLimiter {
+    fn allow(&mut self, per_s: f64) -> bool {
+        let burst = per_s.max(1.0);
+        let now = Instant::now();
+        self.tokens =
+            (self.tokens + now.duration_since(self.last).as_secs_f64() * per_s).min(burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Sealed-event bytes shipped per `replicate` call, roughly. Bounds
@@ -211,6 +256,22 @@ pub struct PromoteReport {
     pub head: freqywm_crypto::Digest,
     /// Log sequence number the first post-promotion event will carry.
     pub next_seq: u64,
+}
+
+/// What [`Engine::history`] returns: the retained sample series plus
+/// a fresh sample taken at call time.
+#[derive(Debug, Clone)]
+pub struct HistoryReport {
+    /// Ring capacity (`--retain-snapshots`, clamped ≥ 2).
+    pub capacity: usize,
+    /// Sampling interval (`--retain-interval-ms`, clamped ≥ 10).
+    pub interval_ms: u64,
+    /// Retained `(t_ms, sample)` pairs, oldest first.
+    pub samples: Vec<(u64, HistorySample)>,
+    /// Current counters at call time — not part of the ring, but lets
+    /// a caller compute an up-to-the-moment rate against the newest
+    /// retained sample.
+    pub now: (u64, HistorySample),
 }
 
 /// Outcome of an engine-level dispute, combining the paper's four-run
@@ -233,6 +294,7 @@ pub struct DisputeOutcome {
 pub struct Engine {
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    sampler: Mutex<Option<std::thread::JoinHandle<()>>>,
     next_id: AtomicU64,
 }
 
@@ -259,6 +321,12 @@ impl Engine {
             registry: RwLock::new(registry),
             obs: Arc::new(SpanRing::new(config.trace_ring)),
             follower: AtomicBool::new(follower),
+            history: Mutex::new(HistoryRing::new(config.retain_snapshots)),
+            sampler_stop: (Mutex::new(false), Condvar::new()),
+            slow_log: Mutex::new(SlowLogLimiter {
+                tokens: config.slow_log_per_s.max(1.0),
+                last: Instant::now(),
+            }),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -275,9 +343,14 @@ impl Engine {
             let shared = Arc::clone(&shared);
             workers.push(std::thread::spawn(move || worker_loop(shared)));
         }
+        let sampler = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sampler_loop(shared))
+        };
         Ok(Engine {
             shared,
             workers: Mutex::new(workers),
+            sampler: Mutex::new(Some(sampler)),
             next_id: AtomicU64::new(1),
         })
     }
@@ -647,26 +720,25 @@ impl Engine {
 
     /// Counters, latency histogram, cache hit-rate, queue depth.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let queue_depth = self.shared.queue.lock().expect("queue lock poisoned").len();
-        let (tenants, log_seq) = {
-            let registry = self.shared.registry.read().expect("registry lock poisoned");
-            (registry.len(), registry.next_seq())
-        };
-        let mut snapshot =
-            self.shared
-                .metrics
-                .snapshot(self.shared.cache.stats(), queue_depth, tenants);
-        snapshot.shard = self.shard_label().map(str::to_string);
-        snapshot.role = Some(
-            if self.is_follower() {
-                "follower"
-            } else {
-                "primary"
-            }
-            .to_string(),
+        snapshot_shared(&self.shared)
+    }
+
+    /// The retention ring: capacity, sampling interval, and every
+    /// retained `(t_ms, sample)` pair oldest-first, plus a fresh
+    /// `now` sample taken at call time (not stored) so rates are
+    /// current even between sampler ticks — the `history` protocol op.
+    pub fn history(&self) -> HistoryReport {
+        let now = (
+            freqywm_obs::now_us() / 1000,
+            HistorySample::from_snapshot(&snapshot_shared(&self.shared)),
         );
-        snapshot.log_seq = log_seq;
-        snapshot
+        let ring = self.shared.history.lock().expect("history lock poisoned");
+        HistoryReport {
+            capacity: ring.capacity(),
+            interval_ms: self.shared.config.retain_interval_ms.max(10),
+            samples: ring.iter().cloned().collect(),
+            now,
+        }
     }
 
     /// Graceful shutdown: stop accepting submits, let workers drain the
@@ -682,6 +754,13 @@ impl Engine {
         let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock poisoned"));
         for w in workers {
             let _ = w.join();
+        }
+        let sampler = self.sampler.lock().expect("sampler lock poisoned").take();
+        if let Some(sampler) = sampler {
+            let (lock, cv) = &self.shared.sampler_stop;
+            *lock.lock().expect("sampler stop poisoned") = true;
+            cv.notify_all();
+            let _ = sampler.join();
         }
         self.shared.state.store(STATE_STOPPED, Ordering::SeqCst);
     }
@@ -715,6 +794,63 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown_now();
+    }
+}
+
+/// Full metrics snapshot from the shared state (used by
+/// [`Engine::metrics`] and the sampler thread).
+fn snapshot_shared(shared: &Shared) -> MetricsSnapshot {
+    let queue_depth = shared.queue.lock().expect("queue lock poisoned").len();
+    let (tenants, log_seq) = {
+        let registry = shared.registry.read().expect("registry lock poisoned");
+        (registry.len(), registry.next_seq())
+    };
+    let mut snapshot = shared
+        .metrics
+        .snapshot(shared.cache.stats(), queue_depth, tenants);
+    snapshot.shard = shared
+        .config
+        .shard_gate
+        .as_ref()
+        .map(|g| g.label().to_string());
+    snapshot.role = Some(
+        if shared.follower.load(Ordering::SeqCst) {
+            "follower"
+        } else {
+            "primary"
+        }
+        .to_string(),
+    );
+    snapshot.log_seq = log_seq;
+    snapshot
+}
+
+/// Retention sampler: pushes one [`HistorySample`] into the history
+/// ring every `retain_interval_ms` (first sample immediately, so the
+/// ring is never empty), until shutdown flips the stop flag.
+fn sampler_loop(shared: Arc<Shared>) {
+    let interval = Duration::from_millis(shared.config.retain_interval_ms.max(10));
+    loop {
+        let sample = HistorySample::from_snapshot(&snapshot_shared(&shared));
+        shared
+            .history
+            .lock()
+            .expect("history lock poisoned")
+            .push(freqywm_obs::now_us() / 1000, sample);
+        let (lock, cv) = &shared.sampler_stop;
+        let mut stop = lock.lock().expect("sampler stop poisoned");
+        let deadline = Instant::now() + interval;
+        while !*stop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) = cv.wait_timeout(stop, left).expect("sampler stop poisoned");
+            stop = guard;
+        }
+        if *stop {
+            return;
+        }
     }
 }
 
@@ -778,7 +914,22 @@ fn worker_loop(shared: Arc<Shared>) {
         if let Some(threshold) = shared.config.slow_ms {
             let total = wait + took;
             if total.as_millis() as u64 >= threshold {
-                emit_slow_log(&shared, &trace, &tenant, op, wait, took);
+                // Token bucket on the emit path: a latency storm logs
+                // at most ~slow_log_per_s lines; the overflow is
+                // counted, not printed.
+                let allowed = shared
+                    .slow_log
+                    .lock()
+                    .expect("slow log lock poisoned")
+                    .allow(shared.config.slow_log_per_s);
+                if allowed {
+                    emit_slow_log(&shared, &trace, &tenant, op, wait, took);
+                } else {
+                    shared
+                        .metrics
+                        .slow_log_suppressed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         let state = match result {

@@ -191,6 +191,9 @@ pub struct Metrics {
     pub detect_jobs: AtomicU64,
     pub maintain_jobs: AtomicU64,
     pub disputes: AtomicU64,
+    /// Slow-request log lines dropped by the stderr rate limiter — a
+    /// latency storm shows up here instead of flooding the log.
+    pub slow_log_suppressed: AtomicU64,
     /// Run time: dequeue → completion.
     pub latency: LatencyHistogram,
     /// Queue wait: enqueue → dequeue, recorded separately so a slow
@@ -214,6 +217,7 @@ impl Default for Metrics {
             detect_jobs: AtomicU64::new(0),
             maintain_jobs: AtomicU64::new(0),
             disputes: AtomicU64::new(0),
+            slow_log_suppressed: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             queue_wait: LatencyHistogram::default(),
             net: NetCounters::default(),
@@ -285,6 +289,7 @@ impl Metrics {
             detect_jobs: self.detect_jobs.load(Ordering::Relaxed),
             maintain_jobs: self.maintain_jobs.load(Ordering::Relaxed),
             disputes: self.disputes.load(Ordering::Relaxed),
+            slow_log_suppressed: self.slow_log_suppressed.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
             cache,
@@ -325,6 +330,8 @@ pub struct MetricsSnapshot {
     pub detect_jobs: u64,
     pub maintain_jobs: u64,
     pub disputes: u64,
+    /// Slow-log lines dropped by the stderr rate limiter.
+    pub slow_log_suppressed: u64,
     pub latency: LatencySnapshot,
     pub queue_wait: LatencySnapshot,
     pub cache: CacheStats,
@@ -349,6 +356,224 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Renders the snapshot as Prometheus text exposition (format
+    /// 0.0.4): every counter/gauge under a `freqywm_` prefix, the two
+    /// power-of-two latency histograms with explicit `le` bounds in
+    /// seconds, and per-tenant op counters as labelled series. This is
+    /// the body `GET /metrics` serves on `--metrics-listen`.
+    pub fn to_prom(&self) -> String {
+        use freqywm_obs::prom::{PromKind, PromText};
+        let mut w = PromText::new();
+        w.family(
+            "freqywm_build_info",
+            PromKind::Gauge,
+            "Build metadata; value is always 1.",
+        );
+        w.sample("freqywm_build_info", &[("version", &self.version)], 1.0);
+        if let Some(shard) = &self.shard {
+            w.family(
+                "freqywm_shard_info",
+                PromKind::Gauge,
+                "Shard label of this engine; value is always 1.",
+            );
+            w.sample("freqywm_shard_info", &[("shard", shard)], 1.0);
+        }
+        if let Some(role) = &self.role {
+            w.family(
+                "freqywm_role",
+                PromKind::Gauge,
+                "Replication role of this engine; value is always 1.",
+            );
+            w.sample("freqywm_role", &[("role", role)], 1.0);
+            w.scalar(
+                "freqywm_log_seq",
+                PromKind::Gauge,
+                "Durable-log sequence number the next event will carry.",
+                self.log_seq as f64,
+            );
+        }
+        w.scalar(
+            "freqywm_uptime_seconds",
+            PromKind::Gauge,
+            "Seconds since engine start.",
+            self.uptime_s as f64,
+        );
+        for (name, help, v) in [
+            (
+                "freqywm_jobs_submitted_total",
+                "Jobs accepted into the queue.",
+                self.submitted,
+            ),
+            (
+                "freqywm_jobs_completed_total",
+                "Jobs completed successfully.",
+                self.completed,
+            ),
+            (
+                "freqywm_jobs_failed_total",
+                "Jobs that failed.",
+                self.failed,
+            ),
+            (
+                "freqywm_jobs_timed_out_total",
+                "Jobs reaped at their deadline.",
+                self.timed_out,
+            ),
+            (
+                "freqywm_jobs_rejected_total",
+                "Jobs refused at admission.",
+                self.rejected,
+            ),
+            (
+                "freqywm_jobs_cancelled_total",
+                "Jobs cancelled at shutdown.",
+                self.cancelled,
+            ),
+            (
+                "freqywm_disputes_total",
+                "Ownership disputes arbitrated.",
+                self.disputes,
+            ),
+            (
+                "freqywm_slow_log_suppressed_total",
+                "Slow-request log lines dropped by the stderr rate limiter.",
+                self.slow_log_suppressed,
+            ),
+        ] {
+            w.scalar(name, PromKind::Counter, help, v as f64);
+        }
+        w.family(
+            "freqywm_ops_total",
+            PromKind::Counter,
+            "Completed jobs by operation.",
+        );
+        for (op, v) in [
+            ("embed", self.embed_jobs),
+            ("detect", self.detect_jobs),
+            ("maintain", self.maintain_jobs),
+        ] {
+            w.sample("freqywm_ops_total", &[("op", op)], v as f64);
+        }
+        w.scalar(
+            "freqywm_queue_depth",
+            PromKind::Gauge,
+            "Jobs queued but not yet running.",
+            self.queue_depth as f64,
+        );
+        w.scalar(
+            "freqywm_tenants",
+            PromKind::Gauge,
+            "Registered tenants.",
+            self.tenants as f64,
+        );
+        for (name, help, hist) in [
+            (
+                "freqywm_request_duration_seconds",
+                "Job run time (dequeue to completion).",
+                &self.latency,
+            ),
+            (
+                "freqywm_queue_wait_seconds",
+                "Time jobs spent queued before a worker picked them up.",
+                &self.queue_wait,
+            ),
+        ] {
+            w.family(name, PromKind::Histogram, help);
+            latency_to_prom(&mut w, name, &[], hist);
+        }
+        w.scalar(
+            "freqywm_prf_cache_hits_total",
+            PromKind::Counter,
+            "PRF cache hits.",
+            self.cache.hits as f64,
+        );
+        w.scalar(
+            "freqywm_prf_cache_misses_total",
+            PromKind::Counter,
+            "PRF cache misses.",
+            self.cache.misses as f64,
+        );
+        w.scalar(
+            "freqywm_prf_cache_entries",
+            PromKind::Gauge,
+            "PRF cache resident entries.",
+            self.cache.entries as f64,
+        );
+        for (name, help, v) in [
+            (
+                "freqywm_net_accepted_total",
+                "Connections accepted.",
+                self.net.accepted,
+            ),
+            (
+                "freqywm_net_rejected_total",
+                "Connections refused at the cap.",
+                self.net.rejected,
+            ),
+            (
+                "freqywm_net_evicted_slow_total",
+                "Connections evicted for slow reading.",
+                self.net.evicted_slow,
+            ),
+            (
+                "freqywm_net_timed_out_idle_total",
+                "Connections reaped idle.",
+                self.net.timed_out_idle,
+            ),
+            (
+                "freqywm_net_bytes_in_total",
+                "Bytes read from clients.",
+                self.net.bytes_in,
+            ),
+            (
+                "freqywm_net_bytes_out_total",
+                "Bytes written to clients.",
+                self.net.bytes_out,
+            ),
+        ] {
+            w.scalar(name, PromKind::Counter, help, v as f64);
+        }
+        w.scalar(
+            "freqywm_net_active_connections",
+            PromKind::Gauge,
+            "Currently open client connections.",
+            self.net.active as f64,
+        );
+        if !self.per_tenant.is_empty() {
+            w.family(
+                "freqywm_tenant_ops_total",
+                PromKind::Counter,
+                "Completed jobs by tenant and operation.",
+            );
+            for row in &self.per_tenant {
+                for (op, v) in [
+                    ("embed", row.ops.embed),
+                    ("detect", row.ops.detect),
+                    ("maintain", row.ops.maintain),
+                ] {
+                    w.sample(
+                        "freqywm_tenant_ops_total",
+                        &[("tenant", &row.tenant), ("op", op)],
+                        v as f64,
+                    );
+                }
+            }
+            w.family(
+                "freqywm_tenant_rejected_total",
+                PromKind::Counter,
+                "Rejected jobs by tenant.",
+            );
+            for row in &self.per_tenant {
+                w.sample(
+                    "freqywm_tenant_rejected_total",
+                    &[("tenant", &row.tenant)],
+                    row.ops.rejected as f64,
+                );
+            }
+        }
+        w.finish()
+    }
+
     /// Renders the snapshot as a single JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.latency.buckets.iter().map(|b| b.to_string()).collect();
@@ -394,7 +619,8 @@ impl MetricsSnapshot {
                 "\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
                 "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
-                "\"disputes\":{},\"queue_depth\":{},\"tenants\":{},{}{}",
+                "\"disputes\":{},\"slow_log_suppressed\":{},",
+                "\"queue_depth\":{},\"tenants\":{},{}{}",
                 "\"latency\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
                 "\"p95_us\":{},\"p99_us\":{},\"buckets_us_pow2\":[{}]}},",
                 "\"queue_wait\":{{\"count\":{},\"mean_us\":{:.1},\"p50_us\":{},",
@@ -418,6 +644,7 @@ impl MetricsSnapshot {
             self.detect_jobs,
             self.maintain_jobs,
             self.disputes,
+            self.slow_log_suppressed,
             self.queue_depth,
             self.tenants,
             shard_part,
@@ -479,6 +706,7 @@ const AGGREGATE_KEYS: &[&str] = &[
     "detect_jobs",
     "maintain_jobs",
     "disputes",
+    "slow_log_suppressed",
     "queue_depth",
     "tenants",
 ];
@@ -547,6 +775,172 @@ pub fn aggregate_shard_metrics(pieces: &[ShardMetricsPiece]) -> String {
         shards_up,
         totals.join(","),
         per_shard.join(","),
+    )
+}
+
+/// Appends one [`LatencySnapshot`] as a Prometheus histogram series
+/// under an already-started family. Bucket `i` of the engine histogram
+/// holds durations in `[2^(i-1), 2^i)` µs, so its upper bound is `2^i`
+/// µs (rendered in seconds); the final engine bucket is open-ended and
+/// maps to `+Inf` only. Shared by the engine exposition and the
+/// router's per-backend RTT histograms.
+pub fn latency_to_prom(
+    w: &mut freqywm_obs::prom::PromText,
+    name: &str,
+    labels: &[(&str, &str)],
+    hist: &LatencySnapshot,
+) {
+    let last = hist.buckets.len().saturating_sub(1);
+    let bounds: Vec<f64> = (0..last).map(|i| (1u64 << i) as f64 / 1e6).collect();
+    w.histogram(
+        name,
+        labels,
+        &bounds,
+        &hist.buckets[..last],
+        hist.total_micros as f64 / 1e6,
+        hist.count,
+    );
+}
+
+/// One compact retention sample: the monotone counters (plus two
+/// gauges) a rate or trend can be derived from, cheap enough to take
+/// every `--retain-interval-ms` and keep hundreds of. Everything else
+/// in [`MetricsSnapshot`] (histogram shapes, per-tenant rows) stays
+/// point-in-time only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistorySample {
+    pub submitted: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub timed_out: u64,
+    pub rejected: u64,
+    pub embed_jobs: u64,
+    pub detect_jobs: u64,
+    pub maintain_jobs: u64,
+    pub slow_log_suppressed: u64,
+    /// Gauge: queue depth at sample time.
+    pub queue_depth: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    /// Gauge: durable-log sequence at sample time (replication lag is
+    /// the primary/standby difference of this series).
+    pub log_seq: u64,
+    pub latency_sum_us: u64,
+    pub latency_count: u64,
+    pub queue_wait_sum_us: u64,
+    pub queue_wait_count: u64,
+}
+
+impl HistorySample {
+    pub fn from_snapshot(s: &MetricsSnapshot) -> HistorySample {
+        HistorySample {
+            submitted: s.submitted,
+            completed: s.completed,
+            failed: s.failed,
+            timed_out: s.timed_out,
+            rejected: s.rejected,
+            embed_jobs: s.embed_jobs,
+            detect_jobs: s.detect_jobs,
+            maintain_jobs: s.maintain_jobs,
+            slow_log_suppressed: s.slow_log_suppressed,
+            queue_depth: s.queue_depth,
+            cache_hits: s.cache.hits,
+            cache_misses: s.cache.misses,
+            bytes_in: s.net.bytes_in,
+            bytes_out: s.net.bytes_out,
+            log_seq: s.log_seq,
+            latency_sum_us: s.latency.total_micros,
+            latency_count: s.latency.count,
+            queue_wait_sum_us: s.queue_wait.total_micros,
+            queue_wait_count: s.queue_wait.count,
+        }
+    }
+
+    /// Renders one `(t_ms, sample)` pair as a JSON object.
+    pub fn to_json(&self, t_ms: u64) -> String {
+        format!(
+            concat!(
+                "{{\"t_ms\":{},\"submitted\":{},\"completed\":{},\"failed\":{},",
+                "\"timed_out\":{},\"rejected\":{},\"embed_jobs\":{},",
+                "\"detect_jobs\":{},\"maintain_jobs\":{},",
+                "\"slow_log_suppressed\":{},\"queue_depth\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},\"log_seq\":{},",
+                "\"latency_sum_us\":{},\"latency_count\":{},",
+                "\"queue_wait_sum_us\":{},\"queue_wait_count\":{}}}"
+            ),
+            t_ms,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.timed_out,
+            self.rejected,
+            self.embed_jobs,
+            self.detect_jobs,
+            self.maintain_jobs,
+            self.slow_log_suppressed,
+            self.queue_depth,
+            self.cache_hits,
+            self.cache_misses,
+            self.bytes_in,
+            self.bytes_out,
+            self.log_seq,
+            self.latency_sum_us,
+            self.latency_count,
+            self.queue_wait_sum_us,
+            self.queue_wait_count,
+        )
+    }
+}
+
+/// Derived rates between two retained samples, as a JSON object: the
+/// `history` op reports this over its full retained window, and
+/// `freqywm top` recomputes it frame-to-frame from the raw series.
+/// Counter resets saturate to zero (see `freqywm_obs::history`).
+pub fn history_rates_json(older: (u64, &HistorySample), newer: (u64, &HistorySample)) -> String {
+    use freqywm_obs::history::{counter_delta, rate_per_sec};
+    let (t0, a) = older;
+    let (t1, b) = newer;
+    let window_s = (t1.saturating_sub(t0)) as f64 / 1000.0;
+    let hits = counter_delta(a.cache_hits, b.cache_hits);
+    let misses = counter_delta(a.cache_misses, b.cache_misses);
+    let lookups = hits + misses;
+    let lat_sum = counter_delta(a.latency_sum_us, b.latency_sum_us);
+    let lat_n = counter_delta(a.latency_count, b.latency_count);
+    let wait_sum = counter_delta(a.queue_wait_sum_us, b.queue_wait_sum_us);
+    let busy = lat_sum + wait_sum;
+    format!(
+        concat!(
+            "{{\"window_s\":{:.3},\"submitted_per_s\":{:.3},",
+            "\"completed_per_s\":{:.3},\"failed_per_s\":{:.3},",
+            "\"rejected_per_s\":{:.3},\"bytes_in_per_s\":{:.1},",
+            "\"bytes_out_per_s\":{:.1},\"cache_hit_rate\":{:.4},",
+            "\"mean_latency_us\":{:.1},\"queue_wait_share\":{:.4}}}"
+        ),
+        window_s,
+        rate_per_sec((t0, a.submitted), (t1, b.submitted)),
+        rate_per_sec((t0, a.completed), (t1, b.completed)),
+        rate_per_sec((t0, a.failed), (t1, b.failed)),
+        rate_per_sec((t0, a.rejected), (t1, b.rejected)),
+        rate_per_sec((t0, a.bytes_in), (t1, b.bytes_in)),
+        rate_per_sec((t0, a.bytes_out), (t1, b.bytes_out)),
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        if lat_n == 0 {
+            0.0
+        } else {
+            lat_sum as f64 / lat_n as f64
+        },
+        if busy == 0 {
+            0.0
+        } else {
+            wait_sum as f64 / busy as f64
+        },
     )
 }
 
@@ -749,6 +1143,107 @@ mod tests {
         assert!(json.contains("\"uptime_s\":"), "{json}");
         let v = crate::proto::json::parse(&json).expect("well-formed");
         assert!(v.get("queue_wait").unwrap().get("p99_us").is_some());
+    }
+
+    #[test]
+    fn prom_exposition_round_trips_through_the_parser() {
+        let m = Metrics::default();
+        for i in 0..40u64 {
+            m.job_submitted();
+            m.job_completed(Duration::from_micros(10 + i * 137));
+            m.queue_wait.record(Duration::from_micros(3 + i));
+        }
+        m.job_failed();
+        m.net.conn_accepted();
+        m.net.add_bytes_in(1234);
+        m.tenant_job("acme", JobKind::Detect, Duration::from_micros(90));
+        m.tenant_job("zeta\"esc", JobKind::Embed, Duration::from_micros(50));
+        m.slow_log_suppressed.fetch_add(7, Ordering::Relaxed);
+        let mut snap = m.snapshot(
+            CacheStats {
+                hits: 9,
+                misses: 3,
+                entries: 12,
+            },
+            2,
+            2,
+        );
+        snap.shard = Some("1/2".into());
+        snap.role = Some("primary".into());
+        snap.log_seq = 17;
+        let text = snap.to_prom();
+        // The in-repo parser validates HELP/TYPE pairing, monotone le
+        // bounds, cumulative bucket counts and _sum/_count consistency.
+        let families = freqywm_obs::prom::parse_exposition(&text)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        let get = |name: &str| {
+            families
+                .iter()
+                .find(|f| f.name == name)
+                .unwrap_or_else(|| panic!("missing family {name}"))
+        };
+        assert_eq!(get("freqywm_jobs_submitted_total").samples[0].value, 40.0);
+        assert_eq!(get("freqywm_jobs_failed_total").samples[0].value, 1.0);
+        assert_eq!(
+            get("freqywm_slow_log_suppressed_total").samples[0].value,
+            7.0
+        );
+        assert_eq!(get("freqywm_log_seq").samples[0].value, 17.0);
+        assert_eq!(
+            get("freqywm_role").samples[0].label("role"),
+            Some("primary")
+        );
+        let hist = get("freqywm_request_duration_seconds");
+        assert_eq!(hist.kind, "histogram");
+        let count = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "freqywm_request_duration_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 40.0);
+        let tenant_ops = get("freqywm_tenant_ops_total");
+        assert!(tenant_ops
+            .samples
+            .iter()
+            .any(|s| s.label("tenant") == Some("zeta\"esc") && s.label("op") == Some("embed")));
+    }
+
+    #[test]
+    fn history_sample_json_and_window_rates() {
+        let m = Metrics::default();
+        m.job_submitted();
+        m.job_completed(Duration::from_micros(100));
+        let older = HistorySample::from_snapshot(&m.snapshot(CacheStats::default(), 0, 1));
+        for _ in 0..10 {
+            m.job_submitted();
+            m.job_completed(Duration::from_micros(300));
+            m.queue_wait.record(Duration::from_micros(100));
+        }
+        m.net.add_bytes_in(5000);
+        let newer = HistorySample::from_snapshot(&m.snapshot(
+            CacheStats {
+                hits: 8,
+                misses: 2,
+                entries: 10,
+            },
+            0,
+            1,
+        ));
+        let sample_json = newer.to_json(12_345);
+        let v = crate::proto::json::parse(&sample_json).expect("well-formed");
+        assert_eq!(v.get("t_ms").unwrap().as_u64(), Some(12_345));
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(11));
+        assert_eq!(v.get("bytes_in").unwrap().as_u64(), Some(5000));
+
+        let rates = history_rates_json((1_000, &older), (3_000, &newer));
+        let r = crate::proto::json::parse(&rates).expect("well-formed");
+        assert_eq!(r.get("window_s").unwrap().as_f64(), Some(2.0));
+        // 10 completions over 2 s.
+        assert_eq!(r.get("completed_per_s").unwrap().as_f64(), Some(5.0));
+        assert_eq!(r.get("cache_hit_rate").unwrap().as_f64(), Some(0.8));
+        // 10 × 300 µs run + 10 × 100 µs wait → wait share 0.25.
+        assert_eq!(r.get("queue_wait_share").unwrap().as_f64(), Some(0.25));
+        assert_eq!(r.get("mean_latency_us").unwrap().as_f64(), Some(300.0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | `maintain` | `tenant`, `updates`, `replenish?` | maintenance report |
 //! | `dispute` | `a`, `b`, `t?`, `quorum?` | winner + protocol detail |
 //! | `metrics` | — | full metrics snapshot |
+//! | `history` | `last?` | retained snapshot ring + window rates |
 //! | `trace` | `trace?`, `tenant?`, `for_op?`, `min_ms?`, `limit?` | recent stage spans |
 //! | `hello` | `token?` | handshake / auth / liveness ack |
 //! | `shutdown` | — | ack (stops `serve`) |
@@ -549,9 +550,8 @@ pub fn plan_value(req: Value) -> (Option<Value>, Result<Planned, String>) {
 fn plan_request(req: Value) -> Result<Planned, String> {
     let op = req_str(&req, "op")?;
     match op {
-        "register" | "dispute" | "metrics" | "trace" | "hello" | "replicate" | "promote" => {
-            Ok(Planned::Op(req))
-        }
+        "register" | "dispute" | "metrics" | "history" | "trace" | "hello" | "replicate"
+        | "promote" => Ok(Planned::Op(req)),
         "shutdown" => Ok(Planned::Shutdown),
         "embed" | "detect" | "maintain" => plan_job(&req),
         other => Err(format!("unknown op {other:?}")),
@@ -567,8 +567,8 @@ pub enum RouteInfo {
     /// Keyed by two tenant ids (`dispute`): routable only when both
     /// hash to the same shard.
     TenantPair(String, String),
-    /// Tenant-agnostic read (`metrics`, `trace`): fan out to every
-    /// shard and merge.
+    /// Tenant-agnostic read (`metrics`, `history`, `trace`): fan out
+    /// to every shard and merge.
     Broadcast,
     /// `shutdown`: fan out, then drain the tier.
     Shutdown,
@@ -600,7 +600,7 @@ pub fn route_of(req: &Value) -> RouteInfo {
             (Ok(a), Ok(b)) => RouteInfo::TenantPair(a, b),
             (Err(e), _) | (_, Err(e)) => e,
         },
-        "metrics" | "trace" => RouteInfo::Broadcast,
+        "metrics" | "history" | "trace" => RouteInfo::Broadcast,
         "shutdown" => RouteInfo::Shutdown,
         "hello" => RouteInfo::Local,
         // Replication management addresses one specific engine, not a
@@ -764,6 +764,47 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
             "{{\"ok\":true,\"op\":\"metrics\",\"metrics\":{}}}",
             engine.metrics().to_json()
         )),
+        // Retained metrics snapshots from the sampler ring, plus a
+        // fresh `now` sample and window rates between the oldest
+        // retained sample and now. `last` trims to the newest N
+        // samples; the window always spans what is returned.
+        "history" => {
+            let report = engine.history();
+            let mut samples: &[(u64, crate::metrics::HistorySample)] = &report.samples;
+            if let Some(n) = req.get("last").and_then(Value::as_u64) {
+                let n = (n as usize).max(1);
+                if samples.len() > n {
+                    samples = &samples[samples.len() - n..];
+                }
+            }
+            let oldest = samples.first().unwrap_or(&report.now);
+            let rates = crate::metrics::history_rates_json(
+                (oldest.0, &oldest.1),
+                (report.now.0, &report.now.1),
+            );
+            let shard = engine
+                .shard_label()
+                .map(|s| format!("\"shard\":\"{}\",", escape(s)))
+                .unwrap_or_default();
+            Ok(format!(
+                concat!(
+                    "{{\"ok\":true,\"op\":\"history\",{}",
+                    "\"retain\":{{\"capacity\":{},\"interval_ms\":{}}},",
+                    "\"count\":{},\"samples\":[{}],\"now\":{},\"rates\":{}}}"
+                ),
+                shard,
+                report.capacity,
+                report.interval_ms,
+                samples.len(),
+                samples
+                    .iter()
+                    .map(|(t, s)| s.to_json(*t))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                report.now.1.to_json(report.now.0),
+                rates,
+            ))
+        }
         // Recent stage spans from the engine's ring, filtered by trace
         // id / tenant / op / minimum duration. A filter that matches
         // nothing (e.g. an unknown tenant) is an empty result, not an
@@ -973,8 +1014,9 @@ fn observe_parse(
             // On a `trace` *query* the "trace" and "tenant" fields are
             // filters, not this request's identity — mint a fresh id
             // and leave the tenant blank, so the query's own spans
-            // never match the filter they carry.
-            let (trace, tenant) = if op == OpKind::Trace {
+            // never match the filter they carry. `history` carries no
+            // identity fields at all; same treatment.
+            let (trace, tenant) = if op == OpKind::Trace || op == OpKind::History {
                 (freqywm_obs::next_trace_id(), String::new())
             } else {
                 (
@@ -1711,6 +1753,66 @@ mod tests {
     }
 
     #[test]
+    fn history_op_returns_retained_samples_and_rates() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            retain_snapshots: 8,
+            retain_interval_ms: 20,
+            ..EngineConfig::default()
+        });
+        handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"hist","secret_label":"hist-test"}"#,
+        );
+        let embed = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"hist","counts":{}}}"#,
+                counts_json(60)
+            ),
+        );
+        assert!(embed.contains("\"ok\":true"), "{embed}");
+        // Let the sampler tick a few times so the ring holds history.
+        std::thread::sleep(std::time::Duration::from_millis(70));
+        let resp = handle_line(&engine, r#"{"op":"history","id":9}"#);
+        let v = parse(&resp).expect(&resp);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{resp}");
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(9));
+        let retain = v.get("retain").expect("retain");
+        assert_eq!(retain.get("capacity").and_then(Value::as_u64), Some(8));
+        assert_eq!(retain.get("interval_ms").and_then(Value::as_u64), Some(20));
+        let samples = v.get("samples").and_then(Value::as_arr).expect("samples");
+        assert!(samples.len() >= 2, "{resp}");
+        assert_eq!(
+            v.get("count").and_then(Value::as_u64),
+            Some(samples.len() as u64)
+        );
+        // Timestamps are monotone and each sample carries the counters.
+        let times: Vec<u64> = samples
+            .iter()
+            .map(|s| s.get("t_ms").and_then(Value::as_u64).unwrap())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        let now = v.get("now").expect("now");
+        assert_eq!(now.get("completed").and_then(Value::as_u64), Some(1));
+        let rates = v.get("rates").expect("rates");
+        assert!(rates.get("window_s").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(rates
+            .get("completed_per_s")
+            .and_then(Value::as_f64)
+            .is_some());
+        // `last` trims to the newest N samples; rates re-window.
+        let trimmed = handle_line(&engine, r#"{"op":"history","last":1}"#);
+        let tv = parse(&trimmed).expect(&trimmed);
+        assert_eq!(tv.get("count").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            tv.get("samples").and_then(Value::as_arr).map(|s| s.len()),
+            Some(1)
+        );
+        engine.shutdown();
+    }
+
+    #[test]
     fn duplicate_tokens_in_counts_rejected() {
         let engine = test_engine();
         handle_line(
@@ -1927,6 +2029,7 @@ mod tests {
             RouteInfo::TenantPair("x".into(), "y".into())
         );
         assert_eq!(route(r#"{"op":"metrics"}"#), RouteInfo::Broadcast);
+        assert_eq!(route(r#"{"op":"history"}"#), RouteInfo::Broadcast);
         assert_eq!(route(r#"{"op":"shutdown"}"#), RouteInfo::Shutdown);
         assert_eq!(route(r#"{"op":"hello"}"#), RouteInfo::Local);
         assert!(matches!(

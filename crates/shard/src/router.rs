@@ -30,23 +30,33 @@
 
 use crate::ring::ShardMap;
 use crate::signal;
+use freqywm_net::http::HttpConn;
 use freqywm_net::{Backend, Event, Interest, LineEvent, LineFramer, Poller};
-use freqywm_service::metrics::{aggregate_shard_metrics, LatencyHistogram, ShardMetricsPiece};
+use freqywm_obs::prom::{PromKind, PromText};
+use freqywm_service::metrics::{
+    aggregate_shard_metrics, latency_to_prom, LatencyHistogram, ShardMetricsPiece,
+};
 use freqywm_service::proto::{
     err_response, frame_too_large_response, id_echo, json, route_of, token_eq, RouteInfo,
 };
 use json::Value;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::UnixStream;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 const TOKEN_LISTENER: u64 = u64::MAX;
 const TOKEN_WAKE: u64 = u64::MAX - 1;
+const TOKEN_METRICS_LISTENER: u64 = u64::MAX - 2;
 const TOKEN_BACKEND_BASE: u64 = 1 << 40;
+
+/// Scrape connections that sent no complete request within this window
+/// are reaped (they never wait on jobs, so a fixed bound is safe).
+const HTTP_IDLE: Duration = Duration::from_secs(10);
 
 const READ_CHUNK: usize = 16 * 1024;
 const READ_BUDGET: usize = 4 * READ_CHUNK;
@@ -130,13 +140,25 @@ impl RouterConfig {
 /// drain signal, when enabled). The listener must already be bound —
 /// callers announce the address themselves.
 pub fn run_router(listener: TcpListener, config: RouterConfig) -> io::Result<()> {
+    run_router_with_metrics(listener, None, config)
+}
+
+/// [`run_router`] with an optional second listener answering HTTP
+/// `GET /metrics` with the router's tier exposition (router counters,
+/// per-shard role / log_seq / replication lag / RTT) — `freqywm router
+/// --metrics-listen`. The drain closes both listeners.
+pub fn run_router_with_metrics(
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    config: RouterConfig,
+) -> io::Result<()> {
     if config.shards.is_empty() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "router needs at least one --shard backend",
         ));
     }
-    let mut router = Router::new(listener, config)?;
+    let mut router = Router::new(listener, metrics_listener, config)?;
     let result = router.run();
     signal::detach_drain_handler();
     result
@@ -317,6 +339,12 @@ struct BackendSlot {
     failed_over: bool,
     /// Requests parked during failover, in arrival order.
     parked: VecDeque<ParkedRequest>,
+    /// Replication role the backend last reported ("primary" /
+    /// "follower"), refreshed by every health probe and metrics fanout.
+    role: Option<String>,
+    /// Durable-log sequence the backend last reported; with the
+    /// standby prober's reading this yields the pair's replication lag.
+    log_seq: Option<u64>,
 }
 
 enum FanoutKind {
@@ -326,6 +354,101 @@ enum FanoutKind {
     /// shard and merge the span arrays, tagging each span with the
     /// shard it came from.
     Trace,
+    /// A `history` query: forward the client's request line verbatim
+    /// (it carries `last`) and return the per-shard responses as a
+    /// series array, each tagged with its shard index.
+    History,
+}
+
+/// What the background prober last learned about one standby.
+#[derive(Debug, Clone, Copy, Default)]
+struct StandbyProbe {
+    /// The standby answered a metrics probe.
+    up: bool,
+    /// Its reported durable-log sequence.
+    log_seq: Option<u64>,
+}
+
+/// Shared state between the reactor and the standby prober thread: the
+/// addresses to probe (a standby is consumed on failover, at which
+/// point its slot goes `None`) and the latest readings.
+struct StandbyProberState {
+    addrs: Mutex<Vec<Option<String>>>,
+    probes: Mutex<Vec<StandbyProbe>>,
+    stop: Mutex<bool>,
+    stopped: Condvar,
+}
+
+/// The standby prober: the reactor never dials standbys (they serve no
+/// traffic), so replication lag needs its own slow loop — every probe
+/// interval, each configured standby gets one blocking `metrics`
+/// request on a throwaway connection, and its `log_seq` lands in the
+/// shared state for the shard map and the exposition to read.
+fn standby_prober_loop(
+    state: Arc<StandbyProberState>,
+    interval: Duration,
+    connect_timeout: Duration,
+    auth_token: Option<String>,
+) {
+    loop {
+        let addrs: Vec<Option<String>> = state.addrs.lock().expect("prober addrs").clone();
+        for (idx, addr) in addrs.iter().enumerate() {
+            let probe = match addr {
+                Some(addr) => {
+                    probe_standby(addr, connect_timeout, auth_token.as_deref()).unwrap_or_default()
+                }
+                None => StandbyProbe::default(),
+            };
+            state.probes.lock().expect("prober probes")[idx] = probe;
+        }
+        let guard = state.stop.lock().expect("prober stop");
+        let (guard, _) = state
+            .stopped
+            .wait_timeout(guard, interval)
+            .expect("prober stop");
+        if *guard {
+            return;
+        }
+    }
+}
+
+/// One blocking metrics exchange with a standby; `None` on any failure
+/// (connect, timeout, bad response) — the standby is then just "down".
+fn probe_standby(
+    addr: &str,
+    connect_timeout: Duration,
+    auth_token: Option<&str>,
+) -> Option<StandbyProbe> {
+    let stream = connect_backend(addr, connect_timeout).ok()?;
+    stream
+        .set_read_timeout(Some(connect_timeout.max(Duration::from_secs(1))))
+        .ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut request = String::new();
+    if let Some(token) = auth_token {
+        request.push_str(&format!(
+            "{{\"op\":\"hello\",\"token\":\"{}\"}}\n",
+            json::escape(token)
+        ));
+    }
+    request.push_str("{\"op\":\"metrics\"}\n");
+    writer.write_all(request.as_bytes()).ok()?;
+    let mut line = String::new();
+    if auth_token.is_some() {
+        reader.read_line(&mut line).ok()?; // hello ack
+        line.clear();
+    }
+    reader.read_line(&mut line).ok()?;
+    let v = json::parse(line.trim()).ok()?;
+    if v.get("ok").and_then(Value::as_bool) != Some(true) {
+        return None;
+    }
+    let log_seq = v
+        .get("metrics")
+        .and_then(|m| m.get("log_seq"))
+        .and_then(Value::as_u64);
+    Some(StandbyProbe { up: true, log_seq })
 }
 
 struct Fanout {
@@ -360,18 +483,24 @@ struct Router {
     map: ShardMap,
     poller: Poller,
     listener: Option<TcpListener>,
+    /// HTTP `GET /metrics` scrape listener; also closed by the drain.
+    metrics_listener: Option<TcpListener>,
     wake_rx: UnixStream,
     wake_tx: UnixStream,
     connect_rx: Receiver<(usize, io::Result<TcpStream>)>,
     connect_tx: Sender<(usize, io::Result<TcpStream>)>,
     clients: HashMap<RawFd, ClientConn>,
     client_fds: HashMap<u64, RawFd>,
+    /// Scrape connections, disjoint from `clients` by fd.
+    http_conns: HashMap<RawFd, HttpConn>,
     next_client: u64,
     backends: Vec<BackendSlot>,
     fanouts: HashMap<u64, Fanout>,
     next_fanout: u64,
     drain: Option<DrainState>,
     stats: RouterStats,
+    /// Shared with the standby prober thread (None when no standbys).
+    prober: Option<(Arc<StandbyProberState>, std::thread::JoinHandle<()>)>,
 }
 
 /// Returns the request line with a router-minted `"trace"` field
@@ -491,7 +620,11 @@ fn connect_backend(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
 }
 
 impl Router {
-    fn new(listener: TcpListener, config: RouterConfig) -> io::Result<Self> {
+    fn new(
+        listener: TcpListener,
+        metrics_listener: Option<TcpListener>,
+        config: RouterConfig,
+    ) -> io::Result<Self> {
         listener.set_nonblocking(true)?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         wake_rx.set_nonblocking(true)?;
@@ -499,6 +632,10 @@ impl Router {
         let mut poller = Poller::new(config.backend)?;
         poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
         poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+        if let Some(ml) = &metrics_listener {
+            ml.set_nonblocking(true)?;
+            poller.register(ml.as_raw_fd(), TOKEN_METRICS_LISTENER, Interest::READ)?;
+        }
         if config.handle_signals {
             signal::install_drain_handler(wake_tx.as_raw_fd());
         }
@@ -506,6 +643,24 @@ impl Router {
         let now = Instant::now();
         let mut standbys = config.standbys.clone();
         standbys.resize(config.shards.len(), None);
+        let prober = if standbys.iter().any(Option::is_some) {
+            let state = Arc::new(StandbyProberState {
+                addrs: Mutex::new(standbys.clone()),
+                probes: Mutex::new(vec![StandbyProbe::default(); config.shards.len()]),
+                stop: Mutex::new(false),
+                stopped: Condvar::new(),
+            });
+            let thread_state = Arc::clone(&state);
+            let interval = config.probe_interval;
+            let connect_timeout = config.connect_timeout;
+            let token = config.shard_auth_token.clone();
+            let handle = std::thread::spawn(move || {
+                standby_prober_loop(thread_state, interval, connect_timeout, token)
+            });
+            Some((state, handle))
+        } else {
+            None
+        };
         let backends = config
             .shards
             .iter()
@@ -523,6 +678,8 @@ impl Router {
                 promoting: None,
                 failed_over: false,
                 parked: VecDeque::new(),
+                role: None,
+                log_seq: None,
             })
             .collect();
         let map = ShardMap::new(config.shards.clone());
@@ -531,22 +688,35 @@ impl Router {
             map,
             poller,
             listener: Some(listener),
+            metrics_listener,
             wake_rx,
             wake_tx,
             connect_rx,
             connect_tx,
             clients: HashMap::new(),
             client_fds: HashMap::new(),
+            http_conns: HashMap::new(),
             next_client: 1,
             backends,
             fanouts: HashMap::new(),
             next_fanout: 1,
             drain: None,
             stats: RouterStats::default(),
+            prober,
         })
     }
 
     fn run(&mut self) -> io::Result<()> {
+        let result = self.run_inner();
+        if let Some((state, handle)) = self.prober.take() {
+            *state.stop.lock().expect("prober stop") = true;
+            state.stopped.notify_all();
+            let _ = handle.join();
+        }
+        result
+    }
+
+    fn run_inner(&mut self) -> io::Result<()> {
         for idx in 0..self.backends.len() {
             self.spawn_connector(idx);
         }
@@ -564,13 +734,17 @@ impl Router {
             for ev in batch {
                 match ev.token {
                     TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_METRICS_LISTENER => self.accept_metrics_ready(),
                     TOKEN_WAKE => self.drain_wake(),
                     t if t >= TOKEN_BACKEND_BASE => {
                         self.backend_ready((t - TOKEN_BACKEND_BASE) as usize, ev)
                     }
                     t => {
                         let fd = t as RawFd;
-                        if self.clients.get(&fd).map(|c| c.id) == batch_ids.get(&fd).copied() {
+                        if self.http_conns.contains_key(&fd) {
+                            self.http_event(fd, ev);
+                        } else if self.clients.get(&fd).map(|c| c.id) == batch_ids.get(&fd).copied()
+                        {
                             self.client_ready(fd, ev);
                         }
                     }
@@ -585,12 +759,16 @@ impl Router {
             self.tick_reconnects();
             self.tick_probes();
             self.tick_failovers();
+            self.tick_http_idle();
             if let Some(deadline) = self.drain.as_ref().map(|d| d.deadline) {
                 // Settled clients were closed as they drained; what's
                 // left is either done or past the deadline.
                 if self.clients.is_empty() || Instant::now() >= deadline {
                     for fd in self.clients.keys().copied().collect::<Vec<_>>() {
                         self.close_client(fd);
+                    }
+                    for fd in self.http_conns.keys().copied().collect::<Vec<_>>() {
+                        self.close_http(fd);
                     }
                     return Ok(());
                 }
@@ -655,6 +833,286 @@ impl Router {
                 self.send_backend(idx, "{\"op\":\"metrics\"}", Pending::Probe);
             }
         }
+    }
+
+    // ----- scrape endpoint --------------------------------------------
+
+    /// Accepts pending scrape connections (shared cap with clients).
+    fn accept_metrics_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.metrics_listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    if self.clients.len() + self.http_conns.len() >= self.config.max_conns {
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let fd = stream.as_raw_fd();
+                    if self.poller.register(fd, fd as u64, Interest::READ).is_err() {
+                        continue;
+                    }
+                    self.http_conns.insert(fd, HttpConn::new(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn http_event(&mut self, fd: RawFd, ev: Event) {
+        // Rendered up front: the exposition is cheap, and the borrow
+        // can't overlap the connection map.
+        let body = self.router_prom();
+        let Some(conn) = self.http_conns.get_mut(&fd) else {
+            return;
+        };
+        if ev.readable && !conn.responded {
+            conn.read_ready(|| body);
+        } else if ev.hangup {
+            conn.failed = true;
+        }
+        if ev.writable || conn.responded {
+            conn.flush();
+        }
+        if conn.failed || conn.settled() {
+            self.close_http(fd);
+            return;
+        }
+        let want = Interest {
+            readable: !conn.responded,
+            writable: conn.buffered() > 0,
+        };
+        if want != conn.interest {
+            if self.poller.modify(fd, fd as u64, want).is_ok() {
+                conn.interest = want;
+            } else {
+                self.close_http(fd);
+            }
+        }
+    }
+
+    fn close_http(&mut self, fd: RawFd) {
+        if self.http_conns.remove(&fd).is_some() {
+            let _ = self.poller.deregister(fd);
+        }
+    }
+
+    fn tick_http_idle(&mut self) {
+        if self.http_conns.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<RawFd> = self
+            .http_conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) >= HTTP_IDLE)
+            .map(|(&fd, _)| fd)
+            .collect();
+        for fd in expired {
+            self.close_http(fd);
+        }
+    }
+
+    /// The latest standby probe readings (empty default when no
+    /// standbys are configured / no prober runs).
+    fn standby_probes(&self) -> Vec<StandbyProbe> {
+        match &self.prober {
+            Some((state, _)) => state.probes.lock().expect("prober probes").clone(),
+            None => vec![StandbyProbe::default(); self.backends.len()],
+        }
+    }
+
+    /// Replication lag of shard `idx`: primary `log_seq` minus the
+    /// standby's, when both sides have reported one.
+    fn repl_lag(&self, idx: usize, probes: &[StandbyProbe]) -> Option<u64> {
+        let primary = self.backends[idx].log_seq?;
+        let standby = probes.get(idx).and_then(|p| p.log_seq)?;
+        Some(primary.saturating_sub(standby))
+    }
+
+    /// The router's own Prometheus exposition: tier counters plus one
+    /// labelled series per shard (up/health/routed/role/log_seq/
+    /// replication lag and the router-observed RTT histogram). Shard
+    /// *engine* metrics are not re-exported here — scrape each engine's
+    /// own `--metrics-listen` for those; this endpoint is the router's
+    /// view of the tier.
+    fn router_prom(&self) -> String {
+        let mut w = PromText::new();
+        w.family(
+            "freqywm_router_info",
+            PromKind::Gauge,
+            "Router tier metadata; value is always 1.",
+        );
+        w.sample(
+            "freqywm_router_info",
+            &[("shards", &self.backends.len().to_string())],
+            1.0,
+        );
+        for (name, help, v) in [
+            (
+                "freqywm_router_clients_accepted_total",
+                "Client connections accepted.",
+                self.stats.accepted,
+            ),
+            (
+                "freqywm_router_forwarded_total",
+                "Requests forwarded to a shard.",
+                self.stats.forwarded,
+            ),
+            (
+                "freqywm_router_refused_total",
+                "Requests answered with a router-side error.",
+                self.stats.refused,
+            ),
+            (
+                "freqywm_router_inflight_failed_total",
+                "Forwarded requests errored because their backend died.",
+                self.stats.inflight_failed,
+            ),
+        ] {
+            w.scalar(name, PromKind::Counter, help, v as f64);
+        }
+        w.scalar(
+            "freqywm_router_clients_active",
+            PromKind::Gauge,
+            "Currently connected clients.",
+            self.clients.len() as f64,
+        );
+        w.scalar(
+            "freqywm_router_draining",
+            PromKind::Gauge,
+            "1 while the router is draining.",
+            if self.drain.is_some() { 1.0 } else { 0.0 },
+        );
+        let probes = self.standby_probes();
+        let shard_labels: Vec<String> = (0..self.backends.len()).map(|i| i.to_string()).collect();
+        w.family(
+            "freqywm_router_shard_info",
+            PromKind::Gauge,
+            "Shard address and replication role; value is always 1.",
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            w.sample(
+                "freqywm_router_shard_info",
+                &[
+                    ("shard", &shard_labels[i]),
+                    ("addr", &b.addr),
+                    ("role", b.role.as_deref().unwrap_or("unknown")),
+                ],
+                1.0,
+            );
+        }
+        type FlagGetter = fn(&BackendSlot) -> bool;
+        let flags: [(&str, &str, FlagGetter); 4] = [
+            ("freqywm_router_shard_up", "Backend connected.", |b| {
+                b.conn.is_some()
+            }),
+            (
+                "freqywm_router_shard_healthy",
+                "Last probe answered successfully.",
+                |b| b.healthy,
+            ),
+            (
+                "freqywm_router_shard_failed_over",
+                "Shard is served by a promoted standby.",
+                |b| b.failed_over,
+            ),
+            (
+                "freqywm_router_shard_standby_up",
+                "Configured standby answered its last probe.",
+                |b| b.standby.is_some(),
+            ),
+        ];
+        for (name, help, get) in flags {
+            w.family(name, PromKind::Gauge, help);
+            for (i, b) in self.backends.iter().enumerate() {
+                let v = if name == "freqywm_router_shard_standby_up" {
+                    get(b) && probes[i].up
+                } else {
+                    get(b)
+                };
+                w.sample(
+                    name,
+                    &[("shard", &shard_labels[i])],
+                    if v { 1.0 } else { 0.0 },
+                );
+            }
+        }
+        w.family(
+            "freqywm_router_shard_routed_total",
+            PromKind::Counter,
+            "Requests forwarded to this shard.",
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            w.sample(
+                "freqywm_router_shard_routed_total",
+                &[("shard", &shard_labels[i])],
+                b.routed as f64,
+            );
+        }
+        w.family(
+            "freqywm_router_shard_log_seq",
+            PromKind::Gauge,
+            "Durable-log sequence the shard primary last reported.",
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            if let Some(seq) = b.log_seq {
+                w.sample(
+                    "freqywm_router_shard_log_seq",
+                    &[("shard", &shard_labels[i])],
+                    seq as f64,
+                );
+            }
+        }
+        w.family(
+            "freqywm_router_shard_standby_log_seq",
+            PromKind::Gauge,
+            "Durable-log sequence the shard standby last reported.",
+        );
+        for i in 0..self.backends.len() {
+            if let Some(seq) = probes[i].log_seq {
+                w.sample(
+                    "freqywm_router_shard_standby_log_seq",
+                    &[("shard", &shard_labels[i])],
+                    seq as f64,
+                );
+            }
+        }
+        w.family(
+            "freqywm_router_shard_replication_lag",
+            PromKind::Gauge,
+            "Log events the standby trails its primary by (primary log_seq - standby log_seq).",
+        );
+        for (i, label) in shard_labels.iter().enumerate() {
+            if let Some(lag) = self.repl_lag(i, &probes) {
+                w.sample(
+                    "freqywm_router_shard_replication_lag",
+                    &[("shard", label)],
+                    lag as f64,
+                );
+            }
+        }
+        w.family(
+            "freqywm_router_shard_rtt_seconds",
+            PromKind::Histogram,
+            "Router-observed request round-trip time per shard (send to response, \
+             including the shard's own queueing and run time).",
+        );
+        for (i, b) in self.backends.iter().enumerate() {
+            latency_to_prom(
+                &mut w,
+                "freqywm_router_shard_rtt_seconds",
+                &[("shard", &shard_labels[i])],
+                &b.latency.snapshot(),
+            );
+        }
+        w.finish()
     }
 
     // ----- wakeup + connectors ----------------------------------------
@@ -843,17 +1301,39 @@ impl Router {
                 // Any line used to flip `healthy`, so a backend
                 // rejecting the router's hello (wrong token) oscillated
                 // healthy on its own error replies.
-                let ok = line_ok(&line);
+                let parsed = json::parse(&line).ok();
+                let ok = parsed
+                    .as_ref()
+                    .and_then(|v| v.get("ok"))
+                    .and_then(Value::as_bool)
+                    == Some(true);
                 self.backends[idx].healthy = ok;
                 if ok {
                     // …and a successful probe is also what proves the
                     // backend actually serves, so the reconnect backoff
                     // resets here, not on mere TCP accept.
                     self.backends[idx].backoff = self.config.reconnect_min;
+                    // The probe is a metrics response: keep the shard's
+                    // replication view (role, log_seq) fresh from it.
+                    if let Some(m) = parsed.as_ref().and_then(|v| v.get("metrics")) {
+                        self.note_shard_metrics(idx, m);
+                    }
                 }
             }
             Some(Pending::Hello) => {}
             Some(Pending::Promote) => self.finish_promotion(idx, line_ok(&line)),
+        }
+    }
+
+    /// Updates the cached replication view (role, log_seq) of shard
+    /// `idx` from a metrics object it reported — every probe and every
+    /// metrics fanout keeps these fresh without extra traffic.
+    fn note_shard_metrics(&mut self, idx: usize, metrics: &Value) {
+        if let Some(role) = metrics.get("role").and_then(Value::as_str) {
+            self.backends[idx].role = Some(role.to_string());
+        }
+        if let Some(seq) = metrics.get("log_seq").and_then(Value::as_u64) {
+            self.backends[idx].log_seq = Some(seq);
         }
     }
 
@@ -972,6 +1452,12 @@ impl Router {
     /// primary's address is dropped — after promotion the standby *is*
     /// the shard; seeding a replacement standby is an operator action.
     fn begin_failover(&mut self, idx: usize, standby: String) {
+        // The standby is about to become the primary: stop probing it
+        // as a standby (its slot in the prober's address list empties).
+        if let Some((state, _)) = &self.prober {
+            state.addrs.lock().expect("prober addrs")[idx] = None;
+            state.probes.lock().expect("prober probes")[idx] = StandbyProbe::default();
+        }
         let old = std::mem::replace(&mut self.backends[idx].addr, standby);
         self.backends[idx].promoting = Some(Instant::now() + self.config.failover_timeout);
         self.backends[idx].failed_over = true;
@@ -1179,14 +1665,14 @@ impl Router {
                 }
             }
             RouteInfo::Broadcast => {
-                // Both broadcast ops fan out to every live shard, but
-                // `trace` must forward the client's own request line
-                // (it carries the filter fields) where `metrics` sends
-                // a canonical probe.
-                let kind = if req.get("op").and_then(Value::as_str) == Some("trace") {
-                    FanoutKind::Trace
-                } else {
-                    FanoutKind::Metrics
+                // Broadcast ops fan out to every live shard; `trace`
+                // and `history` must forward the client's own request
+                // line (it carries filter/limit fields) where `metrics`
+                // sends a canonical probe.
+                let kind = match req.get("op").and_then(Value::as_str) {
+                    Some("trace") => FanoutKind::Trace,
+                    Some("history") => FanoutKind::History,
+                    _ => FanoutKind::Metrics,
                 };
                 self.start_fanout(fd, id.as_ref(), kind, line);
             }
@@ -1280,8 +1766,8 @@ impl Router {
         let request = match kind {
             FanoutKind::Metrics => "{\"op\":\"metrics\"}".to_string(),
             FanoutKind::Shutdown => "{\"op\":\"shutdown\"}".to_string(),
-            // The shards need the client's filter fields verbatim.
-            FanoutKind::Trace => line.to_string(),
+            // The shards need the client's filter/limit fields verbatim.
+            FanoutKind::Trace | FanoutKind::History => line.to_string(),
         };
         self.fanouts.insert(
             fanout_id,
@@ -1388,7 +1874,39 @@ impl Router {
                     rendered.join(",")
                 )
             }
+            FanoutKind::History => {
+                // Per-shard series, each the shard's own history
+                // response tagged with its index — rates and samples
+                // stay per-shard (summing histories across shards
+                // would blur exactly the skew `top` wants to show).
+                let mut series: Vec<String> = Vec::new();
+                for (i, piece) in f.pieces.iter().enumerate() {
+                    let Some(Value::Obj(fields)) = piece else {
+                        continue;
+                    };
+                    let mut fields: Vec<(String, Value)> = fields
+                        .iter()
+                        .filter(|(k, _)| k != "ok" && k != "op" && k != "id")
+                        .cloned()
+                        .collect();
+                    fields.insert(0, ("shard_index".to_string(), Value::Num(i as f64)));
+                    series.push(json::write(&Value::Obj(fields)));
+                }
+                format!(
+                    "{{\"ok\":true{},\"op\":\"history\",\"router\":true,\"series\":[{}]}}",
+                    f.id_part,
+                    series.join(",")
+                )
+            }
             FanoutKind::Metrics => {
+                // Fresh metrics in hand: refresh each shard's cached
+                // replication view before rendering the map.
+                for i in 0..self.backends.len() {
+                    if let Some(m) = f.pieces[i].as_ref().and_then(|v| v.get("metrics")).cloned() {
+                        self.note_shard_metrics(i, &m);
+                    }
+                }
+                let probes = self.standby_probes();
                 let pieces: Vec<ShardMetricsPiece> = (0..self.backends.len())
                     .map(|i| ShardMetricsPiece {
                         index: i,
@@ -1407,10 +1925,18 @@ impl Router {
                             Some(s) => format!("\"{}\"", json::escape(s)),
                             None => "null".to_string(),
                         };
+                        let role = match &b.role {
+                            Some(r) => format!("\"{}\"", json::escape(r)),
+                            None => "null".to_string(),
+                        };
+                        let num_or_null =
+                            |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
                         format!(
                             concat!(
                                 "{{\"shard\":{},\"addr\":\"{}\",\"up\":{},\"healthy\":{},",
                                 "\"standby\":{},\"promoting\":{},\"failed_over\":{},",
+                                "\"role\":{},\"log_seq\":{},\"standby_log_seq\":{},",
+                                "\"repl_lag\":{},",
                                 "\"routed\":{},\"latency\":{{\"count\":{},\"mean_us\":{:.0},",
                                 "\"p50_us\":{},\"p99_us\":{}}}}}"
                             ),
@@ -1421,6 +1947,10 @@ impl Router {
                             standby,
                             b.promoting.is_some(),
                             b.failed_over,
+                            role,
+                            num_or_null(b.log_seq),
+                            num_or_null(probes.get(i).and_then(|p| p.log_seq)),
+                            num_or_null(self.repl_lag(i, &probes)),
                             b.routed,
                             lat.count,
                             lat.mean_micros(),
@@ -1527,6 +2057,9 @@ impl Router {
         });
         if let Some(listener) = self.listener.take() {
             let _ = self.poller.deregister(listener.as_raw_fd());
+        }
+        if let Some(ml) = self.metrics_listener.take() {
+            let _ = self.poller.deregister(ml.as_raw_fd());
         }
         // Parked requests can never complete during a drain (no
         // reconnects, no promotions run) — error them now so their
