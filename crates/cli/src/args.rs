@@ -90,6 +90,21 @@ pub enum Command {
         /// Per-request auth token.
         auth: Option<String>,
     },
+    /// One-shot quota client: reads or sets a tenant's per-op-class
+    /// admission budgets via the `quota` protocol op, on an engine
+    /// directly or through the router (the op routes by tenant hash).
+    Quota {
+        connect: String,
+        tenant: String,
+        /// Embed-budget per window; omitted classes stay unlimited
+        /// when setting.
+        embed: Option<u64>,
+        detect: Option<u64>,
+        maintain: Option<u64>,
+        window_ms: Option<u64>,
+        /// Per-request auth token.
+        auth: Option<String>,
+    },
     /// Queries recent spans from a running `serve --listen` engine or
     /// a `router` tier over TCP (the `trace` protocol op).
     Trace {
@@ -147,6 +162,15 @@ pub struct EngineOpts {
     pub retain_snapshots: usize,
     /// Milliseconds between retained metrics snapshots.
     pub retain_interval_ms: u64,
+    /// Default per-tenant embed budget per quota window; `None` is
+    /// unlimited. Tenants can be overridden live via the `quota` op.
+    pub quota_embed: Option<u64>,
+    /// Default per-tenant detect budget per quota window.
+    pub quota_detect: Option<u64>,
+    /// Default per-tenant maintain budget per quota window.
+    pub quota_maintain: Option<u64>,
+    /// Width of the quota sliding window in milliseconds.
+    pub quota_window_ms: Option<u64>,
 }
 
 impl Default for EngineOpts {
@@ -164,6 +188,10 @@ impl Default for EngineOpts {
             slow_ms: None,
             retain_snapshots: 240,
             retain_interval_ms: 1000,
+            quota_embed: None,
+            quota_detect: None,
+            quota_maintain: None,
+            quota_window_ms: None,
         }
     }
 }
@@ -288,6 +316,8 @@ USAGE:
                    [--retain-snapshots 240] [--retain-interval-ms 1000]
                    [--data-dir <dir>] [--snapshot-every 256] [--ledger-key K]
                    [--follow <primary-addr>] [--follow-token T]
+                   [--quota-embed N] [--quota-detect N] [--quota-maintain N]
+                   [--quota-window-ms 60000]
   freqywm router   --listen <addr> --shard <addr>[,<standby>]
                    [--shard <addr>[,<standby>] ...]
                    [--metrics-listen <addr>]
@@ -297,6 +327,8 @@ USAGE:
   freqywm metrics  --connect <addr> [--prom] [--check] [--auth TOKEN]
   freqywm top      --connect <addr> [--interval-ms 1000] [--once]
                    [--auth TOKEN]
+  freqywm quota    --connect <addr> --tenant T [--embed N] [--detect N]
+                   [--maintain N] [--window-ms MS] [--auth TOKEN]
   freqywm trace    --connect <addr> [--trace ID] [--tenant T] [--for-op OP]
                    [--min-ms MS] [--limit N] [--auth TOKEN]
   freqywm batch    --input <requests.jsonl> [--workers 4] [--queue 1024]
@@ -353,6 +385,17 @@ parser). The engine also retains a ring of periodic metrics snapshots
 --connect <addr>` polls `metrics` + `history` into a refreshing
 per-shard dashboard (`--once` prints a single frame for scripts). See
 docs/observability.md.
+
+`serve --quota-embed/--quota-detect/--quota-maintain N` cap every
+tenant at N jobs of that class per sliding `--quota-window-ms` window
+(default 60 s); an omitted class is unlimited. Jobs over budget are
+refused at admission with a typed `quota_exhausted` error carrying a
+`retry_after_ms` hint — they never occupy the queue. `freqywm quota
+--connect <addr> --tenant T` reads a tenant's effective budgets and
+window usage; adding `--embed/--detect/--maintain/--window-ms` sets
+them live (persisted in the registry log, replicated to standbys; an
+omitted class becomes unlimited for that tenant). Works against an
+engine or the router. See docs/quotas.md.
 
 `trace` connects to a running `serve --listen` engine (or a `router`,
 which fans the query out to every shard) and prints the recent stage
@@ -437,7 +480,20 @@ fn parse_engine_opts(f: &HashMap<String, String>) -> Result<EngineOpts, String> 
             .transpose()?,
         retain_snapshots: opt_parse(f, "retain-snapshots", defaults.retain_snapshots)?,
         retain_interval_ms: opt_parse(f, "retain-interval-ms", defaults.retain_interval_ms)?,
+        quota_embed: opt_u64(f, "quota-embed")?,
+        quota_detect: opt_u64(f, "quota-detect")?,
+        quota_maintain: opt_u64(f, "quota-maintain")?,
+        quota_window_ms: opt_u64(f, "quota-window-ms")?,
     })
+}
+
+fn opt_u64(f: &HashMap<String, String>, key: &str) -> Result<Option<u64>, String> {
+    f.get(key)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("bad value for --{key}: {v:?}"))
+        })
+        .transpose()
 }
 
 /// Parses the command line (excluding the program name).
@@ -631,6 +687,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 connect: req(&f, "connect")?,
                 interval_ms: opt_parse(&f, "interval-ms", 1000u64)?,
                 once: f.contains_key("once"),
+                auth: f.get("auth").cloned(),
+            })
+        }
+        "quota" => {
+            let f = parse_flags(rest)?;
+            Ok(Command::Quota {
+                connect: req(&f, "connect")?,
+                tenant: req(&f, "tenant")?,
+                embed: opt_u64(&f, "embed")?,
+                detect: opt_u64(&f, "detect")?,
+                maintain: opt_u64(&f, "maintain")?,
+                window_ms: opt_u64(&f, "window-ms")?,
                 auth: f.get("auth").cloned(),
             })
         }
@@ -1181,6 +1249,68 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse_args(&v(&["serve", "--retain-snapshots", "lots"])).is_err());
+    }
+
+    #[test]
+    fn quota_flags_on_serve_and_one_shot() {
+        let c = parse_args(&v(&[
+            "serve",
+            "--quota-embed",
+            "100",
+            "--quota-window-ms",
+            "5000",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { engine, .. } => {
+                assert_eq!(engine.quota_embed, Some(100));
+                assert_eq!(engine.quota_detect, None);
+                assert_eq!(engine.quota_maintain, None);
+                assert_eq!(engine.quota_window_ms, Some(5000));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["serve"])).unwrap() {
+            Command::Serve { engine, .. } => {
+                assert_eq!(engine.quota_embed, None);
+                assert_eq!(engine.quota_window_ms, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&v(&["serve", "--quota-embed", "lots"])).is_err());
+
+        let c = parse_args(&v(&[
+            "quota",
+            "--connect",
+            "x:1",
+            "--tenant",
+            "acme",
+            "--embed",
+            "50",
+            "--auth",
+            "tok",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Quota {
+                connect: "x:1".into(),
+                tenant: "acme".into(),
+                embed: Some(50),
+                detect: None,
+                maintain: None,
+                window_ms: None,
+                auth: Some("tok".into()),
+            }
+        );
+        assert!(
+            parse_args(&v(&["quota", "--connect", "x:1"])).is_err(),
+            "quota needs --tenant"
+        );
+        assert!(
+            parse_args(&v(&["quota", "--tenant", "t"])).is_err(),
+            "quota needs --connect"
+        );
     }
 
     #[test]

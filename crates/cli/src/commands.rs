@@ -49,6 +49,16 @@ fn engine_config(opts: &EngineOpts) -> EngineConfig {
         slow_ms: opts.slow_ms,
         retain_snapshots: opts.retain_snapshots.max(2),
         retain_interval_ms: opts.retain_interval_ms.max(10),
+        quota: {
+            let mut quota = freqywm_service::QuotaConfig::default();
+            quota.limits.embed = opts.quota_embed.unwrap_or(freqywm_service::UNLIMITED);
+            quota.limits.detect = opts.quota_detect.unwrap_or(freqywm_service::UNLIMITED);
+            quota.limits.maintain = opts.quota_maintain.unwrap_or(freqywm_service::UNLIMITED);
+            if let Some(window_ms) = opts.quota_window_ms {
+                quota.window_ms = window_ms;
+            }
+            quota
+        },
         ..EngineConfig::default()
     }
 }
@@ -515,6 +525,42 @@ fn run_inner(cmd: Command, out: &mut dyn std::io::Write) -> Result<i32, String> 
             once,
             auth,
         } => crate::top::run_top(&connect, interval_ms, once, auth.as_deref(), out),
+        Command::Quota {
+            connect,
+            tenant,
+            embed,
+            detect,
+            maintain,
+            window_ms,
+            auth,
+        } => {
+            use freqywm_service::proto::json;
+            let mut req = format!(
+                "{{\"op\":\"quota\",\"tenant\":\"{}\"",
+                json::escape(&tenant)
+            );
+            for (key, value) in [
+                ("embed", embed),
+                ("detect", detect),
+                ("maintain", maintain),
+                ("window_ms", window_ms),
+            ] {
+                if let Some(n) = value {
+                    req.push_str(&format!(",\"{key}\":{n}"));
+                }
+            }
+            if let Some(token) = &auth {
+                req.push_str(&format!(",\"auth\":\"{}\"", json::escape(token)));
+            }
+            req.push('}');
+            let response = one_shot_request(&connect, &req)?;
+            writeln!(out, "{response}").ok();
+            Ok(if response.starts_with("{\"ok\":true") {
+                0
+            } else {
+                1
+            })
+        }
         Command::Trace {
             connect,
             trace,
@@ -920,6 +966,41 @@ mod tests {
         assert_eq!(code, 1, "{log}");
         assert!(log.contains("FAILED"), "{log}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_enforces_quota_budgets() {
+        let reqs = tmp("quota-requests.jsonl");
+        let counts: Vec<String> = (0..60u64)
+            .map(|i| format!("[\"token-{i:02}\",{}]", 2_000 / (i + 1)))
+            .collect();
+        let counts = format!("[{}]", counts.join(","));
+        // The default engine budget (--quota-embed 1) admits the first
+        // embed; the live `quota` op raises it so the third passes too.
+        fs::write(
+            &reqs,
+            format!(
+                concat!(
+                    "{{\"op\":\"register\",\"tenant\":\"q\",\"secret_label\":\"cli-quota\"}}\n",
+                    "{{\"op\":\"embed\",\"tenant\":\"q\",\"z\":19,\"counts\":{c}}}\n",
+                    "{{\"op\":\"embed\",\"tenant\":\"q\",\"z\":19,\"counts\":{c}}}\n",
+                    "{{\"op\":\"quota\",\"tenant\":\"q\",\"embed\":100}}\n",
+                    "{{\"op\":\"embed\",\"tenant\":\"q\",\"z\":19,\"counts\":{c}}}\n",
+                ),
+                c = counts
+            ),
+        )
+        .unwrap();
+        let (code, log) = run_line(&["batch", "--input", &reqs, "--quota-embed", "1"]);
+        // One refused request → nonzero, like any failed batch line.
+        assert_eq!(code, 1, "{log}");
+        let lines: Vec<&str> = log.trim().lines().collect();
+        assert_eq!(lines.len(), 5, "{log}");
+        assert!(lines[1].contains("\"ok\":true"), "{log}");
+        assert!(lines[2].contains("quota_exhausted"), "{log}");
+        assert!(lines[2].contains("retry_after_ms"), "{log}");
+        assert!(lines[3].contains("\"op\":\"quota\""), "{log}");
+        assert!(lines[4].contains("\"ok\":true"), "{log}");
     }
 
     #[test]

@@ -91,8 +91,7 @@ fn parse_ok(line: &str, op: &str) -> Result<Value, String> {
     Ok(v)
 }
 
-const ROW_HEADER: &str =
-    " shard  role      health    qps    p50_us    p99_us   wait%    hit%    log_seq    lag   addr";
+const ROW_HEADER: &str = " shard  role      health    qps  refus/s    p50_us    p99_us   wait%    hit%    log_seq    lag   addr";
 
 #[allow(clippy::too_many_arguments)]
 fn push_row(
@@ -101,6 +100,7 @@ fn push_row(
     role: &str,
     health: &str,
     qps: Option<f64>,
+    refused_per_s: Option<f64>,
     p50: Option<u64>,
     p99: Option<u64>,
     wait_share: Option<f64>,
@@ -110,11 +110,12 @@ fn push_row(
     addr: &str,
 ) {
     text.push_str(&format!(
-        "{:>6}  {:<8}  {:<6}{:>7}  {:>8}  {:>8}  {:>6}  {:>6}  {:>9}  {:>5}   {}\n",
+        "{:>6}  {:<8}  {:<6}{:>7}  {:>7}  {:>8}  {:>8}  {:>6}  {:>6}  {:>9}  {:>5}   {}\n",
         shard,
         role,
         health,
         fmt_f(qps, 1),
+        fmt_f(refused_per_s, 1),
         fmt_u(p50),
         fmt_u(p99),
         fmt_f(wait_share.map(|s| s * 100.0), 1),
@@ -220,6 +221,7 @@ fn render_router(text: &mut String, metrics: &Value, history: &Value) {
             s.get("role").and_then(Value::as_str).unwrap_or("?"),
             health,
             rates.and_then(|r| get_f64(r, "completed_per_s")),
+            rates.and_then(|r| get_f64(r, "quota_refused_per_s")),
             lat.and_then(|l| get_u64(l, "p50_us")),
             lat.and_then(|l| get_u64(l, "p99_us")),
             rates.and_then(|r| get_f64(r, "queue_wait_share")),
@@ -257,6 +259,7 @@ fn render_single(text: &mut String, connect: &str, metrics: &Value, history: &Va
         m.get("role").and_then(Value::as_str).unwrap_or("single"),
         "ok",
         rates.and_then(|r| get_f64(r, "completed_per_s")),
+        rates.and_then(|r| get_f64(r, "quota_refused_per_s")),
         lat.and_then(|l| get_u64(l, "p50_us")),
         lat.and_then(|l| get_u64(l, "p99_us")),
         rates.and_then(|r| get_f64(r, "queue_wait_share")),
@@ -267,10 +270,13 @@ fn render_single(text: &mut String, connect: &str, metrics: &Value, history: &Va
     );
 }
 
-/// Top-tenants-by-ops panel: per-tenant completed op counts, summed
-/// across shards when scraping a router.
+/// Top-tenants-by-ops panel: per-tenant completed op counts plus
+/// quota-refused counts, summed across shards when scraping a router.
+/// A tenant with a climbing refused column and a flat ops column is
+/// starving on its budget — the signal `docs/quotas.md` keys its
+/// runbook on.
 fn render_tenants(text: &mut String, metrics: &Value) {
-    let mut acc: Vec<(String, u64)> = Vec::new();
+    let mut acc: Vec<(String, u64, u64)> = Vec::new();
     let Some(m) = metrics.get("metrics") else {
         return;
     };
@@ -288,22 +294,29 @@ fn render_tenants(text: &mut String, metrics: &Value) {
         return;
     }
     acc.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    text.push_str("\ntop tenants by ops:\n");
-    for (tenant, ops) in acc.iter().take(8) {
-        text.push_str(&format!("  {tenant:<24} {ops:>8}\n"));
+    text.push_str(&format!(
+        "\ntop tenants by ops:\n  {:<24} {:>8} {:>8}\n",
+        "tenant", "ops", "refused"
+    ));
+    for (tenant, ops, refused) in acc.iter().take(8) {
+        text.push_str(&format!("  {tenant:<24} {ops:>8} {refused:>8}\n"));
     }
 }
 
-fn accumulate_tenants(m: &Value, acc: &mut Vec<(String, u64)>) {
+fn accumulate_tenants(m: &Value, acc: &mut Vec<(String, u64, u64)>) {
     if let Some(Value::Obj(rows)) = m.get("per_tenant") {
         for (tenant, row) in rows {
             let ops: u64 = ["embed", "detect", "maintain"]
                 .iter()
                 .filter_map(|k| get_u64(row, k))
                 .sum();
-            match acc.iter_mut().find(|(t, _)| t == tenant) {
-                Some((_, v)) => *v += ops,
-                None => acc.push((tenant.clone(), ops)),
+            let refused = get_u64(row, "quota_refused").unwrap_or(0);
+            match acc.iter_mut().find(|(t, ..)| t == tenant) {
+                Some((_, o, r)) => {
+                    *o += ops;
+                    *r += refused;
+                }
+                None => acc.push((tenant.clone(), ops, refused)),
             }
         }
     }
@@ -330,7 +343,8 @@ mod tests {
         "\"totals\":{\"completed\":9,\"failed\":0},",
         "\"per_shard\":[{\"shard\":0,\"addr\":\"127.0.0.1:7701\",\"up\":true,",
         "\"metrics\":{\"latency\":{\"p50_us\":640,\"p99_us\":1700},",
-        "\"per_tenant\":{\"acme\":{\"embed\":2,\"detect\":3,\"maintain\":0,\"rejected\":0},",
+        "\"per_tenant\":{\"acme\":{\"embed\":2,\"detect\":3,\"maintain\":0,",
+        "\"rejected\":0,\"quota_refused\":4},",
         "\"globex\":{\"embed\":1,\"detect\":0,\"maintain\":0,\"rejected\":0}}}},",
         "{\"shard\":1,\"addr\":\"127.0.0.1:7702\",\"up\":false,\"metrics\":null}]}}",
     );
@@ -339,6 +353,7 @@ mod tests {
         "{\"ok\":true,\"op\":\"history\",\"router\":true,\"series\":[",
         "{\"shard_index\":0,\"retain\":{\"capacity\":240,\"interval_ms\":1000},",
         "\"count\":2,\"rates\":{\"window_s\":1.0,\"completed_per_s\":6.5,",
+        "\"quota_refused_per_s\":1.5,",
         "\"cache_hit_rate\":0.9,\"queue_wait_share\":0.05}}]}",
     );
 
@@ -357,7 +372,7 @@ mod tests {
             .find(|l| l.contains("127.0.0.1:7701"))
             .expect("shard 0 row");
         for needle in [
-            "primary", "ok", "6.5", "640", "1700", "5.0", "90.0", "42", "2",
+            "primary", "ok", "6.5", "1.5", "640", "1700", "5.0", "90.0", "42", "2",
         ] {
             assert!(row0.contains(needle), "{needle:?} missing from {row0:?}");
         }
@@ -368,7 +383,10 @@ mod tests {
             .expect("shard 1 row");
         assert!(row1.contains("down"), "{row1}");
         assert!(row1.contains('-'), "{row1}");
-        // Tenants merge across shards, ordered by op count.
+        // Tenants merge across shards, ordered by op count, with the
+        // quota-refused count alongside.
+        let acme_line = text.lines().find(|l| l.contains("acme")).unwrap();
+        assert!(acme_line.contains('4'), "{acme_line}");
         let acme = text.lines().position(|l| l.contains("acme")).unwrap();
         let globex = text.lines().position(|l| l.contains("globex")).unwrap();
         assert!(acme < globex, "{text}");

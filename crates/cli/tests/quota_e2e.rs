@@ -1,0 +1,373 @@
+//! Multi-process quota end-to-end: the real `freqywm router` binary in
+//! front of two real `freqywm serve --data-dir` shards, 50 tenants.
+//!
+//! Acceptance (the tentpole's contract):
+//!  * a greedy tenant driving 10× its embed budget gets typed
+//!    `quota_exhausted` refusals with a retry-after hint, while the 49
+//!    co-tenants complete with zero errors and a bounded p99;
+//!  * the refusals are visible everywhere an operator looks: the
+//!    `quota` op, the router's aggregated `metrics` totals, the
+//!    `GET /metrics` Prometheus scrape and `freqywm top --once`;
+//!  * budgets AND the consumed window survive a SIGKILL + restart of
+//!    the shard, and raising the budget live unblocks the tenant.
+#![cfg(unix)]
+
+use freqywm_shard::tenant_shard;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 49;
+const THREADS: usize = 7;
+const GREEDY: &str = "qt-greedy";
+const BUDGET: usize = 4;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp).expect("read response");
+        assert!(n > 0, "server closed mid-request");
+        resp.trim_end().to_string()
+    }
+}
+
+fn counts_json(n: usize) -> String {
+    let entries: Vec<String> = (0..n)
+        .map(|i| format!("[\"tok{i:02}\",{}]", 2_000 / (i + 1) + 3 * (n - i)))
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn read_announcements(child: &mut Child, want_metrics: bool) -> (SocketAddr, Option<SocketAddr>) {
+    let stdout = child.stdout.take().expect("captured stdout");
+    let mut reader = BufReader::new(stdout);
+    let (mut addr, mut metrics) = (None, None);
+    for _ in 0..30 {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read announcement") == 0 {
+            break;
+        }
+        if let Some(rest) = line.trim().strip_prefix("listening on ") {
+            addr = Some(rest.parse().expect("parse bound address"));
+        }
+        if let Some(rest) = line.trim().strip_prefix("metrics on ") {
+            metrics = Some(rest.parse().expect("parse metrics address"));
+        }
+        if addr.is_some() && (!want_metrics || metrics.is_some()) {
+            break;
+        }
+    }
+    let addr = addr.expect("no `listening on` announcement");
+    assert!(
+        !want_metrics || metrics.is_some(),
+        "no `metrics on` announcement"
+    );
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    (addr, metrics)
+}
+
+/// A durable shard with a scrape port and fast retention sampling (so
+/// `top` has rates to render).
+fn spawn_shard(shard: usize, data_dir: &str) -> (Child, SocketAddr, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--metrics-listen",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--retain-snapshots",
+            "64",
+            "--retain-interval-ms",
+            "100",
+            "--data-dir",
+            data_dir,
+            "--shard-id",
+            &format!("{shard}/2"),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm serve shard");
+    let (addr, metrics) = read_announcements(&mut child, true);
+    (child, addr, metrics.expect("shard metrics addr"))
+}
+
+fn spawn_router(shard_addrs: &[SocketAddr]) -> (Child, SocketAddr) {
+    let mut args = vec![
+        "router".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+    ];
+    for a in shard_addrs {
+        args.push("--shard".to_string());
+        args.push(a.to_string());
+    }
+    let mut child = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn freqywm router");
+    let (addr, _) = read_announcements(&mut child, false);
+    (child, addr)
+}
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_freqywm"))
+        .args(args)
+        .output()
+        .expect("run freqywm");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+fn tmp_dir(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("freqywm-quota-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p.to_string_lossy().into_owned()
+}
+
+fn tenant_name(i: usize) -> String {
+    format!("qt-{i:03}")
+}
+
+fn wait_until_shards_up(c: &mut Client, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let m = c.request(r#"{"op":"metrics"}"#);
+        if m.contains(&format!("\"shards_up\":{want}")) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "shards never came up: {m}");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+}
+
+#[test]
+fn greedy_tenant_is_refused_while_co_tenants_run_clean_and_budgets_survive_sigkill() {
+    let dirs = [tmp_dir("shard0"), tmp_dir("shard1")];
+    let (child0, addr0, metrics0) = spawn_shard(0, &dirs[0]);
+    let (child1, addr1, metrics1) = spawn_shard(1, &dirs[1]);
+    let mut shards = [(child0, addr0, metrics0), (child1, addr1, metrics1)];
+    let (mut router, router_addr) = spawn_router(&[addr0, addr1]);
+
+    let mut admin = Client::connect(router_addr);
+    wait_until_shards_up(&mut admin, 2);
+
+    // Onboard the greedy tenant with an explicit, tiny embed budget on
+    // a long window (nothing rotates out mid-test). The 49 co-tenants
+    // keep the engine default (unlimited).
+    let r = admin.request(&format!(
+        "{{\"op\":\"register\",\"tenant\":\"{GREEDY}\",\"secret_label\":\"quota-{GREEDY}\"}}"
+    ));
+    assert!(r.contains("\"ok\":true"), "register greedy: {r}");
+    let r = admin.request(&format!(
+        "{{\"op\":\"quota\",\"tenant\":\"{GREEDY}\",\"embed\":{BUDGET},\"window_ms\":600000}}"
+    ));
+    assert!(
+        r.contains("\"set\":true") && r.contains("\"source\":\"explicit\""),
+        "set quota: {r}"
+    );
+
+    // Greedy drives 10× its budget serially while the co-tenant
+    // workload runs concurrently on other connections.
+    let greedy = std::thread::spawn(move || {
+        let mut c = Client::connect(router_addr);
+        let (mut admitted, mut refused) = (0usize, 0usize);
+        for _ in 0..(10 * BUDGET) {
+            let r = c.request(&format!(
+                "{{\"op\":\"embed\",\"tenant\":\"{GREEDY}\",\"z\":19,\"counts\":{}}}",
+                counts_json(40)
+            ));
+            if r.contains("\"ok\":true") {
+                admitted += 1;
+            } else {
+                assert!(
+                    r.contains("\"error_kind\":\"quota_exhausted\"")
+                        && r.contains("\"op_class\":\"embed\"")
+                        && r.contains("\"retry_after_ms\":"),
+                    "refusal must be typed: {r}"
+                );
+                refused += 1;
+            }
+        }
+        (admitted, refused)
+    });
+    let workers: Vec<_> = (0..THREADS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(router_addr);
+                let mut durations = Vec::new();
+                for i in (w * TENANTS / THREADS)..((w + 1) * TENANTS / THREADS) {
+                    let t = tenant_name(i);
+                    let started = Instant::now();
+                    let r = c.request(&format!(
+                        "{{\"op\":\"register\",\"tenant\":\"{t}\",\"secret_label\":\"quota-{t}\"}}"
+                    ));
+                    assert!(r.contains("\"ok\":true"), "register {t}: {r}");
+                    let r = c.request(&format!(
+                        "{{\"op\":\"embed\",\"tenant\":\"{t}\",\"z\":19,\"counts\":{}}}",
+                        counts_json(40)
+                    ));
+                    assert!(r.contains("chosen_pairs"), "embed {t}: {r}");
+                    let r = c.request(&format!(
+                        "{{\"op\":\"detect\",\"tenant\":\"{t}\",\"t\":2,\"k\":1,\"counts\":{}}}",
+                        counts_json(40)
+                    ));
+                    assert!(r.contains("\"ok\":true"), "detect {t}: {r}");
+                    durations.push(started.elapsed());
+                }
+                durations
+            })
+        })
+        .collect();
+    let (admitted, refused) = greedy.join().expect("greedy workload failed");
+    let mut durations: Vec<Duration> = Vec::new();
+    for w in workers {
+        // Any co-tenant error already panicked inside the thread: the
+        // quota tier must be invisible to tenants within budget.
+        durations.extend(w.join().expect("co-tenant hit an error"));
+    }
+    assert_eq!(admitted, BUDGET, "exactly the budget is admitted");
+    assert_eq!(refused, 10 * BUDGET - BUDGET);
+    durations.sort();
+    let p99 = durations[(durations.len() * 99 / 100).min(durations.len() - 1)];
+    assert!(
+        p99 < Duration::from_secs(10),
+        "co-tenant p99 blew up under a greedy neighbor: {p99:?}"
+    );
+
+    // The `quota` op reports consumption and refusals for the tenant.
+    let r = admin.request(&format!("{{\"op\":\"quota\",\"tenant\":\"{GREEDY}\"}}"));
+    assert!(
+        r.contains(&format!("\"budgets\":{{\"embed\":{BUDGET}")),
+        "{r}"
+    );
+    assert!(r.contains(&format!("\"used\":{{\"embed\":{BUDGET}")), "{r}");
+    assert!(r.contains(&format!("\"refused\":{refused}")), "{r}");
+
+    // The router's aggregated totals carry the quota pressure.
+    let m = admin.request(r#"{"op":"metrics"}"#);
+    assert!(m.contains(&format!("\"quota_refused\":{refused}")), "{m}");
+
+    // The Prometheus scrape on the shard that owns the greedy tenant
+    // exposes the refusals, parser-validated.
+    let greedy_shard = tenant_shard(GREEDY, 2);
+    let (code, prom) = run_cli(&[
+        "metrics",
+        "--connect",
+        &shards[greedy_shard].2.to_string(),
+        "--prom",
+        "--check",
+    ]);
+    assert_eq!(code, 0, "scrape failed: {prom}");
+    assert!(prom.contains("# exposition OK"), "{prom}");
+    assert!(
+        prom.contains(&format!("freqywm_quota_refused_total {refused}")),
+        "{prom}"
+    );
+    assert!(
+        prom.contains(&format!(
+            "freqywm_tenant_quota_refused_total{{tenant=\"{GREEDY}\"}} {refused}"
+        )),
+        "{prom}"
+    );
+
+    // `freqywm top --once`: the refus/s column exists and the greedy
+    // tenant's refusal count shows in the tenant panel.
+    std::thread::sleep(Duration::from_millis(300));
+    let (code, frame) = run_cli(&["top", "--connect", &router_addr.to_string(), "--once"]);
+    assert_eq!(code, 0, "top failed: {frame}");
+    assert!(frame.contains("refus/s"), "{frame}");
+    let greedy_row = frame
+        .lines()
+        .find(|l| l.contains(GREEDY))
+        .unwrap_or_else(|| panic!("no tenant row for {GREEDY}:\n{frame}"));
+    assert!(greedy_row.contains(&refused.to_string()), "{greedy_row}");
+
+    // SIGKILL the greedy tenant's shard — no drain, no checkpoint on
+    // exit — and restart it on the same data-dir. The explicit budget
+    // (SetQuota) and the consumed window (QuotaCheckpoint) must both
+    // come back from the replayed log: a crash is not a budget reset.
+    shards[greedy_shard].0.kill().expect("SIGKILL shard");
+    shards[greedy_shard].0.wait().expect("reap shard");
+    let (revived, revived_addr, _revived_metrics) = spawn_shard(greedy_shard, &dirs[greedy_shard]);
+    shards[greedy_shard].0 = revived;
+    let mut direct = Client::connect(revived_addr);
+    let r = direct.request(&format!("{{\"op\":\"quota\",\"tenant\":\"{GREEDY}\"}}"));
+    assert!(
+        r.contains("\"source\":\"explicit\"")
+            && r.contains(&format!("\"budgets\":{{\"embed\":{BUDGET}"))
+            && r.contains(&format!("\"used\":{{\"embed\":{BUDGET}")),
+        "quota state lost across SIGKILL: {r}"
+    );
+    let r = direct.request(&format!(
+        "{{\"op\":\"embed\",\"tenant\":\"{GREEDY}\",\"z\":19,\"counts\":{}}}",
+        counts_json(40)
+    ));
+    assert!(
+        r.contains("\"error_kind\":\"quota_exhausted\""),
+        "budget must still be spent after restart: {r}"
+    );
+
+    // The runbook move, via the one-shot subcommand: raise the budget
+    // live; the tenant unblocks immediately.
+    let (code, out) = run_cli(&[
+        "quota",
+        "--connect",
+        &revived_addr.to_string(),
+        "--tenant",
+        GREEDY,
+        "--embed",
+        "100",
+        "--window-ms",
+        "600000",
+    ]);
+    assert_eq!(code, 0, "quota subcommand failed: {out}");
+    assert!(out.contains("\"set\":true"), "{out}");
+    let r = direct.request(&format!(
+        "{{\"op\":\"embed\",\"tenant\":\"{GREEDY}\",\"z\":19,\"counts\":{}}}",
+        counts_json(40)
+    ));
+    assert!(r.contains("\"ok\":true"), "raised budget must admit: {r}");
+
+    router.kill().expect("kill router");
+    router.wait().expect("reap router");
+    for (mut child, _, _) in shards {
+        child.kill().expect("kill shard");
+        child.wait().expect("reap shard");
+    }
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

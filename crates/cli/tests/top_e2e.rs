@@ -183,8 +183,8 @@ fn wait_until_shards_up(c: &mut Client, want: usize) {
 }
 
 /// Splits the `freqywm top` row for `addr` into its whitespace
-/// columns: shard, role, health, qps, p50, p99, wait%, hit%,
-/// log_seq, lag, addr.
+/// columns: shard, role, health, qps, refus/s, p50, p99, wait%,
+/// hit%, log_seq, lag, addr.
 fn top_row(frame: &str, addr: SocketAddr) -> Vec<String> {
     frame
         .lines()
@@ -339,13 +339,16 @@ fn scrape_history_and_top_against_a_replicated_tier() {
                 .parse()
                 .unwrap_or_else(|_| panic!("{label} qps not numeric: {row:?}"));
             assert!(qps > 0.0, "{label} idle under live traffic: {row:?}");
-            row[5]
+            row[4]
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("{label} refus/s not numeric: {row:?}"));
+            row[6]
                 .parse::<u64>()
                 .unwrap_or_else(|_| panic!("{label} p99 not numeric: {row:?}"));
-            row[8]
+            row[9]
                 .parse::<u64>()
                 .unwrap_or_else(|_| panic!("{label} log_seq not numeric: {row:?}"));
-            row[9]
+            row[10]
                 .parse::<u64>()
                 .unwrap_or_else(|_| panic!("{label} repl lag not numeric: {row:?}"));
         }

@@ -38,6 +38,7 @@ use crate::job::{
 use crate::metrics::{HistorySample, Metrics, MetricsSnapshot, NetCounters};
 use crate::persist::DurableRegistry;
 use crate::prf_cache::{PrfCache, PrfCacheConfig};
+use crate::quota::{QuotaConfig, QuotaLimits, QuotaManager, QuotaStatus};
 use crate::shard::{sharded_histogram_cancellable, Cancellation};
 use crate::storage::{NullStorage, Storage};
 use freqywm_core::detect::detect_histogram_with;
@@ -143,6 +144,10 @@ pub struct EngineConfig {
     /// [`ServiceError::ReadOnlyFollower`]; reads (detect, dispute,
     /// metrics, trace) serve normally from the replicated state.
     pub follow: Option<String>,
+    /// Default per-tenant op-class budgets over a sliding window
+    /// (`--quota-*` flags). Tenants without an explicit `quota` op
+    /// inherit these; the default is unlimited.
+    pub quota: QuotaConfig,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +167,7 @@ impl Default for EngineConfig {
             retain_snapshots: 240,
             retain_interval_ms: 1000,
             follow: None,
+            quota: QuotaConfig::default(),
         }
     }
 }
@@ -215,6 +221,9 @@ struct Shared {
     sampler_stop: (Mutex<bool>, Condvar),
     /// Token bucket gating the stderr slow-request log.
     slow_log: Mutex<SlowLogLimiter>,
+    /// Per-tenant admission gate: op-class budgets over sliding
+    /// windows, deduct-or-refuse before a job can enter the queue.
+    quota: QuotaManager,
 }
 
 /// Token bucket for the slow-request log: refilled at
@@ -327,6 +336,7 @@ impl Engine {
                 tokens: config.slow_log_per_s.max(1.0),
                 last: Instant::now(),
             }),
+            quota: QuotaManager::new(config.quota),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
@@ -337,6 +347,10 @@ impl Engine {
             state: AtomicU8::new(STATE_RUNNING),
             completion_hook: RwLock::new(None),
         });
+        // Restore persisted quota state (explicit limits + the last
+        // consumed-window checkpoints) so a restart does not reset an
+        // abuser's window.
+        resync_quota(&shared);
         let worker_count = shared.config.workers.max(1);
         let mut workers = Vec::with_capacity(worker_count);
         for _ in 0..worker_count {
@@ -376,11 +390,62 @@ impl Engine {
     /// is durably logged before it takes effect.
     pub fn remove_tenant(&self, tenant: &str) -> Result<bool> {
         self.check_writable()?;
-        self.shared
+        let removed = self
+            .shared
             .registry
             .write()
             .expect("registry lock poisoned")
-            .remove_tenant(tenant)
+            .remove_tenant(tenant)?;
+        if removed {
+            self.shared.quota.remove(tenant);
+        }
+        Ok(removed)
+    }
+
+    /// Sets a tenant's explicit per-op-class budgets (the `quota`
+    /// admin op). Durably logged through the registry log — so the
+    /// limits survive restarts and replicate to followers — then
+    /// applied to the live admission gate. Primary only.
+    pub fn set_quota(
+        &self,
+        tenant: &str,
+        limits: QuotaLimits,
+        window_ms: Option<u64>,
+    ) -> Result<()> {
+        self.check_writable()?;
+        check_shard(&self.shared, tenant)?;
+        let window_ms = window_ms.unwrap_or(self.shared.config.quota.window_ms);
+        {
+            let mut registry = self
+                .shared
+                .registry
+                .write()
+                .expect("registry lock poisoned");
+            // Tick under the lock (see Engine::register_tenant).
+            let now = self.shared.clock.fetch_add(1, Ordering::Relaxed);
+            registry.set_quota(tenant, limits, window_ms, now)?;
+        }
+        self.shared.quota.set_limits(tenant, limits, window_ms);
+        Ok(())
+    }
+
+    /// Effective quota state plus in-window consumption for one tenant
+    /// (the read half of the `quota` op). Serves on followers too.
+    pub fn quota_status(&self, tenant: &str) -> Result<QuotaStatus> {
+        check_shard(&self.shared, tenant)?;
+        if !self
+            .shared
+            .registry
+            .read()
+            .expect("registry lock poisoned")
+            .contains(tenant)
+        {
+            return Err(ServiceError::UnknownTenant(tenant.to_string()));
+        }
+        Ok(self
+            .shared
+            .quota
+            .status(tenant, freqywm_obs::now_us() / 1000))
     }
 
     /// Read access to the registry (claims inspection, ledger audits).
@@ -455,6 +520,10 @@ impl Engine {
         // Keep the serving clock above every replicated timestamp so
         // chronology stays monotone if this replica is promoted.
         self.shared.clock.fetch_max(floor + 1, Ordering::SeqCst);
+        // Replicated quota events (explicit limits, consumed-window
+        // checkpoints) take effect on this follower's own admission
+        // gate; seeding is idempotent per checkpoint timestamp.
+        resync_quota(&self.shared);
         Ok(next_seq)
     }
 
@@ -487,6 +556,8 @@ impl Engine {
         let floor = registry.clock_floor();
         drop(registry);
         self.shared.clock.fetch_max(floor + 1, Ordering::SeqCst);
+        // The new primary enforces the replicated quota state.
+        resync_quota(&self.shared);
         Ok(report)
     }
 
@@ -521,6 +592,28 @@ impl Engine {
         {
             return reject(ServiceError::ReadOnlyFollower);
         }
+        // Quota admission: deduct-or-refuse. A refused job never enters
+        // the queue and must not look like it ran — it bumps only the
+        // quota counters, never submitted/rejected, the queue-wait
+        // histogram or the per-tenant op counters.
+        let kind = spec.payload.kind();
+        let now_ms = freqywm_obs::now_us() / 1000;
+        let outcome = self.shared.quota.check(&tenant, kind, now_ms);
+        if let Some(used) = outcome.checkpoint {
+            checkpoint_quota(&self.shared, &tenant, used, now_ms);
+        }
+        if let Some((kind, retry_after_ms)) = outcome.refused {
+            self.shared
+                .jobs
+                .lock()
+                .expect("jobs lock poisoned")
+                .remove(&id);
+            self.shared.metrics.quota_refused(&tenant);
+            return Err(ServiceError::QuotaExhausted {
+                kind,
+                retry_after_ms,
+            });
+        }
         {
             let mut queue = self.shared.queue.lock().expect("queue lock poisoned");
             // The state check lives under the queue lock: workers only
@@ -530,10 +623,14 @@ impl Engine {
             // workers that will pop it while draining).
             if self.shared.state.load(Ordering::SeqCst) != STATE_RUNNING {
                 drop(queue);
+                // The quota deduction above must not stand for a job
+                // the queue then refused.
+                self.shared.quota.refund(&tenant, kind, now_ms);
                 return reject(ServiceError::ShuttingDown);
             }
             if queue.len() >= self.shared.config.queue_capacity {
                 drop(queue);
+                self.shared.quota.refund(&tenant, kind, now_ms);
                 return reject(ServiceError::QueueFull {
                     capacity: self.shared.config.queue_capacity,
                 });
@@ -547,6 +644,7 @@ impl Engine {
             });
         }
         self.shared.metrics.job_submitted();
+        self.shared.metrics.tenant_admitted(&tenant);
         self.shared.queue_cv.notify_one();
         Ok(id)
     }
@@ -795,6 +893,46 @@ impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown_now();
     }
+}
+
+/// Pushes the registry's durable quota records into the live admission
+/// gate: explicit limits are (re)applied, consumed-window checkpoints
+/// seeded. Seeding is idempotent per checkpoint timestamp, so this is
+/// safe to call at open, after every replica batch, and at promotion.
+fn resync_quota(shared: &Shared) {
+    let records = {
+        let registry = shared.registry.read().expect("registry lock poisoned");
+        registry.quota_snapshots()
+    };
+    for (tenant, rec) in records {
+        if rec.explicit {
+            let window_ms = if rec.window_ms == 0 {
+                shared.config.quota.window_ms
+            } else {
+                rec.window_ms
+            };
+            shared.quota.set_limits(&tenant, rec.limits, window_ms);
+        }
+        if rec.used != [0; 3] {
+            shared.quota.seed_usage(&tenant, rec.used, rec.used_at_ms);
+        }
+    }
+}
+
+/// Durably records a consumed-window checkpoint so a restart (or a
+/// failover) cannot reset an abuser's window. Primary only — a
+/// follower writing its own log would fork the replicated chain.
+/// Best-effort: the admission decision already stands.
+fn checkpoint_quota(shared: &Shared, tenant: &str, used: [u64; 3], at_ms: u64) {
+    if shared.follower.load(Ordering::SeqCst) {
+        return;
+    }
+    let mut registry = shared.registry.write().expect("registry lock poisoned");
+    if !registry.contains(tenant) {
+        return; // unregistered tenants have nothing durable to pin
+    }
+    let now = shared.clock.fetch_add(1, Ordering::Relaxed);
+    let _ = registry.checkpoint_quota(tenant, used, at_ms, now);
 }
 
 /// Full metrics snapshot from the shared state (used by

@@ -37,6 +37,14 @@ pub enum ServiceError {
     /// (`freqywm serve --follow`): mutations are refused until a
     /// `promote` op flips it to primary.
     ReadOnlyFollower,
+    /// The tenant's sliding-window budget for this op class is spent:
+    /// the job was refused at admission and never entered the queue.
+    /// `retry_after_ms` hints when the oldest consumed bucket rotates
+    /// out of the window.
+    QuotaExhausted {
+        kind: crate::job::JobKind,
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -64,6 +72,17 @@ impl fmt::Display for ServiceError {
             ServiceError::Storage(msg) => write!(f, "storage error: {msg}"),
             ServiceError::ReadOnlyFollower => {
                 write!(f, "read-only follower: mutations refused until promoted")
+            }
+            ServiceError::QuotaExhausted {
+                kind,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "quota exhausted: {} budget spent for this window (retry after {} ms)",
+                    crate::quota::class_name(*kind),
+                    retry_after_ms
+                )
             }
         }
     }

@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod persist;
 pub mod prf_cache;
 pub mod proto;
+pub mod quota;
 pub mod registry;
 pub mod replica;
 pub mod shard;
@@ -55,7 +56,11 @@ pub use metrics::{
 };
 pub use persist::{DurableRegistry, RecoveryReport, RegistryEvent, ReplicaBatch};
 pub use prf_cache::{CacheStats, PrfCache, PrfCacheConfig};
-pub use registry::{KeyRegistry, StoredWatermark, TenantSnapshot};
+pub use quota::{
+    FilterStorage, HashMapFilterStorage, QuotaConfig, QuotaLimits, QuotaManager, QuotaStatus,
+    SlidingWindow, UNLIMITED,
+};
+pub use registry::{KeyRegistry, QuotaRecord, StoredWatermark, TenantSnapshot};
 pub use replica::{spawn_follower, FollowerConfig};
 pub use shard::{sharded_histogram, sharded_histogram_cancellable, Cancellation, Cancelled};
 pub use storage::{DiskLog, FaultyStorage, InMemoryStorage, NullStorage, Storage, StorageError};

@@ -166,6 +166,11 @@ pub struct TenantOps {
     pub detect: u64,
     pub maintain: u64,
     pub rejected: u64,
+    /// Jobs that passed admission (quota + queue) for this tenant.
+    pub admitted: u64,
+    /// Jobs refused at admission because the tenant's sliding-window
+    /// budget for the op class was already spent.
+    pub quota_refused: u64,
     /// Sum of run latencies (µs) across this tenant's completed jobs,
     /// so `latency_sum / jobs` gives a per-tenant mean without a
     /// per-tenant histogram.
@@ -187,6 +192,10 @@ pub struct Metrics {
     pub timed_out: AtomicU64,
     pub rejected: AtomicU64,
     pub cancelled: AtomicU64,
+    /// Jobs refused at admission by the per-tenant quota tier. Kept
+    /// separate from `rejected` (queue-full/draining): a quota refusal
+    /// is the tier working as designed, not backpressure.
+    pub quota_refused: AtomicU64,
     pub embed_jobs: AtomicU64,
     pub detect_jobs: AtomicU64,
     pub maintain_jobs: AtomicU64,
@@ -213,6 +222,7 @@ impl Default for Metrics {
             timed_out: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            quota_refused: AtomicU64::new(0),
             embed_jobs: AtomicU64::new(0),
             detect_jobs: AtomicU64::new(0),
             maintain_jobs: AtomicU64::new(0),
@@ -272,6 +282,22 @@ impl Metrics {
         map.entry(tenant.to_string()).or_default().rejected += 1;
     }
 
+    /// Count a job that cleared admission (quota and queue) for its
+    /// tenant — the denominator of the per-tenant refusal rate.
+    pub fn tenant_admitted(&self, tenant: &str) {
+        let mut map = self.per_tenant.lock().expect("per-tenant poisoned");
+        map.entry(tenant.to_string()).or_default().admitted += 1;
+    }
+
+    /// Count a quota refusal: bumps the engine-wide counter and the
+    /// tenant's row. Deliberately does *not* touch `rejected` — quota
+    /// refusals are budget enforcement, not queue pressure.
+    pub fn quota_refused(&self, tenant: &str) {
+        self.quota_refused.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.per_tenant.lock().expect("per-tenant poisoned");
+        map.entry(tenant.to_string()).or_default().quota_refused += 1;
+    }
+
     pub fn snapshot(
         &self,
         cache: CacheStats,
@@ -285,6 +311,7 @@ impl Metrics {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            quota_refused: self.quota_refused.load(Ordering::Relaxed),
             embed_jobs: self.embed_jobs.load(Ordering::Relaxed),
             detect_jobs: self.detect_jobs.load(Ordering::Relaxed),
             maintain_jobs: self.maintain_jobs.load(Ordering::Relaxed),
@@ -326,6 +353,8 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     pub rejected: u64,
     pub cancelled: u64,
+    /// Jobs refused at admission by the per-tenant quota tier.
+    pub quota_refused: u64,
     pub embed_jobs: u64,
     pub detect_jobs: u64,
     pub maintain_jobs: u64,
@@ -428,6 +457,11 @@ impl MetricsSnapshot {
                 "freqywm_jobs_cancelled_total",
                 "Jobs cancelled at shutdown.",
                 self.cancelled,
+            ),
+            (
+                "freqywm_quota_refused_total",
+                "Jobs refused at admission by the per-tenant quota tier.",
+                self.quota_refused,
             ),
             (
                 "freqywm_disputes_total",
@@ -570,6 +604,30 @@ impl MetricsSnapshot {
                     row.ops.rejected as f64,
                 );
             }
+            w.family(
+                "freqywm_tenant_admitted_total",
+                PromKind::Counter,
+                "Jobs that cleared admission, by tenant.",
+            );
+            for row in &self.per_tenant {
+                w.sample(
+                    "freqywm_tenant_admitted_total",
+                    &[("tenant", &row.tenant)],
+                    row.ops.admitted as f64,
+                );
+            }
+            w.family(
+                "freqywm_tenant_quota_refused_total",
+                PromKind::Counter,
+                "Jobs refused by the quota tier, by tenant.",
+            );
+            for row in &self.per_tenant {
+                w.sample(
+                    "freqywm_tenant_quota_refused_total",
+                    &[("tenant", &row.tenant)],
+                    row.ops.quota_refused as f64,
+                );
+            }
         }
         w.finish()
     }
@@ -602,13 +660,16 @@ impl MetricsSnapshot {
                 format!(
                     concat!(
                         "\"{}\":{{\"embed\":{},\"detect\":{},\"maintain\":{},",
-                        "\"rejected\":{},\"latency_sum_us\":{}}}"
+                        "\"rejected\":{},\"admitted\":{},\"quota_refused\":{},",
+                        "\"latency_sum_us\":{}}}"
                     ),
                     crate::proto::json::escape(&row.tenant),
                     row.ops.embed,
                     row.ops.detect,
                     row.ops.maintain,
                     row.ops.rejected,
+                    row.ops.admitted,
+                    row.ops.quota_refused,
                     row.ops.latency_sum_us,
                 )
             })
@@ -618,6 +679,7 @@ impl MetricsSnapshot {
                 "{{\"version\":\"{}\",\"uptime_s\":{},",
                 "\"submitted\":{},\"completed\":{},\"failed\":{},",
                 "\"timed_out\":{},\"rejected\":{},\"cancelled\":{},",
+                "\"quota_refused\":{},",
                 "\"embed_jobs\":{},\"detect_jobs\":{},\"maintain_jobs\":{},",
                 "\"disputes\":{},\"slow_log_suppressed\":{},",
                 "\"queue_depth\":{},\"tenants\":{},{}{}",
@@ -640,6 +702,7 @@ impl MetricsSnapshot {
             self.timed_out,
             self.rejected,
             self.cancelled,
+            self.quota_refused,
             self.embed_jobs,
             self.detect_jobs,
             self.maintain_jobs,
@@ -702,6 +765,7 @@ const AGGREGATE_KEYS: &[&str] = &[
     "timed_out",
     "rejected",
     "cancelled",
+    "quota_refused",
     "embed_jobs",
     "detect_jobs",
     "maintain_jobs",
@@ -814,6 +878,7 @@ pub struct HistorySample {
     pub failed: u64,
     pub timed_out: u64,
     pub rejected: u64,
+    pub quota_refused: u64,
     pub embed_jobs: u64,
     pub detect_jobs: u64,
     pub maintain_jobs: u64,
@@ -841,6 +906,7 @@ impl HistorySample {
             failed: s.failed,
             timed_out: s.timed_out,
             rejected: s.rejected,
+            quota_refused: s.quota_refused,
             embed_jobs: s.embed_jobs,
             detect_jobs: s.detect_jobs,
             maintain_jobs: s.maintain_jobs,
@@ -863,7 +929,8 @@ impl HistorySample {
         format!(
             concat!(
                 "{{\"t_ms\":{},\"submitted\":{},\"completed\":{},\"failed\":{},",
-                "\"timed_out\":{},\"rejected\":{},\"embed_jobs\":{},",
+                "\"timed_out\":{},\"rejected\":{},\"quota_refused\":{},",
+                "\"embed_jobs\":{},",
                 "\"detect_jobs\":{},\"maintain_jobs\":{},",
                 "\"slow_log_suppressed\":{},\"queue_depth\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},",
@@ -877,6 +944,7 @@ impl HistorySample {
             self.failed,
             self.timed_out,
             self.rejected,
+            self.quota_refused,
             self.embed_jobs,
             self.detect_jobs,
             self.maintain_jobs,
@@ -915,7 +983,8 @@ pub fn history_rates_json(older: (u64, &HistorySample), newer: (u64, &HistorySam
         concat!(
             "{{\"window_s\":{:.3},\"submitted_per_s\":{:.3},",
             "\"completed_per_s\":{:.3},\"failed_per_s\":{:.3},",
-            "\"rejected_per_s\":{:.3},\"bytes_in_per_s\":{:.1},",
+            "\"rejected_per_s\":{:.3},\"quota_refused_per_s\":{:.3},",
+            "\"bytes_in_per_s\":{:.1},",
             "\"bytes_out_per_s\":{:.1},\"cache_hit_rate\":{:.4},",
             "\"mean_latency_us\":{:.1},\"queue_wait_share\":{:.4}}}"
         ),
@@ -924,6 +993,7 @@ pub fn history_rates_json(older: (u64, &HistorySample), newer: (u64, &HistorySam
         rate_per_sec((t0, a.completed), (t1, b.completed)),
         rate_per_sec((t0, a.failed), (t1, b.failed)),
         rate_per_sec((t0, a.rejected), (t1, b.rejected)),
+        rate_per_sec((t0, a.quota_refused), (t1, b.quota_refused)),
         rate_per_sec((t0, a.bytes_in), (t1, b.bytes_in)),
         rate_per_sec((t0, a.bytes_out), (t1, b.bytes_out)),
         if lookups == 0 {
@@ -1244,6 +1314,53 @@ mod tests {
         // 10 × 300 µs run + 10 × 100 µs wait → wait share 0.25.
         assert_eq!(r.get("queue_wait_share").unwrap().as_f64(), Some(0.25));
         assert_eq!(r.get("mean_latency_us").unwrap().as_f64(), Some(300.0));
+    }
+
+    #[test]
+    fn quota_refusals_count_apart_from_rejections() {
+        let m = Metrics::default();
+        m.tenant_admitted("acme");
+        m.tenant_admitted("acme");
+        m.quota_refused("greedy");
+        m.quota_refused("greedy");
+        m.quota_refused("greedy");
+        let snap = m.snapshot(CacheStats::default(), 0, 2);
+        assert_eq!(snap.quota_refused, 3);
+        // The queue-pressure counter stays untouched by quota refusals.
+        assert_eq!(snap.rejected, 0);
+        let json = snap.to_json();
+        let v = crate::proto::json::parse(&json).expect("well-formed");
+        assert_eq!(v.get("quota_refused").unwrap().as_u64(), Some(3));
+        let greedy = v.get("per_tenant").unwrap().get("greedy").expect("row");
+        assert_eq!(greedy.get("quota_refused").unwrap().as_u64(), Some(3));
+        assert_eq!(greedy.get("admitted").unwrap().as_u64(), Some(0));
+        assert_eq!(greedy.get("rejected").unwrap().as_u64(), Some(0));
+        let acme = v.get("per_tenant").unwrap().get("acme").expect("row");
+        assert_eq!(acme.get("admitted").unwrap().as_u64(), Some(2));
+        let text = snap.to_prom();
+        let families = freqywm_obs::prom::parse_exposition(&text)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        let refused = families
+            .iter()
+            .find(|f| f.name == "freqywm_quota_refused_total")
+            .expect("scalar family");
+        assert_eq!(refused.samples[0].value, 3.0);
+        let per_tenant = families
+            .iter()
+            .find(|f| f.name == "freqywm_tenant_quota_refused_total")
+            .expect("per-tenant family");
+        assert!(per_tenant
+            .samples
+            .iter()
+            .any(|s| s.label("tenant") == Some("greedy") && s.value == 3.0));
+        // Router totals pick the counter up via the aggregate walk.
+        assert!(AGGREGATE_KEYS.contains(&"quota_refused"));
+        // And the retention tier derives a rate from it.
+        let older = HistorySample::default();
+        let newer = HistorySample::from_snapshot(&snap);
+        let rates = history_rates_json((0, &older), (1_000, &newer));
+        let r = crate::proto::json::parse(&rates).expect("well-formed");
+        assert_eq!(r.get("quota_refused_per_s").unwrap().as_f64(), Some(3.0));
     }
 
     #[test]

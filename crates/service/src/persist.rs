@@ -20,7 +20,8 @@
 //! O(snapshot + recent events), not O(history).
 
 use crate::error::{Result, ServiceError};
-use crate::registry::{KeyRegistry, TenantSnapshot};
+use crate::quota::QuotaLimits;
+use crate::registry::{KeyRegistry, QuotaRecord, TenantSnapshot};
 use crate::storage::Storage;
 use freqywm_core::secret::SecretList;
 use freqywm_crypto::hmac::{digest_eq, hmac_sha256};
@@ -35,12 +36,16 @@ use freqywm_ledger::Ledger;
 /// Default number of events between automatic snapshots.
 pub const DEFAULT_SNAPSHOT_EVERY: usize = 256;
 
-const SNAPSHOT_MAGIC: &[u8] = b"freqywm-snapshot-v1\0";
+// v2 added the per-tenant quota section (explicit limits +
+// consumed-window checkpoints).
+const SNAPSHOT_MAGIC: &[u8] = b"freqywm-snapshot-v2\0";
 
 const EV_REGISTER_TENANT: u8 = 1;
 const EV_RECORD_WATERMARK: u8 = 2;
 const EV_REPLACE_WATERMARK: u8 = 3;
 const EV_REMOVE_TENANT: u8 = 4;
+const EV_SET_QUOTA: u8 = 5;
+const EV_QUOTA_CHECKPOINT: u8 = 6;
 
 /// One durably logged registry mutation. The log stores the *inputs*
 /// of each mutation; replay re-executes them, and because the hash
@@ -68,6 +73,22 @@ pub enum RegistryEvent {
     RemoveTenant {
         tenant: String,
     },
+    /// Explicit per-tenant limits set via the `quota` admin op.
+    SetQuota {
+        tenant: String,
+        limits: QuotaLimits,
+        window_ms: u64,
+        now: u64,
+    },
+    /// Consumed-window checkpoint: how much of each op-class budget the
+    /// tenant had spent as of `at_ms` (wall-clock milliseconds), so a
+    /// restart does not reset an abuser's window.
+    QuotaCheckpoint {
+        tenant: String,
+        used: [u64; 3],
+        at_ms: u64,
+        now: u64,
+    },
 }
 
 impl RegistryEvent {
@@ -75,7 +96,9 @@ impl RegistryEvent {
         match self {
             RegistryEvent::RegisterTenant { now, .. }
             | RegistryEvent::RecordWatermark { now, .. }
-            | RegistryEvent::ReplaceWatermark { now, .. } => *now,
+            | RegistryEvent::ReplaceWatermark { now, .. }
+            | RegistryEvent::SetQuota { now, .. }
+            | RegistryEvent::QuotaCheckpoint { now, .. } => *now,
             RegistryEvent::RemoveTenant { .. } => 0,
         }
     }
@@ -147,6 +170,34 @@ fn encode_event(seq: u64, ev: &RegistryEvent) -> Vec<u8> {
             put_u64(&mut buf, 0);
             put_str(&mut buf, tenant);
         }
+        RegistryEvent::SetQuota {
+            tenant,
+            limits,
+            window_ms,
+            now,
+        } => {
+            buf.push(EV_SET_QUOTA);
+            put_u64(&mut buf, *now);
+            put_str(&mut buf, tenant);
+            put_u64(&mut buf, limits.embed);
+            put_u64(&mut buf, limits.detect);
+            put_u64(&mut buf, limits.maintain);
+            put_u64(&mut buf, *window_ms);
+        }
+        RegistryEvent::QuotaCheckpoint {
+            tenant,
+            used,
+            at_ms,
+            now,
+        } => {
+            buf.push(EV_QUOTA_CHECKPOINT);
+            put_u64(&mut buf, *now);
+            put_str(&mut buf, tenant);
+            for u in used {
+                put_u64(&mut buf, *u);
+            }
+            put_u64(&mut buf, *at_ms);
+        }
     }
     buf
 }
@@ -214,6 +265,22 @@ fn decode_event(payload: &[u8]) -> std::result::Result<(u64, RegistryEvent), Cod
             }
         }
         EV_REMOVE_TENANT => RegistryEvent::RemoveTenant { tenant },
+        EV_SET_QUOTA => RegistryEvent::SetQuota {
+            tenant,
+            limits: QuotaLimits {
+                embed: r.u64()?,
+                detect: r.u64()?,
+                maintain: r.u64()?,
+            },
+            window_ms: r.u64()?,
+            now,
+        },
+        EV_QUOTA_CHECKPOINT => RegistryEvent::QuotaCheckpoint {
+            tenant,
+            used: [r.u64()?, r.u64()?, r.u64()?],
+            at_ms: r.u64()?,
+            now,
+        },
         _ => {
             return Err(CodecError::Corrupt {
                 offset: 8,
@@ -251,6 +318,20 @@ fn encode_snapshot(next_seq: u64, clock: u64, registry: &KeyRegistry, key: &[u8]
             put_u64(&mut buf, wm.ledger_index);
             put_u64(&mut buf, wm.registered_at);
         }
+    }
+    let quotas = registry.quota_snapshots();
+    put_u64(&mut buf, quotas.len() as u64);
+    for (tenant, q) in &quotas {
+        put_str(&mut buf, tenant);
+        buf.push(q.explicit as u8);
+        put_u64(&mut buf, q.limits.embed);
+        put_u64(&mut buf, q.limits.detect);
+        put_u64(&mut buf, q.limits.maintain);
+        put_u64(&mut buf, q.window_ms);
+        for u in &q.used {
+            put_u64(&mut buf, *u);
+        }
+        put_u64(&mut buf, q.used_at_ms);
     }
     let mac = hmac_sha256(key, &buf);
     buf.extend_from_slice(&mac);
@@ -318,16 +399,38 @@ fn decode_snapshot(
                 watermarks,
             });
         }
+        let n_quotas = r.u64()? as usize;
+        let mut quotas = Vec::with_capacity(n_quotas);
+        for _ in 0..n_quotas {
+            let tenant = r.str()?.to_string();
+            let explicit = r.u8()? != 0;
+            quotas.push((
+                tenant,
+                QuotaRecord {
+                    limits: QuotaLimits {
+                        embed: r.u64()?,
+                        detect: r.u64()?,
+                        maintain: r.u64()?,
+                    },
+                    window_ms: r.u64()?,
+                    explicit,
+                    used: [r.u64()?, r.u64()?, r.u64()?],
+                    used_at_ms: r.u64()?,
+                },
+            ));
+        }
         // Verifies MACs + linkage of the whole restored chain.
         let ledger =
             Ledger::from_entries(ledger_key, entries).map_err(|_| CodecError::Corrupt {
                 offset: 0,
                 reason: "snapshot chain failed verification",
             })?;
+        let mut registry = KeyRegistry::restore(ledger, tenants);
+        registry.restore_quotas(quotas);
         Ok(DecodedSnapshot {
             next_seq,
             clock,
-            registry: KeyRegistry::restore(ledger, tenants),
+            registry,
         })
     };
     inner().map_err(|e| format!("snapshot: {e}"))
@@ -643,6 +746,44 @@ impl DurableRegistry {
         Ok(true)
     }
 
+    /// See [`KeyRegistry::set_quota`]; durably logged.
+    pub fn set_quota(
+        &mut self,
+        tenant: &str,
+        limits: QuotaLimits,
+        window_ms: u64,
+        now: u64,
+    ) -> Result<()> {
+        if !self.inner.contains(tenant) {
+            return Err(ServiceError::UnknownTenant(tenant.to_string()));
+        }
+        self.commit(RegistryEvent::SetQuota {
+            tenant: tenant.to_string(),
+            limits,
+            window_ms,
+            now,
+        })
+    }
+
+    /// See [`KeyRegistry::checkpoint_quota`]; durably logged.
+    pub fn checkpoint_quota(
+        &mut self,
+        tenant: &str,
+        used: [u64; 3],
+        at_ms: u64,
+        now: u64,
+    ) -> Result<()> {
+        if !self.inner.contains(tenant) {
+            return Err(ServiceError::UnknownTenant(tenant.to_string()));
+        }
+        self.commit(RegistryEvent::QuotaCheckpoint {
+            tenant: tenant.to_string(),
+            used,
+            at_ms,
+            now,
+        })
+    }
+
     // ---- replication ----------------------------------------------------
 
     /// Sequence number the next committed event will carry. A replica
@@ -845,6 +986,11 @@ fn validate(registry: &KeyRegistry, ev: &RegistryEvent) -> Result<()> {
         {
             Err(ServiceError::NoWatermark(tenant.clone()))
         }
+        RegistryEvent::SetQuota { tenant, .. } | RegistryEvent::QuotaCheckpoint { tenant, .. }
+            if !registry.contains(tenant) =>
+        {
+            Err(ServiceError::UnknownTenant(tenant.clone()))
+        }
         _ => Ok(()),
     }
 }
@@ -875,6 +1021,24 @@ fn apply(registry: &mut KeyRegistry, ev: RegistryEvent) -> Result<()> {
             .map(|_| ()),
         RegistryEvent::RemoveTenant { tenant } => {
             registry.remove_tenant(&tenant);
+            Ok(())
+        }
+        RegistryEvent::SetQuota {
+            tenant,
+            limits,
+            window_ms,
+            ..
+        } => {
+            registry.set_quota(&tenant, limits, window_ms);
+            Ok(())
+        }
+        RegistryEvent::QuotaCheckpoint {
+            tenant,
+            used,
+            at_ms,
+            ..
+        } => {
+            registry.checkpoint_quota(&tenant, used, at_ms);
             Ok(())
         }
     }
@@ -928,6 +1092,22 @@ mod tests {
             },
             RegistryEvent::RemoveTenant {
                 tenant: "acme".into(),
+            },
+            RegistryEvent::SetQuota {
+                tenant: "acme".into(),
+                limits: QuotaLimits {
+                    embed: 10,
+                    detect: crate::quota::UNLIMITED,
+                    maintain: 0,
+                },
+                window_ms: 60_000,
+                now: 10,
+            },
+            RegistryEvent::QuotaCheckpoint {
+                tenant: "acme".into(),
+                used: [10, 3, 0],
+                at_ms: 1_723_000_000_000,
+                now: 11,
             },
         ];
         for (i, ev) in events.iter().enumerate() {
@@ -1314,6 +1494,81 @@ mod tests {
             "{err}"
         );
         assert_eq!(follower.next_seq(), 0, "nothing may apply");
+    }
+
+    #[test]
+    fn quota_state_survives_replay_and_snapshot_paths() {
+        let limits = QuotaLimits {
+            embed: 5,
+            detect: crate::quota::UNLIMITED,
+            maintain: 2,
+        };
+        // Log-replay path.
+        let storage = InMemoryStorage::new();
+        {
+            let mut reg = open(&storage, 0);
+            reg.register_tenant("acme", Secret::from_label("a"), 1)
+                .unwrap();
+            reg.set_quota("acme", limits, 30_000, 2).unwrap();
+            reg.checkpoint_quota("acme", [5, 0, 1], 777, 3).unwrap();
+        }
+        let reg = open(&storage, 0);
+        let q = reg.quota("acme").expect("quota record survives replay");
+        assert_eq!(q.limits, limits);
+        assert_eq!(q.window_ms, 30_000);
+        assert!(q.explicit);
+        assert_eq!(q.used, [5, 0, 1]);
+        assert_eq!(q.used_at_ms, 777);
+        assert_eq!(reg.clock_floor(), 3);
+        drop(reg);
+        // Snapshot path: compact, then reopen from the snapshot alone.
+        {
+            let mut reg = open(&storage, 0);
+            reg.snapshot_now().unwrap();
+        }
+        assert!(storage.has_snapshot());
+        let reg = open(&storage, 0);
+        assert!(reg.recovery_report().snapshot_restored);
+        assert_eq!(reg.recovery_report().replayed_events, 0);
+        let q = reg.quota("acme").expect("quota record survives snapshot");
+        assert_eq!(q.limits, limits);
+        assert_eq!(q.used, [5, 0, 1]);
+        // Quota events for unknown tenants are refused, not logged.
+        let mut reg = open(&storage, 0);
+        let len = storage.log_len();
+        assert!(reg.set_quota("ghost", limits, 30_000, 9).is_err());
+        assert!(reg.checkpoint_quota("ghost", [1, 0, 0], 9, 9).is_err());
+        assert_eq!(storage.log_len(), len);
+    }
+
+    #[test]
+    fn quota_events_replicate_like_any_sealed_event() {
+        let mut primary = open(&InMemoryStorage::new(), 0);
+        primary
+            .register_tenant("acme", Secret::from_label("a"), 1)
+            .unwrap();
+        let limits = QuotaLimits {
+            embed: 3,
+            detect: crate::quota::UNLIMITED,
+            maintain: crate::quota::UNLIMITED,
+        };
+        primary.set_quota("acme", limits, 10_000, 2).unwrap();
+        primary.checkpoint_quota("acme", [3, 0, 0], 555, 3).unwrap();
+        let f_storage = InMemoryStorage::new();
+        let mut follower = open(&f_storage, 0);
+        let batch = primary.events_since(0, usize::MAX).unwrap();
+        assert_eq!(batch.events.len(), 3);
+        for ev in &batch.events {
+            assert!(follower.apply_sealed_event(ev).unwrap());
+        }
+        let q = follower.quota("acme").expect("replicated quota record");
+        assert_eq!(q.limits, limits);
+        assert_eq!(q.used, [3, 0, 0]);
+        assert_eq!(q.used_at_ms, 555);
+        drop(follower);
+        // The follower's own log replays the quota events too.
+        let reopened = open(&f_storage, 0);
+        assert_eq!(reopened.quota("acme").unwrap().used, [3, 0, 0]);
     }
 
     #[test]

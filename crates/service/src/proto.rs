@@ -11,6 +11,7 @@
 //! | `detect` | `tenant`, `counts` \| `tokens`, `t?`, `k?`, `scale?` | verdict fields |
 //! | `maintain` | `tenant`, `updates`, `replenish?` | maintenance report |
 //! | `dispute` | `a`, `b`, `t?`, `quorum?` | winner + protocol detail |
+//! | `quota` | `tenant`, `embed?`, `detect?`, `maintain?`, `window_ms?` | budgets + window usage |
 //! | `metrics` | — | full metrics snapshot |
 //! | `history` | `last?` | retained snapshot ring + window rates |
 //! | `trace` | `trace?`, `tenant?`, `for_op?`, `min_ms?`, `limit?` | recent stage spans |
@@ -514,6 +515,29 @@ pub fn render_job_state(state: JobState, id: Option<&Value>) -> String {
                 m.ledger_index,
             )
         }
+        // A quota refusal is machine-actionable (clients back off for
+        // `retry_after_ms`), so it gets typed fields on top of the
+        // plain error string every failure carries.
+        JobState::Failed(ServiceError::QuotaExhausted {
+            kind,
+            retry_after_ms,
+        }) => {
+            let e = ServiceError::QuotaExhausted {
+                kind,
+                retry_after_ms,
+            };
+            format!(
+                concat!(
+                    "{{\"ok\":false{},\"error\":\"{}\",",
+                    "\"error_kind\":\"quota_exhausted\",\"op_class\":\"{}\",",
+                    "\"retry_after_ms\":{}}}"
+                ),
+                id_part,
+                escape(&e.to_string()),
+                crate::quota::class_name(kind),
+                retry_after_ms,
+            )
+        }
         JobState::Failed(e) => err_response(id, &e.to_string()),
         JobState::Cancelled => err_response(id, "job cancelled"),
         JobState::Queued | JobState::Running => err_response(id, "internal: job not terminal"),
@@ -550,8 +574,8 @@ pub fn plan_value(req: Value) -> (Option<Value>, Result<Planned, String>) {
 fn plan_request(req: Value) -> Result<Planned, String> {
     let op = req_str(&req, "op")?;
     match op {
-        "register" | "dispute" | "metrics" | "history" | "trace" | "hello" | "replicate"
-        | "promote" => Ok(Planned::Op(req)),
+        "register" | "dispute" | "quota" | "metrics" | "history" | "trace" | "hello"
+        | "replicate" | "promote" => Ok(Planned::Op(req)),
         "shutdown" => Ok(Planned::Shutdown),
         "embed" | "detect" | "maintain" => plan_job(&req),
         other => Err(format!("unknown op {other:?}")),
@@ -592,7 +616,7 @@ pub fn route_of(req: &Value) -> RouteInfo {
             .ok_or_else(|| RouteInfo::Unroutable(format!("missing string field {key:?}")))
     };
     match op {
-        "register" | "embed" | "detect" | "maintain" => match tenant_field("tenant") {
+        "register" | "embed" | "detect" | "maintain" | "quota" => match tenant_field("tenant") {
             Ok(t) => RouteInfo::Tenant(t),
             Err(e) => e,
         },
@@ -758,6 +782,72 @@ fn execute_op(engine: &Engine, req: &Value) -> Result<String, String> {
                 outcome.decisive_protocol,
                 outcome.ruling.a_on_b.accepted,
                 outcome.ruling.b_on_a.accepted,
+            ))
+        }
+        // Per-tenant budget tier: read or set the sliding-window quota.
+        // Carrying any of `embed`/`detect`/`maintain`/`window_ms` makes
+        // it a set (write path: primary only, persisted and replicated
+        // through the registry log); absent classes mean "unlimited".
+        // A bare `{"op":"quota","tenant":…}` is a read and works on
+        // followers too. Either way the response reports the effective
+        // budgets, current window consumption and admission counters.
+        "quota" => {
+            let tenant = req_str(req, "tenant")?;
+            let class = |key: &str| req.get(key).and_then(Value::as_u64);
+            let window_ms = req.get("window_ms").and_then(Value::as_u64);
+            let setting = window_ms.is_some()
+                || ["embed", "detect", "maintain"]
+                    .iter()
+                    .any(|k| class(k).is_some());
+            if setting {
+                let limits = crate::quota::QuotaLimits {
+                    embed: class("embed").unwrap_or(crate::quota::UNLIMITED),
+                    detect: class("detect").unwrap_or(crate::quota::UNLIMITED),
+                    maintain: class("maintain").unwrap_or(crate::quota::UNLIMITED),
+                };
+                engine
+                    .set_quota(tenant, limits, window_ms)
+                    .map_err(|e| e.to_string())?;
+            }
+            let status = engine.quota_status(tenant).map_err(|e| e.to_string())?;
+            let budget = |v: u64| {
+                if v == crate::quota::UNLIMITED {
+                    "null".to_string()
+                } else {
+                    v.to_string()
+                }
+            };
+            let (admitted, refused) = engine
+                .metrics()
+                .per_tenant
+                .iter()
+                .find(|r| r.tenant == tenant)
+                .map(|r| (r.ops.admitted, r.ops.quota_refused))
+                .unwrap_or((0, 0));
+            Ok(format!(
+                concat!(
+                    "{{\"ok\":true,\"op\":\"quota\",\"tenant\":\"{}\",\"set\":{},",
+                    "\"source\":\"{}\",\"window_ms\":{},",
+                    "\"budgets\":{{\"embed\":{},\"detect\":{},\"maintain\":{}}},",
+                    "\"used\":{{\"embed\":{},\"detect\":{},\"maintain\":{}}},",
+                    "\"admitted\":{},\"refused\":{}}}"
+                ),
+                escape(tenant),
+                setting,
+                if status.explicit {
+                    "explicit"
+                } else {
+                    "default"
+                },
+                status.window_ms,
+                budget(status.limits.embed),
+                budget(status.limits.detect),
+                budget(status.limits.maintain),
+                status.used[0],
+                status.used[1],
+                status.used[2],
+                admitted,
+                refused,
             ))
         }
         "metrics" => Ok(format!(
@@ -1846,6 +1936,83 @@ mod tests {
     }
 
     #[test]
+    fn quota_op_sets_budgets_and_refusals_are_typed() {
+        let engine = test_engine();
+        handle_line(
+            &engine,
+            r#"{"op":"register","tenant":"q","secret_label":"quota"}"#,
+        );
+        // A bare read reports the engine defaults: unlimited budgets.
+        let read = handle_line(&engine, r#"{"op":"quota","tenant":"q"}"#);
+        let v = parse(&read).expect(&read);
+        assert_eq!(v.get("set").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("source").and_then(Value::as_str), Some("default"));
+        assert_eq!(v.get("budgets").unwrap().get("embed"), Some(&Value::Null));
+        // Setting one class caps it; the others stay unlimited.
+        let set = handle_line(&engine, r#"{"op":"quota","tenant":"q","embed":1,"id":3}"#);
+        let v = parse(&set).expect(&set);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{set}");
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("set").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("source").and_then(Value::as_str), Some("explicit"));
+        let budgets = v.get("budgets").unwrap();
+        assert_eq!(budgets.get("embed").and_then(Value::as_u64), Some(1));
+        assert_eq!(budgets.get("detect"), Some(&Value::Null));
+        // First embed spends the window; the second is refused with the
+        // typed error a client can back off on.
+        let first = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"q","counts":{}}}"#,
+                counts_json(60)
+            ),
+        );
+        assert!(first.contains("\"ok\":true"), "{first}");
+        let second = handle_line(
+            &engine,
+            &format!(
+                r#"{{"op":"embed","tenant":"q","counts":{},"id":"r1"}}"#,
+                counts_json(60)
+            ),
+        );
+        let v = parse(&second).expect(&second);
+        assert_eq!(
+            v.get("ok").and_then(Value::as_bool),
+            Some(false),
+            "{second}"
+        );
+        assert_eq!(
+            v.get("error_kind").and_then(Value::as_str),
+            Some("quota_exhausted")
+        );
+        assert_eq!(v.get("op_class").and_then(Value::as_str), Some("embed"));
+        assert!(v.get("retry_after_ms").and_then(Value::as_u64).unwrap() >= 1);
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("r1"));
+        // The refusal shows in the quota read and the engine counter.
+        let after = handle_line(&engine, r#"{"op":"quota","tenant":"q"}"#);
+        let v = parse(&after).expect(&after);
+        assert_eq!(v.get("refused").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("admitted").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.get("used").unwrap().get("embed").and_then(Value::as_u64),
+            Some(1)
+        );
+        let metrics = handle_line(&engine, r#"{"op":"metrics"}"#);
+        let m = parse(&metrics).expect(&metrics);
+        assert_eq!(
+            m.get("metrics")
+                .unwrap()
+                .get("quota_refused")
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        // Budgets attach to registered tenants only.
+        let ghost = handle_line(&engine, r#"{"op":"quota","tenant":"ghost","embed":5}"#);
+        assert!(ghost.contains("unknown tenant"), "{ghost}");
+        engine.shutdown();
+    }
+
+    #[test]
     fn serve_loop_and_shutdown_op() {
         let engine = test_engine();
         let input = concat!(
@@ -2027,6 +2194,10 @@ mod tests {
         assert_eq!(
             route(r#"{"op":"dispute","a":"x","b":"y"}"#),
             RouteInfo::TenantPair("x".into(), "y".into())
+        );
+        assert_eq!(
+            route(r#"{"op":"quota","tenant":"t3","embed":100}"#),
+            RouteInfo::Tenant("t3".into())
         );
         assert_eq!(route(r#"{"op":"metrics"}"#), RouteInfo::Broadcast);
         assert_eq!(route(r#"{"op":"history"}"#), RouteInfo::Broadcast);

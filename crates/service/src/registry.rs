@@ -11,6 +11,7 @@
 //! a tenant leaves no key material in freed memory.
 
 use crate::error::{Result, ServiceError};
+use crate::quota::QuotaLimits;
 use freqywm_core::secret::SecretList;
 use freqywm_crypto::prf::Secret;
 use freqywm_data::histogram::Histogram;
@@ -54,11 +55,32 @@ struct TenantRecord {
     watermarks: Vec<StoredWatermark>,
 }
 
+/// Durable per-tenant quota state: explicit limits (if any) plus the
+/// last checkpointed consumed window. Restarts restore both, so an
+/// abuser that spent its budget stays refused across a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuotaRecord {
+    /// Explicit per-tenant limits set via the `quota` op. When
+    /// `explicit` is false the engine's default limits apply and this
+    /// field is ignored (kept at unlimited).
+    pub limits: QuotaLimits,
+    /// Sliding-window width for this tenant; `0` = engine default.
+    pub window_ms: u64,
+    /// Whether `limits`/`window_ms` were set explicitly.
+    pub explicit: bool,
+    /// Checkpointed consumption per op class (embed, detect, maintain).
+    pub used: [u64; 3],
+    /// Wall-clock milliseconds of the checkpoint; windows re-age from
+    /// here after a restart.
+    pub used_at_ms: u64,
+}
+
 /// Ledger-backed multi-tenant key registry.
 #[derive(Debug)]
 pub struct KeyRegistry {
     ledger: Ledger,
     tenants: HashMap<String, TenantRecord>,
+    quotas: HashMap<String, QuotaRecord>,
 }
 
 /// Canonical ledger material for a tenant-key registration.
@@ -77,6 +99,7 @@ impl KeyRegistry {
         KeyRegistry {
             ledger: Ledger::new(ledger_key),
             tenants: HashMap::new(),
+            quotas: HashMap::new(),
         }
     }
 
@@ -124,7 +147,17 @@ impl KeyRegistry {
                 )
             })
             .collect();
-        KeyRegistry { ledger, tenants }
+        KeyRegistry {
+            ledger,
+            tenants,
+            quotas: HashMap::new(),
+        }
+    }
+
+    /// Restores persisted quota records (second half of the recovery
+    /// path, after [`Self::restore`]).
+    pub fn restore_quotas(&mut self, quotas: Vec<(String, QuotaRecord)>) {
+        self.quotas = quotas.into_iter().collect();
     }
 
     /// Materialises every tenant for a snapshot, sorted by id so the
@@ -145,9 +178,40 @@ impl KeyRegistry {
         out
     }
 
+    /// Materialises every quota record for a snapshot, sorted by
+    /// tenant so the snapshot bytes are deterministic.
+    pub fn quota_snapshots(&self) -> Vec<(String, QuotaRecord)> {
+        let mut out: Vec<(String, QuotaRecord)> =
+            self.quotas.iter().map(|(t, r)| (t.clone(), *r)).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The tenant's durable quota record, if one exists.
+    pub fn quota(&self, tenant: &str) -> Option<&QuotaRecord> {
+        self.quotas.get(tenant)
+    }
+
+    /// Sets a tenant's explicit limits, keeping any checkpointed
+    /// consumption.
+    pub fn set_quota(&mut self, tenant: &str, limits: QuotaLimits, window_ms: u64) {
+        let rec = self.quotas.entry(tenant.to_string()).or_default();
+        rec.limits = limits;
+        rec.window_ms = window_ms;
+        rec.explicit = true;
+    }
+
+    /// Records a consumed-window checkpoint.
+    pub fn checkpoint_quota(&mut self, tenant: &str, used: [u64; 3], at_ms: u64) {
+        let rec = self.quotas.entry(tenant.to_string()).or_default();
+        rec.used = used;
+        rec.used_at_ms = at_ms;
+    }
+
     /// Removes a tenant; its `Secret` zeroizes on drop.
     /// The ledger keeps the historical entries (append-only).
     pub fn remove_tenant(&mut self, tenant: &str) -> bool {
+        self.quotas.remove(tenant);
         self.tenants.remove(tenant).is_some()
     }
 

@@ -1,0 +1,174 @@
+//! Sliding-window properties: for any interleaving of deducts,
+//! refunds and time jumps, the admission window
+//!
+//! 1. never goes negative (its sum is bounded by what a brute-force
+//!    model says is still inside the window),
+//! 2. refuses a deduct **iff** admitting it would push the in-window
+//!    sum past the budget, and
+//! 3. hands back a retry-after hint that is both actionable (≥ 1 ms)
+//!    and honest (no longer than a full window).
+//!
+//! The model is the obvious O(n) one: a list of (slot, net-count)
+//! deduction records, summed over the last `WINDOW_SLOTS` slots. The
+//! ring buffer must agree with it at every step.
+
+use freqywm_service::SlidingWindow;
+use proptest::prelude::*;
+
+/// Mirror of the implementation's ring geometry (8 buckets).
+const WINDOW_SLOTS: u64 = 8;
+
+/// Brute-force window model: per-slot deduction counts.
+struct Model {
+    slot_ms: u64,
+    counts: Vec<(u64, u64)>, // (slot, count), slots strictly increasing
+    now_ms: u64,
+}
+
+impl Model {
+    fn new(window_ms: u64) -> Self {
+        Model {
+            slot_ms: (window_ms / WINDOW_SLOTS).max(1),
+            counts: Vec::new(),
+            now_ms: 0,
+        }
+    }
+
+    fn slot(&self) -> u64 {
+        self.now_ms / self.slot_ms
+    }
+
+    /// Sum over the slots still inside the window at `now`.
+    fn sum(&self) -> u64 {
+        let oldest = self.slot().saturating_sub(WINDOW_SLOTS - 1);
+        self.counts
+            .iter()
+            .filter(|(s, _)| *s >= oldest)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    fn deduct(&mut self) {
+        let slot = self.slot();
+        match self.counts.last_mut() {
+            Some((s, c)) if *s == slot => *c += 1,
+            _ => self.counts.push((slot, 1)),
+        }
+    }
+
+    /// Refund decrements the newest in-window non-empty record — the
+    /// same "most recent deduction" the ring walks backwards to find.
+    fn refund(&mut self) {
+        let oldest = self.slot().saturating_sub(WINDOW_SLOTS - 1);
+        if let Some(entry) = self
+            .counts
+            .iter_mut()
+            .rev()
+            .find(|(s, c)| *s >= oldest && *c > 0)
+        {
+            entry.1 -= 1;
+        }
+    }
+}
+
+proptest! {
+    /// Drive the ring and the model through the same op sequence and
+    /// compare sums + refusal decisions at every step.
+    #[test]
+    fn window_agrees_with_brute_force_model(
+        window_ms in proptest::sample::select(vec![8u64, 800, 60_000]),
+        budget in 0u64..6,
+        // op: 0/1 = deduct, 2 = refund, 3 = small time step, 4 = jump
+        ops in proptest::collection::vec((0u8..5, 1u64..2_000), 1..80),
+    ) {
+        let mut ring = SlidingWindow::new(window_ms);
+        let mut model = Model::new(window_ms);
+        for (op, amount) in ops {
+            match op {
+                0 | 1 => {
+                    let would_exceed = model.sum() >= budget;
+                    match ring.try_deduct(model.now_ms, budget) {
+                        Ok(()) => {
+                            prop_assert!(
+                                !would_exceed,
+                                "admitted at sum {} / budget {budget}",
+                                model.sum()
+                            );
+                            model.deduct();
+                        }
+                        Err(retry_after_ms) => {
+                            prop_assert!(
+                                would_exceed,
+                                "refused at sum {} / budget {budget}",
+                                model.sum()
+                            );
+                            prop_assert!(retry_after_ms >= 1);
+                            prop_assert!(
+                                retry_after_ms <= model.slot_ms * WINDOW_SLOTS,
+                                "hint {retry_after_ms} past a full window"
+                            );
+                        }
+                    }
+                }
+                2 => {
+                    ring.refund(model.now_ms);
+                    model.refund();
+                }
+                3 => model.now_ms += amount % model.slot_ms.max(2),
+                _ => model.now_ms += amount,
+            }
+            // The ring can never report phantom consumption ("go
+            // negative" would surface as a huge unsigned sum).
+            prop_assert_eq!(
+                ring.sum(model.now_ms),
+                model.sum(),
+                "ring diverged from model at t={}",
+                model.now_ms
+            );
+            prop_assert!(model.sum() <= budget.max(1) * 80);
+        }
+    }
+
+    /// Refunds can never underflow: any number of refunds beyond what
+    /// was deducted leaves the window at zero, and the next deduct
+    /// under a positive budget is admitted.
+    #[test]
+    fn over_refunding_saturates_at_zero(
+        window_ms in 8u64..10_000,
+        deducts in 0u64..5,
+        extra_refunds in 1u64..10,
+    ) {
+        let mut ring = SlidingWindow::new(window_ms);
+        for _ in 0..deducts {
+            // Budget u64::MAX: every deduct is admitted.
+            ring.try_deduct(0, u64::MAX).unwrap();
+        }
+        for _ in 0..(deducts + extra_refunds) {
+            ring.refund(0);
+        }
+        prop_assert_eq!(ring.sum(0), 0);
+        prop_assert!(ring.try_deduct(0, 1).is_ok());
+    }
+
+    /// Everything ages out: whatever happened before, one full window
+    /// of silence restores the entire budget.
+    #[test]
+    fn full_window_of_silence_restores_budget(
+        window_ms in proptest::sample::select(vec![8u64, 640, 60_000]),
+        budget in 1u64..5,
+        spent in 1u64..5,
+    ) {
+        let mut ring = SlidingWindow::new(window_ms);
+        let spent = spent.min(budget);
+        for _ in 0..spent {
+            ring.try_deduct(0, budget).unwrap();
+        }
+        let slot_ms = (window_ms / WINDOW_SLOTS).max(1);
+        let later = slot_ms * WINDOW_SLOTS + slot_ms;
+        prop_assert_eq!(ring.sum(later), 0);
+        for _ in 0..budget {
+            prop_assert!(ring.try_deduct(later, budget).is_ok());
+        }
+        prop_assert!(ring.try_deduct(later, budget).is_err());
+    }
+}
